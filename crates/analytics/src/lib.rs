@@ -1,0 +1,26 @@
+//! # gpma-analytics — the three evaluation applications of §6.3
+//!
+//! BFS, Connected Components and PageRank over dynamic graphs, in every
+//! configuration Table 1 evaluates:
+//!
+//! * **device kernels** over [`view::DeviceGraphView`] — run identically on
+//!   CSR-on-GPMA ([`view::GpmaView`]) and the rebuild baseline
+//!   ([`view::RebuildView`]), proving §4.2's adaptation claim (the only
+//!   GPMA-specific code is the `IsEntryExist` gap check);
+//! * **CPU references** over [`view::HostGraph`] — the standard
+//!   single-threaded algorithms used with AdjLists/PMA, also valid for the
+//!   Stinger baseline;
+//! * **multi-device variants** ([`multi`]) over a vertex-partitioned
+//!   [`gpma_core::multi::MultiGpma`] for the Figure 12 scaling study.
+
+pub mod bfs;
+pub mod cc;
+pub mod multi;
+pub mod pagerank;
+pub mod util;
+pub mod view;
+
+pub use bfs::{bfs_device, bfs_host, UNREACHED};
+pub use cc::{cc_device, cc_host, component_count};
+pub use pagerank::{pagerank_device, pagerank_host, PageRank, DAMPING, EPSILON, MAX_ITERS};
+pub use view::{DeviceGraphView, GpmaView, HostGraph, RebuildView};

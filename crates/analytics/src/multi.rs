@@ -1,0 +1,325 @@
+//! Multi-GPU analytics (§6.4): BFS, Connected Components and PageRank over
+//! a vertex-partitioned [`MultiGpma`], synchronizing all devices after each
+//! iteration.
+//!
+//! Each device processes the rows it owns; between iterations the frontier /
+//! label / rank vectors are exchanged with the modeled ring all-reduce.
+//! Compute time is the per-iteration makespan over devices; communication is
+//! charged per exchange. This reproduces Figure 12's split: PageRank is
+//! compute-dominated (scales), BFS/CC are synchronization-dominated
+//! (trade-off with device count).
+
+use gpma_core::multi::MultiGpma;
+use gpma_sim::{DeviceBuffer, SimTime};
+
+use crate::bfs::UNREACHED;
+use crate::pagerank::PageRank;
+use crate::util::{atomic_add_f64, filled_f64, load_f64};
+use crate::view::{DeviceGraphView, GpmaView};
+
+/// Timing of a multi-device analytic run.
+#[derive(Debug, Clone, Default)]
+pub struct MultiTime {
+    /// Sum over iterations of the per-iteration device makespan.
+    pub compute: SimTime,
+    /// Total modeled inter-device communication.
+    pub comm: SimTime,
+    pub iterations: usize,
+}
+
+impl MultiTime {
+    pub fn total(&self) -> SimTime {
+        self.compute + self.comm
+    }
+}
+
+/// Level-synchronous multi-device BFS; frontiers are synchronized after
+/// every level (a `|V|/8`-byte bitmap exchange).
+pub fn bfs_multi(m: &mut MultiGpma, root: u32) -> (Vec<u32>, MultiTime) {
+    let nv = m.partition().num_vertices as usize;
+    let nd = m.num_devices();
+    let mut time = MultiTime::default();
+    let mut dist = vec![UNREACHED; nv];
+    dist[root as usize] = 0;
+    let mut frontier: Vec<u32> = vec![root];
+    let mut level = 0u32;
+    // Per-device next-frontier flags, read back after each level.
+    while !frontier.is_empty() {
+        time.iterations += 1;
+        let mut next_flag_bufs: Vec<DeviceBuffer<u32>> = Vec::with_capacity(nd);
+        // Each shard expands the frontier vertices whose rows it owns.
+        let frontier_ref = &frontier;
+        let dist_ref = &dist;
+        let partition = m.partition();
+        let step = m.parallel_step(|i, dev, shard| {
+            let range = partition.range_of(i);
+            let mine: Vec<u32> = frontier_ref
+                .iter()
+                .copied()
+                .filter(|v| range.contains(v))
+                .collect();
+            let flags = DeviceBuffer::<u32>::new(nv);
+            if !mine.is_empty() {
+                let view = GpmaView::build(dev, &shard.storage);
+                let fr = DeviceBuffer::from_slice(&mine);
+                let dist_dev = DeviceBuffer::from_slice(dist_ref);
+                let fl = &flags;
+                dev.launch("bfs_multi_gather", mine.len(), |lane| {
+                    let v = fr.get(lane, lane.tid);
+                    for slot in view.row_range(lane, v) {
+                        if let Some((_, dst, _)) = view.slot_entry(lane, slot) {
+                            if dist_dev.get(lane, dst as usize) == UNREACHED {
+                                fl.set(lane, dst as usize, 1);
+                            }
+                        }
+                    }
+                });
+            }
+            next_flag_bufs.push(flags);
+        });
+        time.compute += step.makespan;
+        time.comm += m.allreduce_time(nv.div_ceil(8));
+        // Host-side union of per-device next frontiers.
+        let mut next = Vec::new();
+        for flags in &next_flag_bufs {
+            let f = flags.as_slice();
+            for (v, &set) in f.iter().enumerate() {
+                if set != 0 && dist[v] == UNREACHED {
+                    dist[v] = level + 1;
+                    next.push(v as u32);
+                }
+            }
+        }
+        next.sort_unstable();
+        frontier = next;
+        level += 1;
+    }
+    (dist, time)
+}
+
+/// Multi-device PageRank: each device scatters its shard's edges into a
+/// partial rank vector; partials are all-reduced (`|V| * 8` bytes) each
+/// iteration.
+pub fn pagerank_multi(
+    m: &mut MultiGpma,
+    damping: f64,
+    epsilon: f64,
+    max_iters: usize,
+) -> (PageRank, MultiTime) {
+    let nv = m.partition().num_vertices as usize;
+    let mut time = MultiTime::default();
+    let mut x = vec![1.0 / nv as f64; nv];
+    let mut converged = false;
+    // Degrees are shard-local (each shard owns its rows' out-edges).
+    let mut degs = vec![0u32; nv];
+    {
+        let degs_ref = &mut degs;
+        m.parallel_step(|_, dev, shard| {
+            let view = GpmaView::build(dev, &shard.storage);
+            for (v, &d) in view.degrees().as_slice().iter().enumerate() {
+                if d > 0 {
+                    degs_ref[v] = d;
+                }
+            }
+        });
+    }
+    while time.iterations < max_iters {
+        time.iterations += 1;
+        let mut partials: Vec<Vec<f64>> = Vec::with_capacity(m.num_devices());
+        let x_bits: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+        let x_ref = &x_bits;
+        let step = m.parallel_step(|_, dev, shard| {
+            let view = GpmaView::build(dev, &shard.storage);
+            let xd = DeviceBuffer::from_slice(x_ref);
+            let y = filled_f64(0.0, nv);
+            let slots = view.num_slots();
+            let deg = view.degrees();
+            {
+                let yr = &y;
+                dev.launch("pr_multi_spmv", slots, |lane| {
+                    if let Some((u, v, _)) = view.slot_entry(lane, lane.tid) {
+                        let xu = load_f64(lane, &xd, u as usize);
+                        let d = deg.get(lane, u as usize) as f64;
+                        atomic_add_f64(lane, yr, v as usize, xu / d);
+                    }
+                });
+            }
+            partials.push(y.to_vec().into_iter().map(f64::from_bits).collect());
+        });
+        time.compute += step.makespan;
+        time.comm += m.allreduce_time(nv * 8);
+        // Combine partials + finalize on the host (the reduction itself is
+        // what the comm term models).
+        let mut y = vec![0.0f64; nv];
+        for p in &partials {
+            for (v, &val) in p.iter().enumerate() {
+                y[v] += val;
+            }
+        }
+        let dangling: f64 = (0..nv).filter(|&v| degs[v] == 0).map(|v| x[v]).sum();
+        let mut err = 0.0;
+        for v in 0..nv {
+            y[v] = (1.0 - damping) / nv as f64 + damping * (y[v] + dangling / nv as f64);
+            err += (y[v] - x[v]).abs();
+        }
+        x = y;
+        if err < epsilon {
+            converged = true;
+            break;
+        }
+    }
+    (
+        PageRank {
+            ranks: x,
+            iterations: time.iterations,
+            converged,
+        },
+        time,
+    )
+}
+
+/// Multi-device Connected Components: per-round device hooking over each
+/// shard's edges, host min-combine + pointer jumping, `|V| * 4`-byte label
+/// exchange per round.
+pub fn cc_multi(m: &mut MultiGpma) -> (Vec<u32>, MultiTime) {
+    let nv = m.partition().num_vertices as usize;
+    let mut time = MultiTime::default();
+    let mut labels: Vec<u32> = (0..nv as u32).collect();
+    loop {
+        time.iterations += 1;
+        let mut partials: Vec<Vec<u32>> = Vec::with_capacity(m.num_devices());
+        let labels_ref = &labels;
+        let step = m.parallel_step(|_, dev, shard| {
+            let view = GpmaView::build(dev, &shard.storage);
+            let l = DeviceBuffer::from_slice(labels_ref);
+            let slots = view.num_slots();
+            dev.launch("cc_multi_hook", slots, |lane| {
+                if let Some((u, v, _)) = view.slot_entry(lane, lane.tid) {
+                    let lu = l.get(lane, u as usize);
+                    let lv = l.get(lane, v as usize);
+                    if lu < lv {
+                        l.atomic_min(lane, v as usize, lu);
+                    } else if lv < lu {
+                        l.atomic_min(lane, u as usize, lv);
+                    }
+                }
+            });
+            partials.push(l.to_vec());
+        });
+        time.compute += step.makespan;
+        time.comm += m.allreduce_time(nv * 4);
+        // Min-combine and pointer-jump on the host.
+        let mut next = labels.clone();
+        for p in &partials {
+            for (v, &lab) in p.iter().enumerate() {
+                next[v] = next[v].min(lab);
+            }
+        }
+        for v in 0..nv {
+            let mut root = next[v];
+            while next[root as usize] != root {
+                root = next[root as usize];
+            }
+            next[v] = root;
+        }
+        if next == labels {
+            break;
+        }
+        labels = next;
+    }
+    (labels, time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_host;
+    use crate::cc::cc_host;
+    use crate::pagerank::pagerank_host;
+    use gpma_baselines::AdjLists;
+    use gpma_graph::Edge;
+    use gpma_sim::DeviceConfig;
+
+    fn edges() -> Vec<Edge> {
+        // Two lobes joined at 4: 0→1→2→3→4 and 4→5, 6→7 separate.
+        vec![
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(2, 3),
+            Edge::new(3, 4),
+            Edge::new(4, 5),
+            Edge::new(6, 7),
+        ]
+    }
+
+    fn multi(devices: usize) -> MultiGpma {
+        MultiGpma::build(&DeviceConfig::deterministic(), devices, 8, &edges())
+    }
+
+    #[test]
+    fn bfs_multi_matches_single_reference() {
+        let oracle = bfs_host(&AdjLists::build(8, &edges()), 0);
+        for nd in [1usize, 2, 3] {
+            let mut m = multi(nd);
+            let (dist, time) = bfs_multi(&mut m, 0);
+            assert_eq!(dist, oracle, "{nd} devices");
+            assert!(time.iterations >= 5);
+            if nd > 1 {
+                assert!(time.comm.secs() > 0.0);
+            } else {
+                assert_eq!(time.comm.secs(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cc_multi_matches_single_reference() {
+        let oracle = cc_host(&AdjLists::build(8, &edges()));
+        for nd in [1usize, 2, 3] {
+            let mut m = multi(nd);
+            let (labels, _) = cc_multi(&mut m);
+            assert_eq!(labels, oracle, "{nd} devices");
+        }
+    }
+
+    #[test]
+    fn pagerank_multi_matches_single_reference() {
+        let expect = pagerank_host(&AdjLists::build(8, &edges()), 0.85, 1e-9, 300);
+        for nd in [1usize, 2, 3] {
+            let mut m = multi(nd);
+            let (pr, time) = pagerank_multi(&mut m, 0.85, 1e-9, 300);
+            assert!(pr.converged);
+            for v in 0..8 {
+                assert!(
+                    (pr.ranks[v] - expect.ranks[v]).abs() < 1e-7,
+                    "{nd} devices, vertex {v}"
+                );
+            }
+            assert_eq!(time.iterations, pr.iterations);
+        }
+    }
+
+    #[test]
+    fn update_throughput_improves_with_devices() {
+        use gpma_graph::UpdateBatch;
+        // Same batch on 1 vs 3 devices: per-device compute shrinks, and
+        // updates need no communication — near-linear scaling (Figure 12).
+        let all: Vec<Edge> = (0..300u32)
+            .flat_map(|s| (1..5u32).map(move |i| Edge::new(s, (s + i) % 300)))
+            .collect();
+        let batch = UpdateBatch {
+            insertions: (0..300u32).map(|s| Edge::new(s, (s + 7) % 300)).collect(),
+            deletions: vec![],
+        };
+        let mut m1 = MultiGpma::build(&DeviceConfig::deterministic(), 1, 300, &all);
+        let t1 = m1.update_batch(&batch);
+        let mut m3 = MultiGpma::build(&DeviceConfig::deterministic(), 3, 300, &all);
+        let t3 = m3.update_batch(&batch);
+        assert!(
+            t3.total().secs() < t1.total().secs(),
+            "3 devices should beat 1: {} vs {}",
+            t3.total().secs(),
+            t1.total().secs()
+        );
+    }
+}

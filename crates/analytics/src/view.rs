@@ -1,0 +1,248 @@
+//! Graph access abstractions for the analytics kernels.
+//!
+//! [`DeviceGraphView`] is the device-side CSR contract of §4.2: analytics
+//! iterate a row's slot range and must tolerate gaps and guard entries
+//! (`slot_entry` returning `None` is Algorithm 2/3's `IsEntryExist` check).
+//! It is implemented both by CSR-on-GPMA and by the rebuild baseline's dense
+//! CSR — demonstrating the paper's claim that existing GPU algorithms adapt
+//! to GPMA by only adding that check.
+//!
+//! [`HostGraph`] is the equivalent CPU-side contract for the AdjLists, PMA
+//! and Stinger baselines.
+
+use gpma_baselines::{AdjLists, PmaGraph, RebuildCsr, StingerGraph};
+use gpma_core::{CsrView, GpmaStorage};
+use gpma_graph::decode_key;
+use gpma_sim::{Device, DeviceBuffer, Lane};
+
+/// Device-side view of a CSR-ordered dynamic graph.
+pub trait DeviceGraphView: Sync {
+    fn num_vertices(&self) -> u32;
+
+    /// Total slots (for edge-centric kernels that stride the whole array).
+    fn num_slots(&self) -> usize;
+
+    /// Slot range of row `v`.
+    fn row_range(&self, lane: &mut Lane, v: u32) -> std::ops::Range<usize>;
+
+    /// Decode one slot: `Some((src, dst, weight))` for a live edge, `None`
+    /// for a gap or guard (the `IsEntryExist` check).
+    fn slot_entry(&self, lane: &mut Lane, slot: usize) -> Option<(u32, u32, u64)>;
+
+    /// Live out-degree per vertex.
+    fn degrees(&self) -> &DeviceBuffer<u32>;
+}
+
+/// CSR-on-GPMA view (storage + offsets), built after each update batch.
+pub struct GpmaView<'a> {
+    pub storage: &'a GpmaStorage,
+    pub csr: CsrView,
+}
+
+impl<'a> GpmaView<'a> {
+    pub fn build(dev: &Device, storage: &'a GpmaStorage) -> Self {
+        GpmaView {
+            storage,
+            csr: CsrView::build(dev, storage),
+        }
+    }
+}
+
+impl<'a> DeviceGraphView for GpmaView<'a> {
+    fn num_vertices(&self) -> u32 {
+        self.storage.num_vertices()
+    }
+
+    fn num_slots(&self) -> usize {
+        self.storage.capacity()
+    }
+
+    fn row_range(&self, lane: &mut Lane, v: u32) -> std::ops::Range<usize> {
+        self.csr.row_range(lane, v)
+    }
+
+    fn slot_entry(&self, lane: &mut Lane, slot: usize) -> Option<(u32, u32, u64)> {
+        let k = self.storage.keys.get(lane, slot);
+        if !GpmaStorage::is_entry(k) {
+            return None; // gap or guard
+        }
+        let (s, d) = decode_key(k);
+        let w = self.storage.vals.get(lane, slot);
+        Some((s, d, w))
+    }
+
+    fn degrees(&self) -> &DeviceBuffer<u32> {
+        &self.csr.degrees
+    }
+}
+
+/// Dense CSR view over the rebuild baseline.
+pub struct RebuildView<'a> {
+    pub csr: &'a RebuildCsr,
+    degrees: DeviceBuffer<u32>,
+}
+
+impl<'a> RebuildView<'a> {
+    pub fn build(dev: &Device, csr: &'a RebuildCsr) -> Self {
+        let nv = csr.num_vertices() as usize;
+        let degrees = DeviceBuffer::<u32>::new(nv);
+        {
+            let off = &csr.offsets;
+            let deg = &degrees;
+            dev.launch("rebuild_degrees", nv, |lane| {
+                let v = lane.tid;
+                let lo = off.get(lane, v);
+                let hi = off.get(lane, v + 1);
+                deg.set(lane, v, hi - lo);
+            });
+        }
+        RebuildView { csr, degrees }
+    }
+}
+
+impl<'a> DeviceGraphView for RebuildView<'a> {
+    fn num_vertices(&self) -> u32 {
+        self.csr.num_vertices()
+    }
+
+    fn num_slots(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    fn row_range(&self, lane: &mut Lane, v: u32) -> std::ops::Range<usize> {
+        self.csr.row_range(lane, v)
+    }
+
+    fn slot_entry(&self, lane: &mut Lane, slot: usize) -> Option<(u32, u32, u64)> {
+        // Dense CSR: every slot is live.
+        let k = self.csr.keys.get(lane, slot);
+        let (s, d) = decode_key(k);
+        let w = self.csr.vals.get(lane, slot);
+        Some((s, d, w))
+    }
+
+    fn degrees(&self) -> &DeviceBuffer<u32> {
+        &self.degrees
+    }
+}
+
+/// Host-side (CPU baseline) graph contract.
+pub trait HostGraph {
+    fn num_vertices(&self) -> u32;
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32, u64));
+    fn out_degree(&self, v: u32) -> usize {
+        let mut n = 0;
+        self.for_each_neighbor(v, &mut |_, _| n += 1);
+        n
+    }
+}
+
+impl HostGraph for AdjLists {
+    fn num_vertices(&self) -> u32 {
+        AdjLists::num_vertices(self)
+    }
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32, u64)) {
+        for (d, w) in self.neighbors(v) {
+            f(d, w);
+        }
+    }
+    fn out_degree(&self, v: u32) -> usize {
+        AdjLists::out_degree(self, v)
+    }
+}
+
+impl HostGraph for PmaGraph {
+    fn num_vertices(&self) -> u32 {
+        PmaGraph::num_vertices(self)
+    }
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32, u64)) {
+        for (d, w) in self.neighbors(v) {
+            f(d, w);
+        }
+    }
+}
+
+impl HostGraph for StingerGraph {
+    fn num_vertices(&self) -> u32 {
+        StingerGraph::num_vertices(self)
+    }
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32, u64)) {
+        for (d, w) in self.neighbors(v) {
+            f(d, w);
+        }
+    }
+    fn out_degree(&self, v: u32) -> usize {
+        StingerGraph::out_degree(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpma_core::GpmaPlus;
+    use gpma_graph::Edge;
+    use gpma_sim::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::deterministic())
+    }
+
+    fn tri() -> Vec<Edge> {
+        vec![Edge::weighted(0, 1, 1), Edge::weighted(1, 2, 2), Edge::weighted(2, 0, 3)]
+    }
+
+    /// Read all live edges through a DeviceGraphView's row interface.
+    fn edges_via_view<G: DeviceGraphView>(dev: &Device, g: &G) -> Vec<(u32, u32, u64)> {
+        let nv = g.num_vertices() as usize;
+        let cap = g.num_slots();
+        let out = DeviceBuffer::<u64>::filled(u64::MAX, cap.max(1));
+        dev.launch("collect", nv, |lane| {
+            let v = lane.tid as u32;
+            for slot in g.row_range(lane, v) {
+                if let Some((s, d, w)) = g.slot_entry(lane, slot) {
+                    out.set(lane, slot, ((s as u64) << 40) | ((d as u64) << 16) | w);
+                }
+            }
+        });
+        out.to_vec()
+            .into_iter()
+            .filter(|&x| x != u64::MAX)
+            .map(|x| ((x >> 40) as u32, ((x >> 16) & 0xFFFFFF) as u32, x & 0xFFFF))
+            .collect()
+    }
+
+    #[test]
+    fn gpma_and_rebuild_views_agree() {
+        let d = dev();
+        let g = GpmaPlus::build(&d, 3, &tri());
+        let gv = GpmaView::build(&d, &g.storage);
+        let rc = RebuildCsr::build(&d, 3, &tri());
+        let rv = RebuildView::build(&d, &rc);
+        let mut a = edges_via_view(&d, &gv);
+        let mut b = edges_via_view(&d, &rv);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(gv.degrees().to_vec(), rv.degrees().to_vec());
+    }
+
+    #[test]
+    fn host_graph_impls_agree() {
+        let adj = AdjLists::build(3, &tri());
+        let pma = PmaGraph::build(3, &tri());
+        let st = StingerGraph::build(3, &tri());
+        for v in 0..3u32 {
+            let collect = |g: &dyn HostGraph| {
+                let mut out = Vec::new();
+                g.for_each_neighbor(v, &mut |d, w| out.push((d, w)));
+                out.sort_unstable();
+                out
+            };
+            let a = collect(&adj);
+            assert_eq!(a, collect(&pma), "pma row {v}");
+            assert_eq!(a, collect(&st), "stinger row {v}");
+            assert_eq!(adj.out_degree(v), HostGraph::out_degree(&st, v));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! AdjLists baseline (§6.1): one ordered tree (`BTreeMap`, the std analogue
+//! of the paper's RB-tree `TreeSet`) per vertex. Single-threaded updates;
+//! the standard single-thread algorithms run over it.
+
+use gpma_graph::{Edge, UpdateBatch, VertexId};
+use std::collections::BTreeMap;
+
+/// CSR-ordered adjacency lists backed by per-vertex ordered trees.
+#[derive(Debug, Clone)]
+pub struct AdjLists {
+    adj: Vec<BTreeMap<u32, u64>>,
+    num_edges: usize,
+}
+
+impl AdjLists {
+    pub fn new(num_vertices: u32) -> Self {
+        AdjLists {
+            adj: vec![BTreeMap::new(); num_vertices as usize],
+            num_edges: 0,
+        }
+    }
+
+    pub fn build(num_vertices: u32, edges: &[Edge]) -> Self {
+        let mut g = AdjLists::new(num_vertices);
+        for e in edges {
+            g.insert(e);
+        }
+        g
+    }
+
+    pub fn num_vertices(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Insert or overwrite; returns `true` when newly inserted.
+    pub fn insert(&mut self, e: &Edge) -> bool {
+        let new = self.adj[e.src as usize].insert(e.dst, e.weight).is_none();
+        if new {
+            self.num_edges += 1;
+        }
+        new
+    }
+
+    /// Remove; returns `true` when the edge existed.
+    pub fn remove(&mut self, src: VertexId, dst: VertexId) -> bool {
+        let existed = self.adj[src as usize].remove(&dst).is_some();
+        if existed {
+            self.num_edges -= 1;
+        }
+        existed
+    }
+
+    pub fn contains(&self, src: VertexId, dst: VertexId) -> bool {
+        self.adj[src as usize].contains_key(&dst)
+    }
+
+    pub fn weight(&self, src: VertexId, dst: VertexId) -> Option<u64> {
+        self.adj[src as usize].get(&dst).copied()
+    }
+
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.adj[v as usize].iter().map(|(&d, &w)| (d, w))
+    }
+
+    /// Apply a batch: deletions first, then insertions (the shared batch
+    /// semantics of the evaluation).
+    pub fn update_batch(&mut self, batch: &UpdateBatch) {
+        for e in &batch.deletions {
+            self.remove(e.src, e.dst);
+        }
+        for e in &batch.insertions {
+            self.insert(e);
+        }
+    }
+
+    /// All edges in CSR (row-major) order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(s, m)| {
+            m.iter()
+                .map(move |(&d, &w)| Edge::weighted(s as u32, d, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut g = AdjLists::new(4);
+        assert!(g.insert(&Edge::weighted(0, 1, 5)));
+        assert!(!g.insert(&Edge::weighted(0, 1, 7)), "overwrite is not new");
+        assert_eq!(g.weight(0, 1), Some(7));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.remove(0, 1));
+        assert!(!g.remove(0, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = AdjLists::build(
+            3,
+            &[Edge::new(1, 2), Edge::new(1, 0), Edge::new(2, 1)],
+        );
+        let n: Vec<u32> = g.neighbors(1).map(|(d, _)| d).collect();
+        assert_eq!(n, vec![0, 2]);
+        assert_eq!(g.out_degree(2), 1);
+        assert_eq!(g.out_degree(0), 0);
+    }
+
+    #[test]
+    fn batch_semantics_delete_then_insert() {
+        let mut g = AdjLists::build(3, &[Edge::new(0, 1)]);
+        g.update_batch(&UpdateBatch {
+            insertions: vec![Edge::weighted(0, 1, 9)],
+            deletions: vec![Edge::new(0, 1)],
+        });
+        assert_eq!(g.weight(0, 1), Some(9));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn iter_edges_row_major() {
+        let g = AdjLists::build(3, &[Edge::new(2, 0), Edge::new(0, 2), Edge::new(0, 1)]);
+        let keys: Vec<u64> = g.iter_edges().map(|e| e.key()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(keys.len(), 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! # gpma-baselines — the compared approaches of Table 1
+//!
+//! Every baseline the paper's evaluation (§6.1) compares GPMA/GPMA+ against,
+//! implemented from scratch:
+//!
+//! * [`adjlists`] — **AdjLists (CPU)**: a vector of per-vertex ordered trees.
+//! * [`pma_graph`] — **PMA (CPU)**: the sequential Packed Memory Array
+//!   adopted for the CSR format.
+//! * [`stinger`] — **Stinger (CPU)**: fixed-size edge blocks with parallel
+//!   batch updates, including the skew-induced memory pathology.
+//! * [`rebuild`] — **cuSparseCSR (GPU)**: a static device CSR rebuilt from
+//!   scratch on every batch.
+//!
+//! (DCSR is intentionally absent: the paper excludes it because it supports
+//! neither deletions nor efficient searches.)
+
+pub mod adjlists;
+pub mod pma_graph;
+pub mod rebuild;
+pub mod stinger;
+
+pub use adjlists::AdjLists;
+pub use pma_graph::PmaGraph;
+pub use rebuild::RebuildCsr;
+pub use stinger::{StingerGraph, StingerMemoryStats, BLOCK_EDGES};

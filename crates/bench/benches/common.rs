@@ -1,0 +1,47 @@
+//! Shared helpers for the Criterion benches (included via `mod` from each
+//! bench target; `cargo bench` compiles each bench as its own crate).
+#![allow(dead_code)]
+
+use gpma_bench::{ApproachKind, Store};
+use gpma_graph::datasets::{generate, DatasetKind};
+use gpma_graph::{GraphStream, UpdateBatch};
+use gpma_sim::DeviceConfig;
+use std::time::Duration;
+
+/// Bench-sized dataset (small so `cargo bench` stays minutes, not hours).
+pub const BENCH_SCALE: f64 = 0.0005;
+pub const BENCH_SEED: u64 = 42;
+
+pub fn bench_stream(kind: DatasetKind) -> GraphStream {
+    generate(kind, BENCH_SCALE, BENCH_SEED)
+}
+
+/// Pre-collected slide batches that can be cycled indefinitely (re-applying
+/// a past slide is a valid workload: deletes of absent edges are no-ops and
+/// duplicate inserts are modifications).
+pub fn cycle_batches(stream: &GraphStream, batch: usize, n: usize) -> Vec<UpdateBatch> {
+    stream.sliding(batch).take(n.max(1)).collect()
+}
+
+pub fn build_store(kind: ApproachKind, stream: &GraphStream) -> Store {
+    Store::build_with(
+        kind,
+        stream.num_vertices,
+        stream.initial_edges(),
+        DeviceConfig::default(),
+    )
+}
+
+/// One update application, returned as a Duration in the store's native
+/// metric (simulated for device stores) for `iter_custom`.
+pub fn apply_timed(store: &mut Store, batch: &UpdateBatch) -> Duration {
+    Duration::from_secs_f64(store.apply(batch).max(1e-12))
+}
+
+/// Criterion's statistics panic on zero-variance samples, and the simulated
+/// device clock is perfectly deterministic. Blend in sub-microsecond
+/// deterministic jitter (< 0.1% of any real measurement) to keep the
+/// estimator happy without distorting results.
+pub fn jitter(i: usize) -> Duration {
+    Duration::from_nanos((i as u64).wrapping_mul(2654435761) % 997 + 1)
+}

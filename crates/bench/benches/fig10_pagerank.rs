@@ -1,0 +1,42 @@
+//! Figure 10 bench: streaming PageRank — per-slide update + analytics time for
+//! each approach on the UniformRandom dataset at a 0.1% slide.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpma_bench::apps::{run_app, App};
+use gpma_bench::ApproachKind;
+use gpma_graph::datasets::DatasetKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let stream = bench_stream(DatasetKind::UniformRandom);
+    let batch = stream.slide_batch_size(0.001);
+    let batches = cycle_batches(&stream, batch, 8);
+    let mut group = c.benchmark_group("fig10_pagerank");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for kind in ApproachKind::ALL {
+        let mut store = build_store(kind, &stream);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new(kind.name(), batch), &batch, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += apply_timed(&mut store, &batches[i % batches.len()]);
+                    let run = run_app(App::PageRank, &store, (i as u32) % stream.num_vertices);
+                    total += Duration::from_secs_f64(run.seconds.max(1e-12));
+                    i += 1;
+                    total += jitter(i);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

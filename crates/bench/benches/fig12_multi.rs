@@ -1,0 +1,57 @@
+//! Figure 12 bench: multi-device update + PageRank throughput on Graph500,
+//! 1–3 simulated GPUs, reported in simulated time via `iter_custom`.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpma_core::multi::MultiGpma;
+use gpma_graph::datasets::DatasetKind;
+use gpma_sim::DeviceConfig;
+use std::time::Duration;
+
+fn fig12(c: &mut Criterion) {
+    let stream = bench_stream(DatasetKind::Graph500);
+    let batch = stream.slide_batch_size(0.01);
+    let batches = cycle_batches(&stream, batch, 8);
+    let mut group = c.benchmark_group("fig12_multi_gpu");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for devices in 1..=3usize {
+        let mut m = MultiGpma::build(
+            &DeviceConfig::default(),
+            devices,
+            stream.num_vertices,
+            stream.initial_edges(),
+        );
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("update", devices), &devices, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let t = m.update_batch(&batches[i % batches.len()]);
+                    total += Duration::from_secs_f64(t.total().secs().max(1e-12));
+                    i += 1;
+                    total += jitter(i);
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank", devices), &devices, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for k in 0..iters {
+                    let (_, t) = gpma_analytics::multi::pagerank_multi(&mut m, 0.85, 1e-3, 30);
+                    total += Duration::from_secs_f64(t.total().secs().max(1e-12));
+                    total += jitter(k as usize);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

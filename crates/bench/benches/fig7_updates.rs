@@ -1,0 +1,49 @@
+//! Figure 7 bench: update latency per slide vs batch size, all approaches.
+//! Device approaches report *simulated* device time via `iter_custom`.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpma_bench::ApproachKind;
+use gpma_graph::datasets::DatasetKind;
+use std::time::Duration;
+
+fn fig7(c: &mut Criterion) {
+    let stream = bench_stream(DatasetKind::Graph500);
+    let mut group = c.benchmark_group("fig7_updates_graph500");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for &batch in &[64usize, 1024, 8192] {
+        let batches = cycle_batches(&stream, batch, 8);
+        for kind in ApproachKind::ALL {
+            // The lock-based GPMA at large clustered batches is the known
+            // pathological case; keep bench time bounded.
+            if kind == ApproachKind::Gpma && batch > 1024 {
+                continue;
+            }
+            let mut store = build_store(kind, &stream);
+            let mut i = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), batch),
+                &batch,
+                |b, _| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            total += apply_timed(&mut store, &batches[i % batches.len()]);
+                            i += 1;
+                            total += jitter(i);
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

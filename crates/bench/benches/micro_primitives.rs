@@ -1,0 +1,83 @@
+//! Microbenchmarks of the device primitives GPMA+ is built from (radix
+//! sort, scan, RLE — §5.2's CUB substitutes) and of the CPU PMA, all in
+//! their native metrics.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpma_pma::Pma;
+use gpma_sim::{primitives, Device, DeviceBuffer, DeviceConfig};
+use std::time::Duration;
+
+fn primitives_bench(c: &mut Criterion) {
+    let dev = Device::new(DeviceConfig::default());
+    let mut group = c.benchmark_group("micro_primitives");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for &n in &[1usize << 12, 1 << 16] {
+        let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        group.bench_with_input(BenchmarkId::new("radix_sort_u64", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for k in 0..iters {
+                    let mut buf = DeviceBuffer::from_slice(&keys);
+                    let (_, t) = dev.timed(|d| primitives::radix_sort_u64(d, &mut buf));
+                    total += Duration::from_secs_f64(t.secs().max(1e-12)) + common::jitter(k as usize);
+                }
+                total
+            })
+        });
+        let ones = vec![1u32; n];
+        group.bench_with_input(BenchmarkId::new("exclusive_scan_u32", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for k in 0..iters {
+                    let buf = DeviceBuffer::from_slice(&ones);
+                    let (_, t) = dev.timed(|d| {
+                        let _ = primitives::exclusive_scan_u32(d, &buf);
+                    });
+                    total += Duration::from_secs_f64(t.secs().max(1e-12)) + common::jitter(k as usize);
+                }
+                total
+            })
+        });
+        let runs: Vec<u32> = (0..n).map(|i| (i / 7) as u32).collect();
+        group.bench_with_input(BenchmarkId::new("run_length_encode", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for k in 0..iters {
+                    let buf = DeviceBuffer::from_slice(&runs);
+                    let (_, t) = dev.timed(|d| {
+                        let _ = primitives::run_length_encode_u32(d, &buf);
+                    });
+                    total += Duration::from_secs_f64(t.secs().max(1e-12)) + common::jitter(k as usize);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn pma_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_pma_cpu");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for &n in &[10_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("random_inserts", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pma: Pma<u64> = Pma::new();
+                for k in 0..n {
+                    pma.insert(k.wrapping_mul(0x9E3779B97F4A7C15) >> 8, k);
+                }
+                pma.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, primitives_bench, pma_bench);
+criterion_main!(benches);

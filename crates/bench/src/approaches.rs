@@ -1,0 +1,291 @@
+//! Uniform wrappers over all six compared approaches (Table 1), exposing a
+//! single `apply / run-analytic` interface to the experiment drivers.
+//!
+//! CPU approaches are measured in host wall-clock time; device approaches in
+//! simulated device time (`gpma-sim` cost model). EXPERIMENTS.md discusses
+//! why comparing those directly still reproduces the paper's *shapes*.
+
+use gpma_analytics::view::{GpmaView, RebuildView};
+use gpma_baselines::{AdjLists, PmaGraph, RebuildCsr, StingerGraph};
+use gpma_core::{Gpma, GpmaPlus};
+use gpma_graph::{Edge, UpdateBatch};
+use gpma_sim::{Device, DeviceConfig};
+use serde::{Deserialize, Serialize};
+
+/// The compared approaches of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApproachKind {
+    AdjLists,
+    Pma,
+    Stinger,
+    CuSparseCsr,
+    Gpma,
+    GpmaPlus,
+}
+
+impl ApproachKind {
+    pub const ALL: [ApproachKind; 6] = [
+        ApproachKind::AdjLists,
+        ApproachKind::Pma,
+        ApproachKind::Stinger,
+        ApproachKind::CuSparseCsr,
+        ApproachKind::Gpma,
+        ApproachKind::GpmaPlus,
+    ];
+
+    /// The device-resident subset.
+    pub const DEVICE: [ApproachKind; 3] = [
+        ApproachKind::CuSparseCsr,
+        ApproachKind::Gpma,
+        ApproachKind::GpmaPlus,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ApproachKind::AdjLists => "AdjLists",
+            ApproachKind::Pma => "PMA",
+            ApproachKind::Stinger => "Stinger",
+            ApproachKind::CuSparseCsr => "cuSparseCSR",
+            ApproachKind::Gpma => "GPMA",
+            ApproachKind::GpmaPlus => "GPMA+",
+        }
+    }
+
+    pub fn is_device(&self) -> bool {
+        matches!(
+            self,
+            ApproachKind::CuSparseCsr | ApproachKind::Gpma | ApproachKind::GpmaPlus
+        )
+    }
+}
+
+/// An instantiated approach holding its store (and device, if any).
+pub enum Store {
+    AdjLists(AdjLists),
+    Pma(PmaGraph),
+    Stinger(StingerGraph),
+    CuSparseCsr { dev: Device, csr: RebuildCsr },
+    Gpma { dev: Device, g: Gpma },
+    GpmaPlus { dev: Device, g: GpmaPlus },
+}
+
+impl Store {
+    /// Build the approach's store from the initial graph.
+    pub fn build(kind: ApproachKind, num_vertices: u32, edges: &[Edge]) -> Store {
+        Store::build_with(kind, num_vertices, edges, DeviceConfig::default())
+    }
+
+    pub fn build_with(
+        kind: ApproachKind,
+        num_vertices: u32,
+        edges: &[Edge],
+        cfg: DeviceConfig,
+    ) -> Store {
+        match kind {
+            ApproachKind::AdjLists => Store::AdjLists(AdjLists::build(num_vertices, edges)),
+            ApproachKind::Pma => Store::Pma(PmaGraph::build(num_vertices, edges)),
+            ApproachKind::Stinger => Store::Stinger(StingerGraph::build(num_vertices, edges)),
+            ApproachKind::CuSparseCsr => {
+                let dev = Device::new(cfg);
+                let csr = RebuildCsr::build(&dev, num_vertices, edges);
+                Store::CuSparseCsr { dev, csr }
+            }
+            ApproachKind::Gpma => {
+                let dev = Device::new(cfg);
+                let g = Gpma::build(&dev, num_vertices, edges);
+                Store::Gpma { dev, g }
+            }
+            ApproachKind::GpmaPlus => {
+                let dev = Device::new(cfg);
+                let g = GpmaPlus::build(&dev, num_vertices, edges);
+                Store::GpmaPlus { dev, g }
+            }
+        }
+    }
+
+    pub fn kind(&self) -> ApproachKind {
+        match self {
+            Store::AdjLists(_) => ApproachKind::AdjLists,
+            Store::Pma(_) => ApproachKind::Pma,
+            Store::Stinger(_) => ApproachKind::Stinger,
+            Store::CuSparseCsr { .. } => ApproachKind::CuSparseCsr,
+            Store::Gpma { .. } => ApproachKind::Gpma,
+            Store::GpmaPlus { .. } => ApproachKind::GpmaPlus,
+        }
+    }
+
+    /// Apply one update batch; returns seconds (wall-clock for CPU stores,
+    /// simulated device time for GPU stores).
+    pub fn apply(&mut self, batch: &UpdateBatch) -> f64 {
+        match self {
+            Store::AdjLists(g) => wall(|| g.update_batch(batch)),
+            Store::Pma(g) => wall(|| g.update_batch(batch)),
+            Store::Stinger(g) => wall(|| g.update_batch(batch)),
+            Store::CuSparseCsr { dev, csr } => {
+                let (_, t) = dev.timed(|d| csr.update_batch(d, batch));
+                t.secs()
+            }
+            Store::Gpma { dev, g } => {
+                let (_, t) = dev.timed(|d| {
+                    g.update_batch(d, batch);
+                });
+                t.secs()
+            }
+            Store::GpmaPlus { dev, g } => {
+                let (_, t) = dev.timed(|d| {
+                    g.update_batch_lazy(d, batch);
+                });
+                t.secs()
+            }
+        }
+    }
+
+    /// Current live edge count (consistency checks between approaches).
+    pub fn num_edges(&self) -> usize {
+        match self {
+            Store::AdjLists(g) => g.num_edges(),
+            Store::Pma(g) => g.num_edges(),
+            Store::Stinger(g) => g.num_edges(),
+            Store::CuSparseCsr { csr, .. } => csr.num_edges(),
+            Store::Gpma { g, .. } => g.storage.num_edges(),
+            Store::GpmaPlus { g, .. } => g.storage.num_edges(),
+        }
+    }
+
+    /// Run `f` with a device view when this is a device store.
+    pub fn with_device_view<R>(
+        &self,
+        f: impl FnOnce(&Device, &dyn ErasedDeviceView) -> R,
+    ) -> Option<R> {
+        match self {
+            Store::CuSparseCsr { dev, csr } => {
+                let view = RebuildView::build(dev, csr);
+                Some(f(dev, &view))
+            }
+            Store::Gpma { dev, g } => {
+                let view = GpmaView::build(dev, &g.storage);
+                Some(f(dev, &view))
+            }
+            Store::GpmaPlus { dev, g } => {
+                let view = GpmaView::build(dev, &g.storage);
+                Some(f(dev, &view))
+            }
+            _ => None,
+        }
+    }
+
+    /// Host-graph access for CPU stores.
+    pub fn host_graph(&self) -> Option<&dyn gpma_analytics::HostGraph> {
+        match self {
+            Store::AdjLists(g) => Some(g),
+            Store::Pma(g) => Some(g),
+            Store::Stinger(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Object-safe re-statement of [`gpma_analytics::DeviceGraphView`] so the
+/// harness can dispatch over store types at runtime.
+pub trait ErasedDeviceView: Sync {
+    fn num_vertices(&self) -> u32;
+    fn num_slots(&self) -> usize;
+    fn row_range(&self, lane: &mut gpma_sim::Lane, v: u32) -> std::ops::Range<usize>;
+    fn slot_entry(&self, lane: &mut gpma_sim::Lane, slot: usize) -> Option<(u32, u32, u64)>;
+    fn degrees(&self) -> &gpma_sim::DeviceBuffer<u32>;
+}
+
+impl<T: gpma_analytics::DeviceGraphView> ErasedDeviceView for T {
+    fn num_vertices(&self) -> u32 {
+        gpma_analytics::DeviceGraphView::num_vertices(self)
+    }
+    fn num_slots(&self) -> usize {
+        gpma_analytics::DeviceGraphView::num_slots(self)
+    }
+    fn row_range(&self, lane: &mut gpma_sim::Lane, v: u32) -> std::ops::Range<usize> {
+        gpma_analytics::DeviceGraphView::row_range(self, lane, v)
+    }
+    fn slot_entry(&self, lane: &mut gpma_sim::Lane, slot: usize) -> Option<(u32, u32, u64)> {
+        gpma_analytics::DeviceGraphView::slot_entry(self, lane, slot)
+    }
+    fn degrees(&self) -> &gpma_sim::DeviceBuffer<u32> {
+        gpma_analytics::DeviceGraphView::degrees(self)
+    }
+}
+
+/// `&dyn ErasedDeviceView` itself satisfies the analytics trait, closing the
+/// loop so the generic kernels run unmodified on erased views.
+impl gpma_analytics::DeviceGraphView for &dyn ErasedDeviceView {
+    fn num_vertices(&self) -> u32 {
+        (**self).num_vertices()
+    }
+    fn num_slots(&self) -> usize {
+        (**self).num_slots()
+    }
+    fn row_range(&self, lane: &mut gpma_sim::Lane, v: u32) -> std::ops::Range<usize> {
+        (**self).row_range(lane, v)
+    }
+    fn slot_entry(&self, lane: &mut gpma_sim::Lane, slot: usize) -> Option<(u32, u32, u64)> {
+        (**self).slot_entry(lane, slot)
+    }
+    fn degrees(&self) -> &gpma_sim::DeviceBuffer<u32> {
+        (**self).degrees()
+    }
+}
+
+fn wall<R>(f: impl FnOnce() -> R) -> f64 {
+    let t0 = std::time::Instant::now();
+    let _ = f();
+    t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
+        pairs.iter().map(|&(s, d)| Edge::new(s, d)).collect()
+    }
+
+    #[test]
+    fn all_stores_apply_the_same_batch_identically() {
+        let initial = edges(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let batch = UpdateBatch {
+            insertions: edges(&[(0, 2), (3, 1)]),
+            deletions: edges(&[(1, 2)]),
+        };
+        for kind in ApproachKind::ALL {
+            let mut store = Store::build_with(kind, 4, &initial, DeviceConfig::deterministic());
+            assert_eq!(store.num_edges(), 4, "{}", kind.name());
+            let secs = store.apply(&batch);
+            assert!(secs >= 0.0);
+            assert_eq!(store.num_edges(), 5, "{} after batch", kind.name());
+            assert_eq!(store.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn device_views_available_only_for_device_stores() {
+        let initial = edges(&[(0, 1)]);
+        for kind in ApproachKind::ALL {
+            let store = Store::build_with(kind, 2, &initial, DeviceConfig::deterministic());
+            let has_view = store.with_device_view(|_, v| v.num_vertices()).is_some();
+            assert_eq!(has_view, kind.is_device(), "{}", kind.name());
+            assert_eq!(store.host_graph().is_some(), !kind.is_device());
+        }
+    }
+
+    #[test]
+    fn erased_view_runs_analytics() {
+        let store = Store::build_with(
+            ApproachKind::GpmaPlus,
+            4,
+            &edges(&[(0, 1), (1, 2), (2, 3)]),
+            DeviceConfig::deterministic(),
+        );
+        let dist = store
+            .with_device_view(|dev, view| gpma_analytics::bfs_device(dev, &view, 0).to_vec())
+            .unwrap();
+        assert_eq!(dist, vec![0, 1, 2, 3]);
+    }
+}

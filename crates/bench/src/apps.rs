@@ -1,0 +1,121 @@
+//! The three streaming applications (§6.3) runnable against any store, with
+//! per-run timing in the store's native metric (wall vs simulated).
+
+use gpma_analytics::{bfs_device, bfs_host, cc_device, cc_host, pagerank_device, pagerank_host};
+use serde::{Deserialize, Serialize};
+
+use crate::approaches::Store;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum App {
+    Bfs,
+    ConnectedComponent,
+    PageRank,
+}
+
+impl App {
+    pub const ALL: [App; 3] = [App::Bfs, App::ConnectedComponent, App::PageRank];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::Bfs => "BFS",
+            App::ConnectedComponent => "ConnectedComponent",
+            App::PageRank => "PageRank",
+        }
+    }
+}
+
+/// Outcome of one analytic run: elapsed seconds plus a content digest used
+/// for cross-approach consistency checks.
+#[derive(Debug, Clone, Copy)]
+pub struct AppRun {
+    pub seconds: f64,
+    /// BFS: reached vertex count. CC: component count. PageRank: iterations.
+    pub digest: u64,
+}
+
+/// Run `app` on `store` (device kernels for device stores, the reference
+/// algorithms for CPU stores), timing it in the store's native metric.
+pub fn run_app(app: App, store: &Store, root: u32) -> AppRun {
+    if let Some(run) = store.with_device_view(|dev, view| {
+        let (digest, t) = dev.timed(|d| match app {
+            App::Bfs => {
+                let dist = bfs_device(d, &view, root);
+                dist.as_slice()
+                    .iter()
+                    .filter(|&&x| x != gpma_analytics::UNREACHED)
+                    .count() as u64
+            }
+            App::ConnectedComponent => {
+                let labels = cc_device(d, &view);
+                gpma_analytics::component_count(labels.as_slice()) as u64
+            }
+            App::PageRank => {
+                let pr = pagerank_device(
+                    d,
+                    &view,
+                    gpma_analytics::DAMPING,
+                    gpma_analytics::EPSILON,
+                    gpma_analytics::MAX_ITERS,
+                );
+                pr.iterations as u64
+            }
+        });
+        AppRun {
+            seconds: t.secs(),
+            digest,
+        }
+    }) {
+        return run;
+    }
+
+    let g = store.host_graph().expect("store is neither device nor host");
+    let t0 = std::time::Instant::now();
+    let digest = match app {
+        App::Bfs => bfs_host(g, root)
+            .iter()
+            .filter(|&&x| x != gpma_analytics::UNREACHED)
+            .count() as u64,
+        App::ConnectedComponent => gpma_analytics::component_count(&cc_host(g)) as u64,
+        App::PageRank => pagerank_host(
+            g,
+            gpma_analytics::DAMPING,
+            gpma_analytics::EPSILON,
+            gpma_analytics::MAX_ITERS,
+        )
+        .iterations as u64,
+    };
+    AppRun {
+        seconds: t0.elapsed().as_secs_f64(),
+        digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approaches::{ApproachKind, Store};
+    use gpma_graph::Edge;
+    use gpma_sim::DeviceConfig;
+
+    #[test]
+    fn all_approaches_agree_on_digests() {
+        // 0→1→2→3→4 chain plus 5↔6; 7 isolated.
+        let edges: Vec<Edge> = [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (5, 6), (6, 5)]
+            .iter()
+            .map(|&(s, d)| Edge::new(s, d))
+            .collect();
+        for app in App::ALL {
+            let mut digests = Vec::new();
+            for kind in ApproachKind::ALL {
+                let store = Store::build_with(kind, 8, &edges, DeviceConfig::deterministic());
+                let run = run_app(app, &store, 0);
+                digests.push((kind.name(), run.digest));
+            }
+            let first = digests[0].1;
+            for (name, d) in &digests {
+                assert_eq!(*d, first, "{name} disagrees on {}", app.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--scale F] [--seed N] [--slides N] [--quick]
+//!
+//! EXPERIMENT: all | table1 | table2 | fig7 | fig8 | fig9 | fig10 | fig11 |
+//!             fig12 | sorted | explicit | ablation
+//! ```
+
+use gpma_bench::apps::App;
+use gpma_bench::experiments as exp;
+use gpma_bench::ExpConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cfg = ExpConfig::quick(),
+            "--scale" => {
+                cfg.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a float");
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--slides" => {
+                cfg.max_slides = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--slides needs an integer");
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        print_help();
+        return;
+    }
+    if selected.iter().any(|s| s == "all") {
+        selected = [
+            "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sorted",
+            "explicit", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    eprintln!(
+        "repro: scale={} seed={} slides={} ({} experiment(s))",
+        cfg.scale,
+        cfg.seed,
+        cfg.max_slides,
+        selected.len()
+    );
+    for s in &selected {
+        let t0 = std::time::Instant::now();
+        match s.as_str() {
+            "table1" => exp::table1(),
+            "table2" => {
+                exp::table2(&cfg);
+            }
+            "fig7" => exp::fig7(&cfg),
+            "fig8" => exp::fig_app(&cfg, App::Bfs, "fig8"),
+            "fig9" => exp::fig_app(&cfg, App::ConnectedComponent, "fig9"),
+            "fig10" => exp::fig_app(&cfg, App::PageRank, "fig10"),
+            "fig11" => exp::fig11(&cfg),
+            "fig12" => exp::fig12(&cfg),
+            "sorted" => exp::sorted_stream(&cfg),
+            "explicit" => exp::explicit_stream(&cfg),
+            "ablation" => exp::ablation(&cfg),
+            other => eprintln!("unknown experiment: {other} (see --help)"),
+        }
+        eprintln!("[{s} finished in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate the paper's evaluation\n\
+         usage: repro [EXPERIMENT ...] [--scale F] [--seed N] [--slides N] [--quick]\n\
+         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation\n\
+         defaults: --scale 0.005 --seed 42 --slides 3\n\
+         --quick: scale 0.001, 1 slide per configuration"
+    );
+}

@@ -1,0 +1,23 @@
+//! # gpma-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's Section 6 through the
+//! `repro` binary (`cargo run -p gpma-bench --release --bin repro -- all`)
+//! and exposes the uniform approach/application wrappers the Criterion
+//! benches build on.
+//!
+//! Experiment index (DESIGN.md §5): `table1`, `table2`, `fig7` (updates vs
+//! batch size), `fig8`/`fig9`/`fig10` (streaming BFS / CC / PageRank),
+//! `fig11` (PCIe overlap), `fig12` (multi-GPU), `sorted`, `explicit`,
+//! `ablation`.
+
+pub mod approaches;
+pub mod apps;
+pub mod experiments;
+pub mod report;
+
+pub use approaches::{ApproachKind, Store};
+pub use apps::{run_app, App, AppRun};
+pub use experiments::ExpConfig;
+
+/// Bytes shipped per streamed update over PCIe (key + weight + op).
+pub const BYTES_PER_UPDATE: usize = gpma_core::framework::BYTES_PER_UPDATE;

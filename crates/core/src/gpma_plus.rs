@@ -1,0 +1,582 @@
+//! GPMA+ — the lock-free, segment-oriented batch update algorithm
+//! (Section 5.2, Algorithm 4).
+//!
+//! The batch is sorted once, leaf segments are located by coalesced binary
+//! search, and updates are then processed **level by level**: updates
+//! grouped into the same segment (via run-length encoding + exclusive scan,
+//! the CUB primitives of the paper) are merged together by `TryInsert+`
+//! wherever the density threshold permits; survivors move to their parent
+//! segment. No locks are taken anywhere, thread workloads at one level are
+//! identical by construction, and the root overflow path doubles the array.
+//!
+//! Tiers (§5.2's warp/block/device optimization): segments whose window fits
+//! a block-sized scratch are merged by a single lane over fast local memory
+//! (all windows at one level have equal capacity, so these launches are
+//! perfectly balanced); larger windows switch to a fully parallel
+//! compact + rank-merge + redispatch pipeline over global memory.
+
+use gpma_graph::{Edge, UpdateBatch};
+use gpma_sim::{primitives, Device, DeviceBuffer};
+
+use crate::storage::{GpmaStorage, EMPTY};
+use crate::update::{
+    merge_parallel, merge_window_serial, merged_count_serial, prepare_updates, DeviceUpdates,
+};
+
+/// Windows with at most this many slots are merged by the warp/block tier
+/// (single lane over local scratch); larger windows use the device tier.
+pub const SMALL_WINDOW_MAX: usize = 2048;
+
+/// Per-batch statistics for GPMA+ updates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlusStats {
+    /// Tree levels visited before the batch fully applied.
+    pub levels: usize,
+    /// Segments merged by the warp/block (small) tier.
+    pub small_merges: u64,
+    /// Segments merged by the device (large) tier.
+    pub device_merges: u64,
+    /// Full-array resizes (root doublings or shrinks).
+    pub resizes: u64,
+    /// Lazily tombstoned deletions (sliding-window mode).
+    pub lazy_deletes: usize,
+}
+
+/// The GPMA+ dynamic graph store.
+pub struct GpmaPlus {
+    pub storage: GpmaStorage,
+    /// Tier threshold: windows up to this many slots use the warp/block
+    /// (serial-lane) merge; larger ones the device tier. Exposed for the
+    /// tier ablation study; leave at [`SMALL_WINDOW_MAX`] normally.
+    pub tier_max: usize,
+}
+
+impl GpmaPlus {
+    /// Bulk-build from an initial edge set.
+    pub fn build(dev: &Device, num_vertices: u32, edges: &[Edge]) -> Self {
+        GpmaPlus {
+            storage: GpmaStorage::build(dev, num_vertices, edges),
+            tier_max: SMALL_WINDOW_MAX,
+        }
+    }
+
+    /// Override the tier threshold (ablation: `0` forces every merge through
+    /// the device tier, `usize::MAX` disables it entirely).
+    pub fn with_tier_max(mut self, tier_max: usize) -> Self {
+        self.tier_max = tier_max;
+        self
+    }
+
+    /// Apply a batch with full merge semantics: deletions travel through the
+    /// segment-oriented path as first-class updates (the "dual" operation).
+    pub fn update_batch(&mut self, dev: &Device, batch: &UpdateBatch) -> PlusStats {
+        let u = prepare_updates(dev, self.storage.num_vertices(), batch);
+        self.apply_sorted(dev, u, 0)
+    }
+
+    /// Sliding-window fast path (§6.1): deletions are lazily tombstoned
+    /// (recycled by later merges), insertions take the normal path.
+    pub fn update_batch_lazy(&mut self, dev: &Device, batch: &UpdateBatch) -> PlusStats {
+        let lazy = self.storage.delete_lazy(dev, &batch.deletions);
+        let inserts = UpdateBatch {
+            insertions: batch.insertions.clone(),
+            deletions: Vec::new(),
+        };
+        let u = prepare_updates(dev, self.storage.num_vertices(), &inserts);
+        self.apply_sorted(dev, u, lazy)
+    }
+
+    /// Algorithm 4: `GpmaPlusInsertion`, generalized to mixed updates.
+    fn apply_sorted(&mut self, dev: &Device, updates: DeviceUpdates, lazy: usize) -> PlusStats {
+        let mut stats = PlusStats {
+            lazy_deletes: lazy,
+            ..Default::default()
+        };
+        if updates.is_empty() {
+            return stats;
+        }
+
+        // Line 3: locate every update's leaf segment (coalesced binary
+        // search — updates are sorted, so adjacent lanes walk the same path).
+        let mut cur = updates;
+        let mut seg_ids = DeviceBuffer::<u32>::new(cur.len);
+        {
+            let storage = &self.storage;
+            let keys = &cur.keys;
+            let sid = &seg_ids;
+            dev.launch("locate_leaves", cur.len, |lane| {
+                let k = keys.get(lane, lane.tid);
+                let leaf = storage.find_leaf(lane, k) as u32;
+                sid.set(lane, lane.tid, leaf);
+            });
+        }
+
+        let height = self.storage.geometry().height();
+        let mut level = 0usize;
+        loop {
+            if cur.is_empty() {
+                break;
+            }
+            if level > height {
+                // Line 16: root could not absorb the remainder — double.
+                self.resize_with_updates(dev, &cur);
+                stats.resizes += 1;
+                break;
+            }
+            stats.levels = level + 1;
+            let consumed = self.process_level(dev, &cur, &seg_ids, level, &mut stats);
+
+            // Lines 12-15: drop consumed updates, promote the rest.
+            let keep = DeviceBuffer::<u32>::new(cur.len);
+            {
+                let c = &consumed;
+                let k = &keep;
+                dev.launch("invert_flags", cur.len, |lane| {
+                    let v = c.get(lane, lane.tid);
+                    k.set(lane, lane.tid, 1 - v);
+                });
+            }
+            let new_keys = primitives::compact_flagged(dev, &cur.keys, &keep);
+            let new_vals = primitives::compact_flagged(dev, &cur.vals, &keep);
+            let new_ops = primitives::compact_flagged(dev, &cur.ops, &keep);
+            let new_segs = primitives::compact_flagged(dev, &seg_ids, &keep);
+            let remaining = new_keys.len();
+            {
+                let s = &new_segs;
+                if remaining > 0 {
+                    dev.launch("promote_parents", remaining, |lane| {
+                        let g = s.get(lane, lane.tid);
+                        s.set(lane, lane.tid, g >> 1);
+                    });
+                }
+            }
+            cur = DeviceUpdates {
+                keys: new_keys,
+                vals: new_vals,
+                ops: new_ops,
+                len: remaining,
+            };
+            seg_ids = new_segs;
+            level += 1;
+        }
+
+        // Post-batch shrink check (delete-heavy workloads): keep the root
+        // above its lower density bound.
+        let density = self.storage.density_config();
+        let h = self.storage.geometry().height();
+        let len = self.storage.len();
+        if !density.within_rho(len, self.storage.capacity(), h, h) && self.storage.capacity() > 128
+        {
+            let empty = DeviceUpdates {
+                keys: DeviceBuffer::new(0),
+                vals: DeviceBuffer::new(0),
+                ops: DeviceBuffer::new(0),
+                len: 0,
+            };
+            self.resize_with_updates(dev, &empty);
+            stats.resizes += 1;
+        }
+
+        self.storage.rebuild_leaf_max(dev);
+        stats
+    }
+
+    /// One level of Algorithm 4's loop: group updates into unique segments,
+    /// run `TryInsert+` on each, and return the per-update consumed flags.
+    fn process_level(
+        &mut self,
+        dev: &Device,
+        cur: &DeviceUpdates,
+        seg_ids: &DeviceBuffer<u32>,
+        level: usize,
+        stats: &mut PlusStats,
+    ) -> DeviceBuffer<u32> {
+        let geom = self.storage.geometry();
+        let height = geom.height();
+        let window_slots = geom.seg_len << level;
+        let tau = self.storage.density_config().tau(level, height);
+        let max_entries = (tau * window_slots as f64).floor() as usize;
+
+        // Line 7: UniqueSegments via RunLengthEncoding + ExclusiveScan.
+        let rle = primitives::run_length_encode_u32(dev, seg_ids);
+        let nseg = rle.num_runs;
+        let accept = DeviceBuffer::<u32>::new(nseg);
+        let nupd = cur.len;
+
+        // TryInsert+ count phase (lines 23-25): exact post-merge size vs
+        // the level's threshold. Every window at this level has identical
+        // capacity → perfectly balanced lanes (the paper's observation).
+        {
+            let storage = &self.storage;
+            let unique = &rle.unique;
+            let starts = &rle.starts;
+            let counts = &rle.counts;
+            let acc = &accept;
+            dev.launch("tryinsert_count", nseg, |lane| {
+                let j = lane.tid;
+                let g = unique.get(lane, j) as usize;
+                let s = starts.get(lane, j) as usize;
+                let c = counts.get(lane, j) as usize;
+                let window = g * window_slots..(g + 1) * window_slots;
+                let merged = merged_count_serial(lane, storage, window, cur, s..s + c);
+                acc.set(lane, j, (merged <= max_entries) as u32);
+            });
+        }
+
+        if window_slots <= self.tier_max {
+            // Warp/block tier: one lane merges each accepted segment over
+            // local scratch and redistributes evenly (lines 26-28).
+            let storage = &self.storage;
+            let seg_len = geom.seg_len;
+            let unique = &rle.unique;
+            let starts = &rle.starts;
+            let counts = &rle.counts;
+            let acc = &accept;
+            let merged_ctr = DeviceBuffer::<u64>::new(1);
+            dev.launch("tryinsert_small", nseg, |lane| {
+                let j = lane.tid;
+                if acc.get(lane, j) == 0 {
+                    return;
+                }
+                let g = unique.get(lane, j) as usize;
+                let s = starts.get(lane, j) as usize;
+                let c = counts.get(lane, j) as usize;
+                let window = g * window_slots..(g + 1) * window_slots;
+                let before = storage.count_window(lane, window.clone());
+                let merged = merge_window_serial(lane, storage, window.clone(), cur, s..s + c);
+                // Redispatch evenly across the window's leaves, left-packed.
+                let leaves = window_slots / seg_len;
+                let n = merged.len();
+                let base = n / leaves;
+                let extra = n % leaves;
+                let mut it = merged.into_iter();
+                for leaf in 0..leaves {
+                    let take = base + usize::from(leaf < extra);
+                    let start = window.start + leaf * seg_len;
+                    for i in 0..seg_len {
+                        if i < take {
+                            let (k, v) = it.next().expect("merge count mismatch");
+                            storage.keys.set(lane, start + i, k);
+                            storage.vals.set(lane, start + i, v);
+                        } else {
+                            storage.keys.set(lane, start + i, EMPTY);
+                        }
+                    }
+                }
+                storage.add_len_delta(lane, n as i64 - before as i64);
+                merged_ctr.atomic_add(lane, 0, 1);
+            });
+            stats.small_merges += merged_ctr.host_read(0);
+        } else {
+            // Device tier: few large segments; each is merged by fully
+            // parallel kernels (compaction + rank merge + redispatch).
+            let accept_host = accept.to_vec();
+            let unique_host = rle.unique.to_vec();
+            let starts_host = rle.starts.to_vec();
+            let counts_host = rle.counts.to_vec();
+            for j in 0..nseg {
+                if accept_host[j] == 0 {
+                    continue;
+                }
+                let g = unique_host[j] as usize;
+                let window = g * window_slots..(g + 1) * window_slots;
+                let ur = starts_host[j] as usize..(starts_host[j] + counts_host[j]) as usize;
+                let (a_keys, a_vals, before) = self.storage.compact_window(dev, window.clone());
+                let (mk, mv, n) = merge_parallel(dev, &a_keys, &a_vals, cur, ur);
+                self.storage.redispatch_window(dev, window, &mk, &mv, n);
+                self.storage.host_adjust_len(n as i64 - before as i64);
+                stats.device_merges += 1;
+            }
+        }
+
+        // Per-update consumed flags: an update is consumed iff its segment
+        // was accepted (binary search into the sorted unique-segment list).
+        let consumed = DeviceBuffer::<u32>::new(nupd);
+        {
+            let unique = &rle.unique;
+            let acc = &accept;
+            let cons = &consumed;
+            let sid = seg_ids;
+            dev.launch("mark_consumed", nupd, |lane| {
+                let g = sid.get(lane, lane.tid);
+                // lower_bound over unique (u32).
+                let mut lo = 0usize;
+                let mut hi = nseg;
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if unique.get(lane, mid) < g {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let a = acc.get(lane, lo);
+                cons.set(lane, lane.tid, a);
+            });
+        }
+        consumed
+    }
+
+    /// Root overflow/underflow: rebuild the whole array at ~60% density,
+    /// folding any remaining updates in via the parallel merge.
+    fn resize_with_updates(&mut self, dev: &Device, cur: &DeviceUpdates) {
+        let cap = self.storage.capacity();
+        let (a_keys, a_vals, _) = self.storage.compact_window(dev, 0..cap);
+        let (mk, mv, n) = merge_parallel(dev, &a_keys, &a_vals, cur, 0..cur.len);
+        self.storage.resize_to(dev, &mk, &mv, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use gpma_sim::DeviceConfig;
+    use std::collections::BTreeMap;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::deterministic())
+    }
+
+    fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
+        pairs.iter().map(|&(s, d)| Edge::new(s, d)).collect()
+    }
+
+    fn oracle_of(g: &GpmaPlus) -> BTreeMap<(u32, u32), u64> {
+        g.storage
+            .host_edges()
+            .into_iter()
+            .map(|e| ((e.src, e.dst), e.weight))
+            .collect()
+    }
+
+    #[test]
+    fn insert_batch_basic() {
+        let d = dev();
+        let mut g = GpmaPlus::build(&d, 8, &edges(&[(0, 1), (3, 2)]));
+        let batch = UpdateBatch {
+            insertions: edges(&[(1, 5), (7, 0), (0, 2)]),
+            deletions: vec![],
+        };
+        g.update_batch(&d, &batch);
+        g.storage.check_invariants();
+        let keys: Vec<(u32, u32)> = oracle_of(&g).into_keys().collect();
+        assert_eq!(keys, vec![(0, 1), (0, 2), (1, 5), (3, 2), (7, 0)]);
+    }
+
+    #[test]
+    fn delete_batch_through_merge_path() {
+        let d = dev();
+        let mut g = GpmaPlus::build(&d, 4, &edges(&[(0, 1), (1, 2), (2, 3), (3, 0)]));
+        let batch = UpdateBatch {
+            insertions: vec![],
+            deletions: edges(&[(1, 2), (3, 0)]),
+        };
+        g.update_batch(&d, &batch);
+        g.storage.check_invariants();
+        let keys: Vec<(u32, u32)> = oracle_of(&g).into_keys().collect();
+        assert_eq!(keys, vec![(0, 1), (2, 3)]);
+        assert_eq!(g.storage.num_edges(), 2);
+    }
+
+    #[test]
+    fn modification_updates_weight_in_place() {
+        let d = dev();
+        let mut g = GpmaPlus::build(&d, 4, &[Edge::weighted(0, 1, 5)]);
+        let before_len = g.storage.len();
+        g.update_batch(
+            &d,
+            &UpdateBatch {
+                insertions: vec![Edge::weighted(0, 1, 42)],
+                deletions: vec![],
+            },
+        );
+        assert_eq!(g.storage.len(), before_len);
+        assert_eq!(oracle_of(&g)[&(0, 1)], 42);
+    }
+
+    #[test]
+    fn fig6_batch_insertions_merge_level_by_level() {
+        // The Figure 4/6 worked example: batch {1, 4, 9, 35, 48} into a
+        // populated array. We verify the level-by-level semantics: all
+        // inserts land, order is preserved, and at least one level beyond
+        // the leaves is used when leaves are saturated.
+        let d = dev();
+        // Dense initial fill so most leaf segments are near tau.
+        let initial: Vec<Edge> = (0..48u32).map(|i| Edge::new(0, i * 2 + 2)).collect();
+        let mut g = GpmaPlus::build(&d, 128, &initial);
+        let batch = UpdateBatch {
+            insertions: edges(&[(0, 1), (0, 4 + 1), (0, 9), (0, 35), (0, 48 + 1)]),
+            deletions: vec![],
+        };
+        let stats = g.update_batch(&d, &batch);
+        g.storage.check_invariants();
+        assert!(stats.levels >= 1);
+        let m = oracle_of(&g);
+        for (_, dst) in [(0, 1u32), (0, 5), (0, 9), (0, 35), (0, 49)] {
+            assert!(m.contains_key(&(0, dst)), "missing inserted dst {dst}");
+        }
+        assert_eq!(m.len(), initial.len() + 5);
+    }
+
+    #[test]
+    fn large_batch_triggers_grow_and_matches_oracle() {
+        let d = dev();
+        let mut g = GpmaPlus::build(&d, 64, &edges(&[(0, 1)]));
+        let mut expect = BTreeMap::new();
+        expect.insert((0u32, 1u32), 1u64);
+        let ins: Vec<Edge> = (0..2000)
+            .map(|i| Edge::new((i * 37 % 64) as u32, (i * 13 % 63) as u32))
+            .filter(|e| e.src != e.dst)
+            .collect();
+        for e in &ins {
+            expect.insert((e.src, e.dst), e.weight);
+        }
+        let stats = g.update_batch(
+            &d,
+            &UpdateBatch {
+                insertions: ins,
+                deletions: vec![],
+            },
+        );
+        g.storage.check_invariants();
+        assert_eq!(oracle_of(&g), expect);
+        assert!(stats.resizes >= 1 || stats.device_merges >= 1);
+    }
+
+    #[test]
+    fn lazy_deletion_tombstones_and_recycles() {
+        let d = dev();
+        let all: Vec<Edge> = (0..100).map(|i| Edge::new(i % 10, ((i / 10)))).collect();
+        let all: Vec<Edge> = all.into_iter().filter(|e| e.src != e.dst).collect();
+        let mut g = GpmaPlus::build(&d, 10, &all);
+        let n0 = g.storage.num_edges();
+        let stats = g.update_batch_lazy(
+            &d,
+            &UpdateBatch {
+                insertions: vec![],
+                deletions: all[..20].to_vec(),
+            },
+        );
+        assert_eq!(stats.lazy_deletes, 20);
+        assert_eq!(g.storage.num_edges(), n0 - 20);
+        g.storage.check_invariants();
+        // Re-insert into the holes.
+        g.update_batch_lazy(
+            &d,
+            &UpdateBatch {
+                insertions: all[..20].to_vec(),
+                deletions: vec![],
+            },
+        );
+        assert_eq!(g.storage.num_edges(), n0);
+        g.storage.check_invariants();
+    }
+
+    #[test]
+    fn mass_delete_shrinks_capacity() {
+        let d = dev();
+        let all: Vec<Edge> = (0..60u32).flat_map(|s| [(s, (s + 1) % 60), (s, (s + 2) % 60)]).map(|(s, t)| Edge::new(s, t)).collect();
+        let mut g = GpmaPlus::build(&d, 60, &all);
+        let cap0 = g.storage.capacity();
+        let stats = g.update_batch(
+            &d,
+            &UpdateBatch {
+                insertions: vec![],
+                deletions: all,
+            },
+        );
+        g.storage.check_invariants();
+        assert_eq!(g.storage.num_edges(), 0);
+        assert!(
+            g.storage.capacity() < cap0 || stats.resizes > 0,
+            "mass deletion should shrink ({} -> {})",
+            cap0,
+            g.storage.capacity()
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let d = dev();
+        let mut g = GpmaPlus::build(&d, 4, &edges(&[(0, 1)]));
+        let before = g.storage.host_entries();
+        let stats = g.update_batch(&d, &UpdateBatch::default());
+        assert_eq!(stats, PlusStats::default());
+        assert_eq!(g.storage.host_entries(), before);
+    }
+
+    #[test]
+    fn random_mixed_batches_match_oracle() {
+        use rand::{Rng, SeedableRng};
+        let d = dev();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let n = 32u32;
+        let mut g = GpmaPlus::build(&d, n, &[]);
+        let mut oracle: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for _round in 0..20 {
+            let mut batch = UpdateBatch::default();
+            for _ in 0..rng.gen_range(1..60) {
+                let s = rng.gen_range(0..n);
+                let t = rng.gen_range(0..n - 1);
+                let t = if t == s { n - 1 } else { t };
+                if rng.gen_bool(0.7) {
+                    let w = rng.gen_range(1..100);
+                    batch.insertions.push(Edge::weighted(s, t, w));
+                } else {
+                    batch.deletions.push(Edge::new(s, t));
+                }
+            }
+            // Oracle applies deletions first, then insertions (the batch
+            // semantics fixed by prepare_updates).
+            for e in &batch.deletions {
+                oracle.remove(&(e.src, e.dst));
+            }
+            for e in &batch.insertions {
+                oracle.insert((e.src, e.dst), e.weight);
+            }
+            g.update_batch(&d, &batch);
+            g.storage.check_invariants();
+            assert_eq!(oracle_of(&g), oracle);
+        }
+    }
+
+    #[test]
+    fn update_cost_scales_with_compute_units() {
+        // Theorem 1's K-scaling: the same batch applied on a 2-SM device
+        // must take (substantially) more simulated time than on 32 SMs.
+        let mk = |sms: usize| Device::new(DeviceConfig::deterministic().with_sms(sms));
+        // Large enough that per-lane work dominates the fixed launch
+        // overhead (which does not scale with K).
+        let n = 600u32;
+        let initial: Vec<Edge> = (0..n)
+            .flat_map(|s| (0..40u32).map(move |i| Edge::new(s, (s + i + 1) % n)))
+            .collect();
+        let batch = UpdateBatch {
+            insertions: (0..30_000u64)
+                .map(|i| {
+                    let s = (i * 7 % n as u64) as u32;
+                    let t = ((i * 11 + i / 600 + 41) % n as u64) as u32;
+                    Edge::new(s, if t == s { (s + 1) % n } else { t })
+                })
+                .collect(),
+            deletions: vec![],
+        };
+        let d_slow = mk(2);
+        let mut g_slow = GpmaPlus::build(&d_slow, n, &initial);
+        let (_, t_slow) = d_slow.timed(|d| {
+            g_slow.update_batch(d, &batch);
+        });
+        let d_fast = mk(32);
+        let mut g_fast = GpmaPlus::build(&d_fast, n, &initial);
+        let (_, t_fast) = d_fast.timed(|d| {
+            g_fast.update_batch(d, &batch);
+        });
+        assert!(
+            t_slow.secs() > 1.5 * t_fast.secs(),
+            "expected K-scaling: {} vs {}",
+            t_slow.secs(),
+            t_fast.secs()
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Multi-device GPMA+ (Section 6.4): the graph is evenly partitioned by
+//! vertex index across several simulated GPUs, updates are routed to the
+//! shard owning their source vertex, and analytics synchronize all devices
+//! after each iteration with a modeled peer-to-peer exchange.
+//!
+//! Per-step time is the *makespan* (slowest device) plus communication —
+//! exactly the trade-off Figure 12 reports: update and PageRank scale with
+//! device count, while BFS/ConnectedComponent pay relatively more for
+//! synchronization.
+
+use gpma_graph::{Edge, UpdateBatch};
+use gpma_sim::pcie::Pcie;
+use gpma_sim::{Device, DeviceConfig, PcieConfig, SimTime};
+
+use crate::gpma_plus::GpmaPlus;
+
+/// Contiguous vertex-range partition over `num_shards` devices.
+#[derive(Debug, Clone, Copy)]
+pub struct VertexPartition {
+    pub num_vertices: u32,
+    pub num_shards: usize,
+}
+
+impl VertexPartition {
+    pub fn shard_of(&self, v: u32) -> usize {
+        debug_assert!(v < self.num_vertices);
+        let per = self.num_vertices.div_ceil(self.num_shards as u32).max(1);
+        ((v / per) as usize).min(self.num_shards - 1)
+    }
+
+    /// Vertex range owned by `shard`.
+    pub fn range_of(&self, shard: usize) -> std::ops::Range<u32> {
+        let per = self.num_vertices.div_ceil(self.num_shards as u32).max(1);
+        let lo = (shard as u32) * per;
+        let hi = ((shard as u32 + 1) * per).min(self.num_vertices);
+        lo.min(hi)..hi
+    }
+}
+
+/// Timing of one multi-device step.
+#[derive(Debug, Clone)]
+pub struct MultiStepTime {
+    /// Simulated compute time on each device.
+    pub per_device: Vec<SimTime>,
+    /// max(per_device).
+    pub makespan: SimTime,
+    /// Modeled inter-device synchronization time.
+    pub comm: SimTime,
+}
+
+impl MultiStepTime {
+    pub fn total(&self) -> SimTime {
+        self.makespan + self.comm
+    }
+}
+
+/// GPMA+ sharded across multiple simulated devices.
+pub struct MultiGpma {
+    devices: Vec<Device>,
+    shards: Vec<GpmaPlus>,
+    partition: VertexPartition,
+    pcie: Pcie,
+}
+
+impl MultiGpma {
+    /// Build `num_devices` shards; each shard stores the out-edges of its
+    /// vertex range (guards exist on every shard so vertex ids stay global).
+    pub fn build(
+        cfg: &DeviceConfig,
+        num_devices: usize,
+        num_vertices: u32,
+        edges: &[Edge],
+    ) -> Self {
+        assert!(num_devices >= 1);
+        let partition = VertexPartition {
+            num_vertices,
+            num_shards: num_devices,
+        };
+        let devices: Vec<Device> = (0..num_devices)
+            .map(|i| Device::named(cfg.clone(), format!("gpu{i}")))
+            .collect();
+        let mut per_shard: Vec<Vec<Edge>> = vec![Vec::new(); num_devices];
+        for e in edges {
+            per_shard[partition.shard_of(e.src)].push(*e);
+        }
+        let shards: Vec<GpmaPlus> = per_shard
+            .iter()
+            .zip(devices.iter())
+            .map(|(es, d)| GpmaPlus::build(d, num_vertices, es))
+            .collect();
+        MultiGpma {
+            devices,
+            shards,
+            partition,
+            pcie: Pcie::new(PcieConfig::default()),
+        }
+    }
+
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn partition(&self) -> VertexPartition {
+        self.partition
+    }
+
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    pub fn shards(&self) -> &[GpmaPlus] {
+        &self.shards
+    }
+
+    pub fn shards_mut(&mut self) -> &mut [GpmaPlus] {
+        &mut self.shards
+    }
+
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// Total live edges across shards.
+    pub fn num_edges(&self) -> usize {
+        self.shards.iter().map(|s| s.storage.num_edges()).sum()
+    }
+
+    /// Route a batch by source vertex and apply each sub-batch on its shard
+    /// (lazy sliding-window mode). Updates need no inter-device
+    /// communication — the reason Figure 12 shows near-linear update
+    /// scaling.
+    pub fn update_batch(&mut self, batch: &UpdateBatch) -> MultiStepTime {
+        let mut sub: Vec<UpdateBatch> = vec![UpdateBatch::default(); self.shards.len()];
+        for e in &batch.insertions {
+            sub[self.partition.shard_of(e.src)].insertions.push(*e);
+        }
+        for e in &batch.deletions {
+            sub[self.partition.shard_of(e.src)].deletions.push(*e);
+        }
+        let per_device: Vec<SimTime> = self
+            .shards
+            .iter_mut()
+            .zip(self.devices.iter())
+            .zip(sub.iter())
+            .map(|((shard, dev), b)| {
+                let (_, t) = dev.timed(|d| {
+                    shard.update_batch_lazy(d, b);
+                });
+                t
+            })
+            .collect();
+        let makespan = SimTime(per_device.iter().map(|t| t.secs()).fold(0.0, f64::max));
+        MultiStepTime {
+            per_device,
+            makespan,
+            comm: SimTime::ZERO,
+        }
+    }
+
+    /// Modeled all-to-all synchronization of `bytes_per_device` (e.g. a
+    /// frontier or rank vector slice broadcast after each iteration): a ring
+    /// exchange where every device ships its share to `D - 1` peers over
+    /// PCIe P2P.
+    pub fn allreduce_time(&self, bytes_per_device: usize) -> SimTime {
+        let d = self.devices.len();
+        if d <= 1 {
+            return SimTime::ZERO;
+        }
+        let t = self.pcie.transfer_time(bytes_per_device);
+        SimTime(t.secs() * (d - 1) as f64)
+    }
+
+    /// Makespan helper over per-device timed closures: runs `f(i, dev,
+    /// shard)` for each shard and returns the slowest simulated time.
+    pub fn parallel_step<F>(&mut self, mut f: F) -> MultiStepTime
+    where
+        F: FnMut(usize, &Device, &mut GpmaPlus),
+    {
+        let per_device: Vec<SimTime> = self
+            .shards
+            .iter_mut()
+            .zip(self.devices.iter())
+            .enumerate()
+            .map(|(i, (shard, dev))| {
+                let (_, t) = dev.timed(|d| f(i, d, shard));
+                t
+            })
+            .collect();
+        let makespan = SimTime(per_device.iter().map(|t| t.secs()).fold(0.0, f64::max));
+        MultiStepTime {
+            per_device,
+            makespan,
+            comm: SimTime::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::deterministic()
+    }
+
+    fn ring(n: u32) -> Vec<Edge> {
+        (0..n).map(|v| Edge::new(v, (v + 1) % n)).collect()
+    }
+
+    #[test]
+    fn partition_covers_all_vertices_contiguously() {
+        let p = VertexPartition {
+            num_vertices: 10,
+            num_shards: 3,
+        };
+        let mut seen = Vec::new();
+        for s in 0..3 {
+            for v in p.range_of(s) {
+                assert_eq!(p.shard_of(v), s);
+                seen.push(v);
+            }
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn build_routes_edges_by_source() {
+        let m = MultiGpma::build(&cfg(), 3, 9, &ring(9));
+        assert_eq!(m.num_edges(), 9);
+        for (i, shard) in m.shards().iter().enumerate() {
+            for e in shard.storage.host_edges() {
+                assert_eq!(m.partition().shard_of(e.src), i, "edge on wrong shard");
+            }
+        }
+    }
+
+    #[test]
+    fn update_routes_and_applies() {
+        let mut m = MultiGpma::build(&cfg(), 2, 8, &ring(8));
+        let t = m.update_batch(&UpdateBatch {
+            insertions: vec![Edge::new(0, 3), Edge::new(7, 2)],
+            deletions: vec![Edge::new(1, 2)],
+        });
+        assert_eq!(m.num_edges(), 8 + 2 - 1);
+        assert_eq!(t.per_device.len(), 2);
+        assert!(t.makespan.secs() > 0.0);
+        let all: BTreeSet<(u32, u32)> = m
+            .shards()
+            .iter()
+            .flat_map(|s| s.storage.host_edges())
+            .map(|e| (e.src, e.dst))
+            .collect();
+        assert!(all.contains(&(0, 3)) && all.contains(&(7, 2)));
+        assert!(!all.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn single_device_has_no_comm() {
+        let m = MultiGpma::build(&cfg(), 1, 4, &ring(4));
+        assert_eq!(m.allreduce_time(1 << 20).secs(), 0.0);
+        let m3 = MultiGpma::build(&cfg(), 3, 4, &ring(4));
+        assert!(m3.allreduce_time(1 << 20).secs() > 0.0);
+    }
+
+    #[test]
+    fn parallel_step_reports_makespan() {
+        let mut m = MultiGpma::build(&cfg(), 2, 8, &ring(8));
+        let t = m.parallel_step(|i, dev, _shard| {
+            // Device 1 does 10x the work; makespan must reflect it.
+            dev.launch("probe", 64, |lane| lane.work(if i == 1 { 10_000 } else { 1_000 }));
+        });
+        assert!(t.per_device[1].secs() > t.per_device[0].secs());
+        assert_eq!(t.makespan.secs(), t.per_device[1].secs());
+    }
+}

@@ -1,0 +1,575 @@
+//! Device-resident GPMA storage: the PMA slot array in simulated GPU global
+//! memory, shared by the lock-based (GPMA) and lock-free (GPMA+) update
+//! algorithms.
+//!
+//! Layout (Figure 5): one edge per slot, keyed `src << 32 | dst`, sorted with
+//! gaps (`EMPTY`). Every vertex owns an immortal *guard* entry `(v, ∞)` so
+//! row boundaries survive arbitrary edge churn. An implicit segment tree over
+//! fixed-size leaves carries the density thresholds of Figure 3. A per-leaf
+//! prefix-max array (rebuilt by a kernel after each batch) makes leaf lookup
+//! a coalesced binary search.
+
+use gpma_graph::edge::{guard_key, Edge, GUARD_DST};
+use gpma_pma::{DensityConfig, Geometry};
+use gpma_sim::{primitives, Device, DeviceBuffer, Lane};
+
+/// Gap sentinel in the device key array (same as the CPU PMA).
+pub const EMPTY: u64 = u64::MAX;
+
+/// The device-resident dynamic graph store.
+pub struct GpmaStorage {
+    /// Slot keys; `EMPTY` marks gaps.
+    pub keys: DeviceBuffer<u64>,
+    /// Slot values (edge weights; unused for guards).
+    pub vals: DeviceBuffer<u64>,
+    /// Inclusive prefix max of per-leaf max keys (empty leaves inherit),
+    /// non-decreasing — the device-side leaf index.
+    pub leaf_max_prefix: DeviceBuffer<u64>,
+    geom: Geometry,
+    density: DensityConfig,
+    num_vertices: u32,
+    /// Live entries including guards, tracked on the device so concurrent
+    /// segment merges can adjust it atomically.
+    len_counter: DeviceBuffer<u64>,
+}
+
+impl GpmaStorage {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Bulk-build from an edge list (duplicates keep the last weight).
+    /// Inserts one guard entry per vertex. Sized for ~60% root density.
+    pub fn build(dev: &Device, num_vertices: u32, edges: &[Edge]) -> Self {
+        let mut entries: Vec<(u64, u64)> = edges
+            .iter()
+            .map(|e| {
+                assert!(e.dst != GUARD_DST, "dst {} is the guard sentinel", e.dst);
+                assert!(e.src < num_vertices && e.dst < num_vertices, "edge out of range");
+                (e.key(), e.weight)
+            })
+            .collect();
+        entries.extend((0..num_vertices).map(|v| (guard_key(v), 0)));
+        entries.sort_by_key(|&(k, _)| k);
+        // Last write wins for duplicate (src, dst) pairs.
+        entries.reverse();
+        entries.dedup_by_key(|&mut (k, _)| k);
+        entries.reverse();
+
+        let n = entries.len();
+        let geom = Self::geometry_for(n);
+        let mut storage = GpmaStorage {
+            keys: DeviceBuffer::filled(EMPTY, geom.capacity()),
+            vals: DeviceBuffer::new(geom.capacity()),
+            leaf_max_prefix: DeviceBuffer::new(geom.num_segs),
+            geom,
+            density: DensityConfig::default(),
+            num_vertices,
+            len_counter: DeviceBuffer::new(1),
+        };
+        storage.len_counter.host_write(0, n as u64);
+
+        // Upload sorted entries and redispatch evenly (device kernels so the
+        // build is charged like the paper's initial load).
+        let src_keys = DeviceBuffer::from_slice(&entries.iter().map(|&(k, _)| k).collect::<Vec<_>>());
+        let src_vals = DeviceBuffer::from_slice(&entries.iter().map(|&(_, v)| v).collect::<Vec<_>>());
+        storage.redispatch_window(dev, 0..storage.geom.capacity(), &src_keys, &src_vals, n);
+        storage.rebuild_leaf_max(dev);
+        storage
+    }
+
+    /// Geometry for `n` live entries at ~60% root density.
+    fn geometry_for(n: usize) -> Geometry {
+        let min_slots = ((n as f64 / 0.6).ceil() as usize).max(64);
+        Geometry::for_capacity(min_slots)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    pub fn density_config(&self) -> DensityConfig {
+        self.density
+    }
+
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.geom.capacity()
+    }
+
+    /// Live entries (including the `num_vertices` guards).
+    pub fn len(&self) -> usize {
+        self.len_counter.host_read(0) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live real edges (excluding guards).
+    pub fn num_edges(&self) -> usize {
+        self.len() - self.num_vertices as usize
+    }
+
+    pub(crate) fn add_len_delta(&self, lane: &mut Lane, delta: i64) {
+        // Two's-complement wrapping add implements signed deltas on the u64
+        // counter (same trick CUDA code uses with atomicAdd of negatives).
+        self.len_counter.atomic_add(lane, 0, delta as u64);
+    }
+
+    /// Is the slot a live, real edge (Algorithm 2/3's `IsEntryExist`)?
+    #[inline]
+    pub fn is_entry(key: u64) -> bool {
+        key != EMPTY && (key as u32) != GUARD_DST
+    }
+
+    /// Host-side length adjustment (used by host-orchestrated merges, which
+    /// run between launches and therefore cannot race device lanes).
+    pub(crate) fn host_adjust_len(&mut self, delta: i64) {
+        let cur = self.len_counter.host_read(0);
+        self.len_counter.host_write(0, cur.wrapping_add(delta as u64));
+    }
+
+    /// Lazy deletions for the sliding-window model (§6.1): mark each slot
+    /// `EMPTY` without density maintenance; the holes are recycled by later
+    /// insert merges. A CAS guards against duplicate deletes of one key.
+    pub fn delete_lazy(&mut self, dev: &Device, edges: &[Edge]) -> usize {
+        if edges.is_empty() {
+            return 0;
+        }
+        for e in edges {
+            assert!(e.dst != GUARD_DST, "cannot delete a guard entry");
+        }
+        let del_keys =
+            DeviceBuffer::from_slice(&edges.iter().map(|e| e.key()).collect::<Vec<_>>());
+        let deleted = DeviceBuffer::<u64>::new(1);
+        let keys = &self.keys;
+        let this = &*self;
+        dev.launch("lazy_delete", edges.len(), |lane| {
+            let key = del_keys.get(lane, lane.tid);
+            if let Some(slot) = this.find_slot(lane, key) {
+                if keys.atomic_cas(lane, slot, key, EMPTY) == key {
+                    deleted.atomic_add(lane, 0, 1);
+                }
+            }
+        });
+        let n = deleted.host_read(0) as usize;
+        self.host_adjust_len(-(n as i64));
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // Leaf search
+    // ------------------------------------------------------------------
+
+    /// Rebuild the per-leaf prefix-max index with device kernels:
+    /// leaf-local max, then a blocked inclusive max-scan.
+    pub fn rebuild_leaf_max(&mut self, dev: &Device) {
+        let seg_len = self.geom.seg_len;
+        let num_segs = self.geom.num_segs;
+        let keys = &self.keys;
+        let local = DeviceBuffer::<u64>::new(num_segs);
+        dev.launch("leaf_local_max", num_segs, |lane| {
+            let l = lane.tid;
+            let mut max = 0u64;
+            for i in l * seg_len..(l + 1) * seg_len {
+                let k = keys.get(lane, i);
+                if k != EMPTY {
+                    max = max.max(k);
+                }
+            }
+            local.set(lane, l, max);
+        });
+        inclusive_max_scan(dev, &local, &self.leaf_max_prefix);
+    }
+
+    /// Device-side binary search: index of the leaf where `key` belongs
+    /// (first leaf whose prefix max is `>= key`, else the last leaf).
+    #[inline]
+    pub fn find_leaf(&self, lane: &mut Lane, key: u64) -> usize {
+        let n = self.geom.num_segs;
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.leaf_max_prefix.get(lane, mid) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo.min(n - 1)
+    }
+
+    /// Slot index of the first live entry with key `>= key`; monotone in
+    /// `key` even with mid-leaf holes from lazy deletions.
+    pub fn lower_bound_slot(&self, lane: &mut Lane, key: u64) -> usize {
+        let leaf = self.find_leaf(lane, key);
+        let seg_len = self.geom.seg_len;
+        for i in leaf * seg_len..(leaf + 1) * seg_len {
+            let k = self.keys.get(lane, i);
+            if k != EMPTY && k >= key {
+                return i;
+            }
+        }
+        (leaf + 1) * seg_len
+    }
+
+    /// Exact slot of `key`, if present.
+    pub fn find_slot(&self, lane: &mut Lane, key: u64) -> Option<usize> {
+        let leaf = self.find_leaf(lane, key);
+        let seg_len = self.geom.seg_len;
+        for i in leaf * seg_len..(leaf + 1) * seg_len {
+            let k = self.keys.get(lane, i);
+            if k == key {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Window machinery (shared by GPMA, GPMA+ and the rebuild baseline)
+    // ------------------------------------------------------------------
+
+    /// Count live entries in a slot window (serial per caller lane — the
+    /// `CountSegment` of Algorithm 4).
+    pub fn count_window(&self, lane: &mut Lane, window: std::ops::Range<usize>) -> usize {
+        let mut count = 0usize;
+        for i in window {
+            if self.keys.get(lane, i) != EMPTY {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Evenly redistribute the first `n` entries of `src_keys`/`src_vals`
+    /// (sorted) across `window`, left-packing each leaf — the "re-dispatch
+    /// entries evenly" step. Fully parallel: one lane per leaf.
+    pub fn redispatch_window(
+        &self,
+        dev: &Device,
+        window: std::ops::Range<usize>,
+        src_keys: &DeviceBuffer<u64>,
+        src_vals: &DeviceBuffer<u64>,
+        n: usize,
+    ) {
+        let seg_len = self.geom.seg_len;
+        debug_assert_eq!(window.start % seg_len, 0);
+        debug_assert_eq!(window.len() % seg_len, 0);
+        assert!(n <= window.len(), "redispatch overflow: {n} > {}", window.len());
+        let leaves = window.len() / seg_len;
+        let first_leaf = window.start / seg_len;
+        let base = n / leaves;
+        let extra = n % leaves;
+        let keys = &self.keys;
+        let vals = &self.vals;
+        dev.launch("redispatch", leaves, |lane| {
+            let j = lane.tid;
+            let take = base + usize::from(j < extra);
+            let src_from = j * base + j.min(extra);
+            let dst_from = (first_leaf + j) * seg_len;
+            for i in 0..seg_len {
+                if i < take {
+                    let k = src_keys.get(lane, src_from + i);
+                    let v = src_vals.get(lane, src_from + i);
+                    keys.set(lane, dst_from + i, k);
+                    vals.set(lane, dst_from + i, v);
+                } else {
+                    keys.set(lane, dst_from + i, EMPTY);
+                }
+            }
+        });
+    }
+
+    /// Compact the live entries of `window` into fresh contiguous buffers
+    /// (parallel flags + scan + scatter). Returns `(keys, vals, count)`.
+    pub fn compact_window(
+        &self,
+        dev: &Device,
+        window: std::ops::Range<usize>,
+    ) -> (DeviceBuffer<u64>, DeviceBuffer<u64>, usize) {
+        let len = window.len();
+        let start = window.start;
+        let keys = &self.keys;
+        let flags = DeviceBuffer::<u32>::new(len);
+        dev.launch("window_flags", len, |lane| {
+            let occupied = keys.get(lane, start + lane.tid) != EMPTY;
+            flags.set(lane, lane.tid, occupied as u32);
+        });
+        let (positions, count) = primitives::exclusive_scan_u32(dev, &flags);
+        let out_keys = DeviceBuffer::<u64>::new(count as usize);
+        let out_vals = DeviceBuffer::<u64>::new(count as usize);
+        let vals = &self.vals;
+        dev.launch("window_compact", len, |lane| {
+            let i = lane.tid;
+            if flags.get(lane, i) != 0 {
+                let p = positions.get(lane, i) as usize;
+                let k = keys.get(lane, start + i);
+                let v = vals.get(lane, start + i);
+                out_keys.set(lane, p, k);
+                out_vals.set(lane, p, v);
+            }
+        });
+        (out_keys, out_vals, count as usize)
+    }
+
+    /// Replace the whole array with `entries` (sorted, deduplicated) under a
+    /// new geometry — the grow/shrink path ("double the space of the root").
+    pub fn resize_to(
+        &mut self,
+        dev: &Device,
+        merged_keys: &DeviceBuffer<u64>,
+        merged_vals: &DeviceBuffer<u64>,
+        n: usize,
+    ) {
+        let geom = Self::geometry_for(n);
+        self.keys = DeviceBuffer::filled(EMPTY, geom.capacity());
+        self.vals = DeviceBuffer::new(geom.capacity());
+        self.leaf_max_prefix = DeviceBuffer::new(geom.num_segs);
+        self.geom = geom;
+        self.redispatch_window(dev, 0..geom.capacity(), merged_keys, merged_vals, n);
+        self.len_counter.host_write(0, n as u64);
+        self.rebuild_leaf_max(dev);
+    }
+
+    // ------------------------------------------------------------------
+    // Host-side verification helpers (tests, oracles)
+    // ------------------------------------------------------------------
+
+    /// All live entries (including guards) in key order — host readback.
+    pub fn host_entries(&self) -> Vec<(u64, u64)> {
+        let keys = self.keys.as_slice();
+        let vals = self.vals.as_slice();
+        keys.iter()
+            .zip(vals.iter())
+            .filter(|(k, _)| **k != EMPTY)
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+
+    /// Live real edges in key order — host readback.
+    pub fn host_edges(&self) -> Vec<Edge> {
+        self.host_entries()
+            .into_iter()
+            .filter(|&(k, _)| Self::is_entry(k))
+            .map(|(k, w)| {
+                let (s, d) = gpma_graph::decode_key(k);
+                Edge::weighted(s, d, w)
+            })
+            .collect()
+    }
+
+    /// Check structural invariants on the host; panics on violation.
+    pub fn check_invariants(&self) {
+        let keys = self.keys.as_slice();
+        // Sorted with gaps, no duplicates.
+        let mut prev: Option<u64> = None;
+        let mut live = 0usize;
+        for &k in keys {
+            if k == EMPTY {
+                continue;
+            }
+            live += 1;
+            if let Some(p) = prev {
+                assert!(p < k, "device keys out of order: {p:#x} !< {k:#x}");
+            }
+            prev = Some(k);
+        }
+        assert_eq!(live, self.len(), "len counter out of sync");
+        // Every vertex keeps its guard.
+        let mut guards = 0usize;
+        for &k in keys {
+            if k != EMPTY && (k as u32) == GUARD_DST {
+                guards += 1;
+            }
+        }
+        assert_eq!(guards, self.num_vertices as usize, "guards lost");
+        // Prefix-max index must never understate (overstating is legal after
+        // lazy deletions).
+        let seg_len = self.geom.seg_len;
+        let pm = self.leaf_max_prefix.as_slice();
+        let mut running = 0u64;
+        for l in 0..self.geom.num_segs {
+            let actual = keys[l * seg_len..(l + 1) * seg_len]
+                .iter()
+                .filter(|&&k| k != EMPTY)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            running = running.max(actual);
+            assert!(pm[l] >= running, "leaf {l} prefix max understated");
+            assert!(l == 0 || pm[l] >= pm[l - 1], "prefix max not monotone");
+        }
+    }
+}
+
+/// Blocked inclusive max-scan over `u64` (primitive used by the leaf index).
+pub fn inclusive_max_scan(dev: &Device, input: &DeviceBuffer<u64>, output: &DeviceBuffer<u64>) {
+    let n = input.len();
+    assert_eq!(n, output.len());
+    if n == 0 {
+        return;
+    }
+    const B: usize = primitives::BLOCK;
+    if n <= B {
+        dev.launch("max_scan_small", 1, |lane| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.max(input.get(lane, i));
+                output.set(lane, i, acc);
+            }
+        });
+        return;
+    }
+    let nb = n.div_ceil(B);
+    let block_max = DeviceBuffer::<u64>::new(nb);
+    dev.launch("max_scan_blocks", nb, |lane| {
+        let b = lane.tid;
+        let start = b * B;
+        let end = (start + B).min(n);
+        let mut acc = 0u64;
+        for i in start..end {
+            acc = acc.max(input.get(lane, i));
+        }
+        block_max.set(lane, b, acc);
+    });
+    let block_prefix = DeviceBuffer::<u64>::new(nb);
+    inclusive_max_scan(dev, &block_max, &block_prefix);
+    dev.launch("max_scan_add", nb, |lane| {
+        let b = lane.tid;
+        let start = b * B;
+        let end = (start + B).min(n);
+        let mut acc = if b > 0 { block_prefix.get(lane, b - 1) } else { 0 };
+        for i in start..end {
+            acc = acc.max(input.get(lane, i));
+            output.set(lane, i, acc);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpma_graph::encode_key;
+    use gpma_sim::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::deterministic())
+    }
+
+    fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {
+        pairs.iter().map(|&(s, d)| Edge::new(s, d)).collect()
+    }
+
+    #[test]
+    fn build_holds_edges_and_guards_sorted() {
+        let d = dev();
+        let s = GpmaStorage::build(&d, 3, &edges(&[(0, 1), (2, 0), (1, 2), (0, 2)]));
+        s.check_invariants();
+        assert_eq!(s.len(), 4 + 3);
+        assert_eq!(s.num_edges(), 4);
+        let got: Vec<(u32, u32)> = s.host_edges().iter().map(|e| (e.src, e.dst)).collect();
+        assert_eq!(got, vec![(0, 1), (0, 2), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn build_dedups_last_weight_wins() {
+        let d = dev();
+        let s = GpmaStorage::build(
+            &d,
+            2,
+            &[Edge::weighted(0, 1, 5), Edge::weighted(0, 1, 9)],
+        );
+        assert_eq!(s.num_edges(), 1);
+        assert_eq!(s.host_edges()[0].weight, 9);
+    }
+
+    #[test]
+    fn find_slot_and_lower_bound() {
+        let d = dev();
+        let s = GpmaStorage::build(&d, 4, &edges(&[(0, 1), (1, 3), (2, 2)]));
+        let mut lane = Lane::test_lane(0);
+        assert!(s.find_slot(&mut lane, encode_key(1, 3)).is_some());
+        assert!(s.find_slot(&mut lane, encode_key(1, 2)).is_none());
+        let lb = s.lower_bound_slot(&mut lane, encode_key(1, 0));
+        let k = s.keys.host_read(lb);
+        assert!(k >= encode_key(1, 0), "lower bound landed before row 1");
+    }
+
+    #[test]
+    fn compact_then_redispatch_roundtrips() {
+        let d = dev();
+        let s = GpmaStorage::build(&d, 8, &edges(&[(0, 1), (1, 2), (3, 4), (5, 6), (7, 0)]));
+        let before = s.host_entries();
+        let cap = s.capacity();
+        let (ck, cv, n) = s.compact_window(&d, 0..cap);
+        assert_eq!(n, before.len());
+        s.redispatch_window(&d, 0..cap, &ck, &cv, n);
+        assert_eq!(s.host_entries(), before);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn resize_preserves_entries() {
+        let d = dev();
+        let mut s = GpmaStorage::build(&d, 4, &edges(&[(0, 1), (1, 2), (2, 3)]));
+        let before = s.host_entries();
+        let cap = s.capacity();
+        let (ck, cv, n) = s.compact_window(&d, 0..cap);
+        s.resize_to(&d, &ck, &cv, n);
+        assert_eq!(s.host_entries(), before);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn max_scan_matches_reference() {
+        let d = dev();
+        for n in [1usize, 7, 256, 257, 5000] {
+            let data: Vec<u64> = (0..n).map(|i| ((i * 37) % 101) as u64).collect();
+            let input = DeviceBuffer::from_slice(&data);
+            let output = DeviceBuffer::new(n);
+            inclusive_max_scan(&d, &input, &output);
+            let mut acc = 0u64;
+            let expect: Vec<u64> = data
+                .iter()
+                .map(|&v| {
+                    acc = acc.max(v);
+                    acc
+                })
+                .collect();
+            assert_eq!(output.to_vec(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn count_window_counts_live_slots() {
+        let d = dev();
+        let s = GpmaStorage::build(&d, 2, &edges(&[(0, 1), (1, 0)]));
+        let mut lane = Lane::test_lane(0);
+        let total = s.count_window(&mut lane, 0..s.capacity());
+        assert_eq!(total, s.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "guard sentinel")]
+    fn guard_dst_rejected_in_edges() {
+        let d = dev();
+        GpmaStorage::build(&d, 2, &[Edge::new(0, GUARD_DST)]);
+    }
+
+    #[test]
+    fn is_entry_predicate() {
+        assert!(GpmaStorage::is_entry(encode_key(1, 2)));
+        assert!(!GpmaStorage::is_entry(EMPTY));
+        assert!(!GpmaStorage::is_entry(guard_key(5)));
+    }
+}

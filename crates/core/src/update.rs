@@ -1,0 +1,449 @@
+//! Shared update-batch plumbing: uploading, device-sorting and slicing
+//! update sets, plus the merge routines both update algorithms and the
+//! resize path use.
+
+use gpma_graph::edge::GUARD_DST;
+use gpma_graph::UpdateBatch;
+use gpma_sim::{primitives, Device, DeviceBuffer, Lane};
+
+use crate::storage::{GpmaStorage, EMPTY};
+
+/// Update operation codes (stored in a lane-visible buffer).
+pub const OP_INSERT: u32 = 0;
+pub const OP_DELETE: u32 = 1;
+
+/// A sorted update set resident on the device: `keys` ascending; for runs of
+/// equal keys the *last* element wins (update semantics).
+pub struct DeviceUpdates {
+    pub keys: DeviceBuffer<u64>,
+    pub vals: DeviceBuffer<u64>,
+    pub ops: DeviceBuffer<u32>,
+    pub len: usize,
+}
+
+impl DeviceUpdates {
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Upload a batch and radix-sort it by key on the device. Deletions are
+/// placed *before* insertions so that a slide which deletes and re-inserts
+/// the same edge nets out to the edge being present (stable sort keeps the
+/// insert last).
+pub fn prepare_updates(dev: &Device, num_vertices: u32, batch: &UpdateBatch) -> DeviceUpdates {
+    let n = batch.len();
+    let mut keys = Vec::with_capacity(n);
+    let mut vals = Vec::with_capacity(n);
+    let mut ops = Vec::with_capacity(n);
+    for e in batch.deletions.iter() {
+        validate_edge(num_vertices, e.src, e.dst);
+        keys.push(e.key());
+        vals.push(0);
+        ops.push(OP_DELETE);
+    }
+    for e in batch.insertions.iter() {
+        validate_edge(num_vertices, e.src, e.dst);
+        keys.push(e.key());
+        vals.push(e.weight);
+        ops.push(OP_INSERT);
+    }
+    let mut dkeys = DeviceBuffer::from_slice(&keys);
+    let mut idx = DeviceBuffer::from_slice(&(0..n as u64).collect::<Vec<_>>());
+    primitives::radix_sort_pairs_u64(dev, &mut dkeys, &mut idx);
+
+    // Gather the payloads into sorted order.
+    let src_vals = DeviceBuffer::from_slice(&vals);
+    let src_ops = DeviceBuffer::from_slice(&ops);
+    let out_vals = DeviceBuffer::<u64>::new(n);
+    let out_ops = DeviceBuffer::<u32>::new(n);
+    if n > 0 {
+        dev.launch("gather_payload", n, |lane| {
+            let i = lane.tid;
+            let j = idx.get(lane, i) as usize;
+            let v = src_vals.get(lane, j);
+            let o = src_ops.get(lane, j);
+            out_vals.set(lane, i, v);
+            out_ops.set(lane, i, o);
+        });
+    }
+    DeviceUpdates {
+        keys: dkeys,
+        vals: out_vals,
+        ops: out_ops,
+        len: n,
+    }
+}
+
+fn validate_edge(num_vertices: u32, src: u32, dst: u32) {
+    assert!(dst != GUARD_DST, "dst is the guard sentinel");
+    assert!(
+        src < num_vertices && dst < num_vertices,
+        "edge ({src},{dst}) outside vertex set of {num_vertices}"
+    );
+}
+
+/// Serial (per-lane) merge of a slot window with a sorted update slice,
+/// returning the merged entries. This is the work one warp/block performs in
+/// GPMA+'s small-segment tiers; the local vector models shared memory
+/// (`lane.work` charges its traffic).
+///
+/// Semantics per update run of equal keys (last wins): `INSERT` adds or
+/// overwrites; `DELETE` removes if present and is a no-op otherwise.
+pub fn merge_window_serial(
+    lane: &mut Lane,
+    storage: &GpmaStorage,
+    window: std::ops::Range<usize>,
+    u: &DeviceUpdates,
+    ur: std::ops::Range<usize>,
+) -> Vec<(u64, u64)> {
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(window.len() + ur.len());
+    let mut ui = ur.start;
+
+    // Emit all effective updates with keys strictly below `bound`.
+    macro_rules! drain_updates_below {
+        ($bound:expr) => {
+            while ui < ur.end {
+                let uk = u.keys.get(lane, ui);
+                if uk >= $bound {
+                    break;
+                }
+                // Skip to the last element of this equal-key run.
+                if ui + 1 < ur.end && u.keys.get(lane, ui + 1) == uk {
+                    ui += 1;
+                    continue;
+                }
+                if u.ops.get(lane, ui) == OP_INSERT {
+                    let v = u.vals.get(lane, ui);
+                    merged.push((uk, v));
+                    lane.work(1);
+                }
+                ui += 1;
+            }
+        };
+    }
+
+    for i in window.clone() {
+        let k = storage.keys.get(lane, i);
+        if k == EMPTY {
+            continue;
+        }
+        drain_updates_below!(k);
+        // An update run equal to the existing key overrides it.
+        if ui < ur.end && u.keys.get(lane, ui) == k {
+            while ui + 1 < ur.end && u.keys.get(lane, ui + 1) == k {
+                ui += 1;
+            }
+            if u.ops.get(lane, ui) == OP_INSERT {
+                let v = u.vals.get(lane, ui);
+                merged.push((k, v)); // modification
+            } // DELETE: drop the entry
+            ui += 1;
+        } else {
+            let v = storage.vals.get(lane, i);
+            merged.push((k, v));
+        }
+        lane.work(1);
+    }
+    drain_updates_below!(u64::MAX);
+    merged
+}
+
+/// Count-only version of [`merge_window_serial`] (Algorithm 4's
+/// `CountSegment` + `CountUpdatesInSegment` combined into an exact
+/// post-merge size).
+pub fn merged_count_serial(
+    lane: &mut Lane,
+    storage: &GpmaStorage,
+    window: std::ops::Range<usize>,
+    u: &DeviceUpdates,
+    ur: std::ops::Range<usize>,
+) -> usize {
+    let mut count = 0usize;
+    let mut ui = ur.start;
+    macro_rules! drain_updates_below {
+        ($bound:expr) => {
+            while ui < ur.end {
+                let uk = u.keys.get(lane, ui);
+                if uk >= $bound {
+                    break;
+                }
+                if ui + 1 < ur.end && u.keys.get(lane, ui + 1) == uk {
+                    ui += 1;
+                    continue;
+                }
+                if u.ops.get(lane, ui) == OP_INSERT {
+                    count += 1;
+                }
+                ui += 1;
+            }
+        };
+    }
+    for i in window.clone() {
+        let k = storage.keys.get(lane, i);
+        if k == EMPTY {
+            continue;
+        }
+        drain_updates_below!(k);
+        if ui < ur.end && u.keys.get(lane, ui) == k {
+            while ui + 1 < ur.end && u.keys.get(lane, ui + 1) == k {
+                ui += 1;
+            }
+            if u.ops.get(lane, ui) == OP_INSERT {
+                count += 1;
+            }
+            ui += 1;
+        } else {
+            count += 1;
+        }
+        lane.work(1);
+    }
+    drain_updates_below!(u64::MAX);
+    count
+}
+
+/// Fully parallel merge of compacted entries `A` with the update slice
+/// `ur` of `u` — GPMA+'s *device tier* for windows too large for one
+/// warp/block, and the engine behind resize and the rebuild baseline.
+///
+/// Returns merged `(keys, vals, count)` as fresh device buffers.
+pub fn merge_parallel(
+    dev: &Device,
+    a_keys: &DeviceBuffer<u64>,
+    a_vals: &DeviceBuffer<u64>,
+    u: &DeviceUpdates,
+    ur: std::ops::Range<usize>,
+) -> (DeviceBuffer<u64>, DeviceBuffer<u64>, usize) {
+    let na = a_keys.len();
+    let m = ur.len();
+    let ustart = ur.start;
+
+    // 1. Slice the updates into dedicated buffers (kept contiguous so the
+    //    rank kernels below are coalesced).
+    let u_keys = DeviceBuffer::<u64>::new(m);
+    let u_vals = DeviceBuffer::<u64>::new(m);
+    let u_ops = DeviceBuffer::<u32>::new(m);
+    if m > 0 {
+        let uk = &u.keys;
+        let uv = &u.vals;
+        let uo = &u.ops;
+        dev.launch("slice_updates", m, |lane| {
+            let i = lane.tid;
+            let k = uk.get(lane, ustart + i);
+            let v = uv.get(lane, ustart + i);
+            let o = uo.get(lane, ustart + i);
+            u_keys.set(lane, i, k);
+            u_vals.set(lane, i, v);
+            u_ops.set(lane, i, o);
+        });
+    }
+
+    // 2. Last-wins dedup of the updates, and drop effective DELETEs (they
+    //    act purely by overriding A below).
+    let u_flags = DeviceBuffer::<u32>::new(m);
+    if m > 0 {
+        dev.launch("dedup_updates", m, |lane| {
+            let i = lane.tid;
+            let k = u_keys.get(lane, i);
+            let is_last = i + 1 >= m || u_keys.get(lane, i + 1) != k;
+            let keep = is_last && u_ops.get(lane, i) == OP_INSERT;
+            u_flags.set(lane, i, keep as u32);
+        });
+    }
+
+    // 3. Mark surviving A entries: those whose key does NOT appear in the
+    //    updates at all (any appearance overrides: insert replaces, delete
+    //    removes).
+    let a_flags = DeviceBuffer::<u32>::new(na);
+    if na > 0 {
+        dev.launch("a_survivors", na, |lane| {
+            let i = lane.tid;
+            let k = a_keys.get(lane, i);
+            let overridden = m > 0 && binary_search_contains(lane, &u_keys, k);
+            a_flags.set(lane, i, (!overridden) as u32);
+        });
+    }
+
+    // 4. Compact both sides.
+    let a2_keys = primitives::compact_flagged(dev, a_keys, &a_flags);
+    let a2_vals = primitives::compact_flagged(dev, a_vals, &a_flags);
+    let u2_keys = primitives::compact_flagged(dev, &u_keys, &u_flags);
+    let u2_vals = primitives::compact_flagged(dev, &u_vals, &u_flags);
+    let na2 = a2_keys.len();
+    let m2 = u2_keys.len();
+    let total = na2 + m2;
+
+    // 5. Rank-merge scatter: the two sides are disjoint sorted sets, so each
+    //    element's merged position is its own index plus its rank in the
+    //    other side. One lane per element, O(log) each.
+    let out_keys = DeviceBuffer::<u64>::new(total);
+    let out_vals = DeviceBuffer::<u64>::new(total);
+    if na2 > 0 {
+        dev.launch("rank_scatter_a", na2, |lane| {
+            let i = lane.tid;
+            let k = a2_keys.get(lane, i);
+            let r = lower_bound_dev(lane, &u2_keys, k);
+            let v = a2_vals.get(lane, i);
+            out_keys.set(lane, i + r, k);
+            out_vals.set(lane, i + r, v);
+        });
+    }
+    if m2 > 0 {
+        dev.launch("rank_scatter_u", m2, |lane| {
+            let i = lane.tid;
+            let k = u2_keys.get(lane, i);
+            let r = lower_bound_dev(lane, &a2_keys, k);
+            let v = u2_vals.get(lane, i);
+            out_keys.set(lane, i + r, k);
+            out_vals.set(lane, i + r, v);
+        });
+    }
+    (out_keys, out_vals, total)
+}
+
+/// Device binary search: first index with `buf[i] >= key`.
+#[inline]
+pub fn lower_bound_dev(lane: &mut Lane, buf: &DeviceBuffer<u64>, key: u64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = buf.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if buf.get(lane, mid) < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[inline]
+fn binary_search_contains(lane: &mut Lane, buf: &DeviceBuffer<u64>, key: u64) -> bool {
+    let i = lower_bound_dev(lane, buf, key);
+    i < buf.len() && buf.get(lane, i) == key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpma_graph::{encode_key, Edge};
+    use gpma_sim::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::deterministic())
+    }
+
+    #[test]
+    fn prepare_sorts_and_orders_ops() {
+        let d = dev();
+        let batch = UpdateBatch {
+            insertions: vec![Edge::weighted(2, 1, 7), Edge::weighted(0, 5, 3)],
+            deletions: vec![Edge::new(1, 1)],
+        };
+        let u = prepare_updates(&d, 8, &batch);
+        assert_eq!(u.len, 3);
+        assert_eq!(
+            u.keys.to_vec(),
+            vec![encode_key(0, 5), encode_key(1, 1), encode_key(2, 1)]
+        );
+        assert_eq!(u.ops.to_vec(), vec![OP_INSERT, OP_DELETE, OP_INSERT]);
+        assert_eq!(u.vals.to_vec(), vec![3, 0, 7]);
+    }
+
+    #[test]
+    fn delete_then_insert_same_key_keeps_insert_last() {
+        let d = dev();
+        let batch = UpdateBatch {
+            insertions: vec![Edge::weighted(1, 2, 9)],
+            deletions: vec![Edge::new(1, 2)],
+        };
+        let u = prepare_updates(&d, 4, &batch);
+        assert_eq!(u.ops.to_vec(), vec![OP_DELETE, OP_INSERT]);
+    }
+
+    #[test]
+    fn merge_parallel_disjoint_and_overrides() {
+        let d = dev();
+        // A = keys 10,20,30; updates: delete 20, insert 25 (val 5),
+        // insert 10 (val 99, modification), insert 40.
+        let a_keys = DeviceBuffer::from_slice(&[10u64, 20, 30]);
+        let a_vals = DeviceBuffer::from_slice(&[1u64, 2, 3]);
+        let batch_keys = [10u64, 20, 25, 40];
+        let batch_vals = [99u64, 0, 5, 7];
+        let batch_ops = [OP_INSERT, OP_DELETE, OP_INSERT, OP_INSERT];
+        let u = DeviceUpdates {
+            keys: DeviceBuffer::from_slice(&batch_keys),
+            vals: DeviceBuffer::from_slice(&batch_vals),
+            ops: DeviceBuffer::from_slice(&batch_ops),
+            len: 4,
+        };
+        let (mk, mv, n) = merge_parallel(&d, &a_keys, &a_vals, &u, 0..4);
+        assert_eq!(n, 4);
+        assert_eq!(mk.to_vec(), vec![10, 25, 30, 40]);
+        assert_eq!(mv.to_vec(), vec![99, 5, 3, 7]);
+    }
+
+    #[test]
+    fn merge_parallel_last_wins_within_batch() {
+        let d = dev();
+        let a_keys = DeviceBuffer::<u64>::new(0);
+        let a_vals = DeviceBuffer::<u64>::new(0);
+        // insert 5=1, delete 5, insert 5=42 → final 5=42.
+        let u = DeviceUpdates {
+            keys: DeviceBuffer::from_slice(&[5u64, 5, 5]),
+            vals: DeviceBuffer::from_slice(&[1u64, 0, 42]),
+            ops: DeviceBuffer::from_slice(&[OP_INSERT, OP_DELETE, OP_INSERT]),
+            len: 3,
+        };
+        let (mk, mv, n) = merge_parallel(&d, &a_keys, &a_vals, &u, 0..3);
+        assert_eq!(n, 1);
+        assert_eq!(mk.to_vec(), vec![5]);
+        assert_eq!(mv.to_vec(), vec![42]);
+    }
+
+    #[test]
+    fn merge_parallel_delete_of_absent_is_noop() {
+        let d = dev();
+        let a_keys = DeviceBuffer::from_slice(&[7u64]);
+        let a_vals = DeviceBuffer::from_slice(&[1u64]);
+        let u = DeviceUpdates {
+            keys: DeviceBuffer::from_slice(&[3u64]),
+            vals: DeviceBuffer::from_slice(&[0u64]),
+            ops: DeviceBuffer::from_slice(&[OP_DELETE]),
+            len: 1,
+        };
+        let (mk, _, n) = merge_parallel(&d, &a_keys, &a_vals, &u, 0..1);
+        assert_eq!(n, 1);
+        assert_eq!(mk.to_vec(), vec![7]);
+    }
+
+    #[test]
+    fn lower_bound_dev_matches_std() {
+        let d = dev();
+        let data: Vec<u64> = vec![2, 4, 4, 8, 16];
+        let buf = DeviceBuffer::from_slice(&data);
+        let probe = DeviceBuffer::<u64>::new(6);
+        dev().launch("noop", 0, |_| {}); // keep `d` used uniformly
+        d.launch("probe", 6, |lane| {
+            let keys = [0u64, 2, 3, 4, 16, 99];
+            let r = lower_bound_dev(lane, &buf, keys[lane.tid]) as u64;
+            probe.set(lane, lane.tid, r);
+        });
+        let expect: Vec<u64> = [0u64, 2, 3, 4, 16, 99]
+            .iter()
+            .map(|&k| data.partition_point(|&x| x < k) as u64)
+            .collect();
+        assert_eq!(probe.to_vec(), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vertex set")]
+    fn prepare_rejects_out_of_range() {
+        let d = dev();
+        let batch = UpdateBatch {
+            insertions: vec![Edge::new(9, 1)],
+            deletions: vec![],
+        };
+        prepare_updates(&d, 4, &batch);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the device structures: GPMA and GPMA+ must match
+//! a sorted-map oracle under arbitrary batch sequences, preserve their
+//! structural invariants, and agree with each other.
+
+use gpma_core::{Gpma, GpmaPlus};
+use gpma_graph::{Edge, UpdateBatch};
+use gpma_sim::{Device, DeviceConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const NV: u32 = 24;
+
+#[derive(Debug, Clone)]
+struct Op {
+    src: u32,
+    dst: u32,
+    weight: u64,
+    delete: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..NV, 0..NV - 1, 1u64..100, any::<bool>()).prop_map(|(s, t, w, delete)| Op {
+        src: s,
+        dst: if t == s { NV - 1 } else { t },
+        weight: w,
+        delete,
+    })
+}
+
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    prop::collection::vec(prop::collection::vec(op_strategy(), 1..40), 1..8)
+}
+
+fn to_batch(ops: &[Op]) -> UpdateBatch {
+    let mut b = UpdateBatch::default();
+    for op in ops {
+        if op.delete {
+            b.deletions.push(Edge::new(op.src, op.dst));
+        } else {
+            b.insertions.push(Edge::weighted(op.src, op.dst, op.weight));
+        }
+    }
+    b
+}
+
+fn apply_oracle(oracle: &mut BTreeMap<(u32, u32), u64>, b: &UpdateBatch) {
+    for e in &b.deletions {
+        oracle.remove(&(e.src, e.dst));
+    }
+    for e in &b.insertions {
+        oracle.insert((e.src, e.dst), e.weight);
+    }
+}
+
+fn edges_of_plus(g: &GpmaPlus) -> BTreeMap<(u32, u32), u64> {
+    g.storage
+        .host_edges()
+        .into_iter()
+        .map(|e| ((e.src, e.dst), e.weight))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gpma_plus_matches_oracle(batches in batches_strategy()) {
+        let dev = Device::new(DeviceConfig::deterministic());
+        let mut g = GpmaPlus::build(&dev, NV, &[]);
+        let mut oracle = BTreeMap::new();
+        for ops in &batches {
+            let b = to_batch(ops);
+            g.update_batch(&dev, &b);
+            apply_oracle(&mut oracle, &b);
+            g.storage.check_invariants();
+            prop_assert_eq!(edges_of_plus(&g), oracle.clone());
+        }
+    }
+
+    #[test]
+    fn gpma_lock_based_matches_oracle(batches in batches_strategy()) {
+        let dev = Device::new(DeviceConfig::deterministic());
+        let mut g = Gpma::build(&dev, NV, &[]);
+        let mut oracle: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for ops in &batches {
+            let b = to_batch(ops);
+            g.update_batch(&dev, &b);
+            apply_oracle(&mut oracle, &b);
+            g.storage.check_invariants();
+            let got: BTreeMap<(u32, u32), u64> = g
+                .storage
+                .host_edges()
+                .into_iter()
+                .map(|e| ((e.src, e.dst), e.weight))
+                .collect();
+            prop_assert_eq!(got, oracle.clone());
+        }
+    }
+
+    #[test]
+    fn lazy_and_merge_deletion_paths_agree(batches in batches_strategy()) {
+        let dev_a = Device::new(DeviceConfig::deterministic());
+        let dev_b = Device::new(DeviceConfig::deterministic());
+        let mut lazy = GpmaPlus::build(&dev_a, NV, &[]);
+        let mut full = GpmaPlus::build(&dev_b, NV, &[]);
+        for ops in &batches {
+            let b = to_batch(ops);
+            lazy.update_batch_lazy(&dev_a, &b);
+            full.update_batch(&dev_b, &b);
+            lazy.storage.check_invariants();
+            prop_assert_eq!(edges_of_plus(&lazy), edges_of_plus(&full));
+        }
+    }
+
+    #[test]
+    fn csr_view_always_matches_reference(batches in batches_strategy()) {
+        let dev = Device::new(DeviceConfig::deterministic());
+        let mut g = GpmaPlus::build(&dev, NV, &[]);
+        for ops in &batches {
+            g.update_batch_lazy(&dev, &to_batch(ops));
+            let view = gpma_core::CsrView::build(&dev, &g.storage);
+            let got = view.to_host_csr(&g.storage);
+            got.validate().unwrap();
+            let expect = gpma_graph::Coo::new(NV, g.storage.host_edges()).to_csr();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn guards_and_len_survive_arbitrary_churn(batches in batches_strategy()) {
+        let dev = Device::new(DeviceConfig::deterministic());
+        let mut g = GpmaPlus::build(&dev, NV, &[]);
+        for ops in &batches {
+            g.update_batch(&dev, &to_batch(ops));
+        }
+        // len = edges + one immortal guard per vertex.
+        prop_assert_eq!(g.storage.len(), g.storage.num_edges() + NV as usize);
+    }
+}

@@ -1,0 +1,115 @@
+//! Edge and key encoding shared across the whole reproduction.
+//!
+//! GPMA stores one edge per PMA entry, keyed by the row-major `(src, dst)`
+//! coordinate exactly like the paper's CSR-on-GPMA (Figure 5): the 64-bit key
+//! is `src << 32 | dst`, so key order equals CSR entry order. `dst =
+//! u32::MAX` is reserved for the per-row *guard* entries of Figure 5.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier.
+pub type VertexId = u32;
+
+/// Sentinel destination for per-row guard entries `(r, ∞)`.
+pub const GUARD_DST: u32 = u32::MAX;
+
+/// Largest destination a real edge may use (one below the guard sentinel).
+pub const MAX_DST: u32 = u32::MAX - 1;
+
+/// A weighted directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub weight: u64,
+}
+
+impl Edge {
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst, weight: 1 }
+    }
+
+    pub fn weighted(src: VertexId, dst: VertexId, weight: u64) -> Self {
+        Edge { src, dst, weight }
+    }
+
+    /// Row-major 64-bit storage key.
+    pub fn key(&self) -> u64 {
+        encode_key(self.src, self.dst)
+    }
+
+    /// The reversed edge (used to symmetrize directed inputs).
+    pub fn reversed(&self) -> Edge {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+        }
+    }
+}
+
+/// `src << 32 | dst` — key order is CSR (row, column) order.
+#[inline]
+pub fn encode_key(src: VertexId, dst: VertexId) -> u64 {
+    ((src as u64) << 32) | dst as u64
+}
+
+/// Inverse of [`encode_key`].
+#[inline]
+pub fn decode_key(key: u64) -> (VertexId, VertexId) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// Guard key `(row, ∞)` for [`GUARD_DST`]-style row delimiters.
+#[inline]
+pub fn guard_key(row: VertexId) -> u64 {
+    encode_key(row, GUARD_DST)
+}
+
+/// First possible key of a row: `(row, 0)`.
+#[inline]
+pub fn row_start_key(row: VertexId) -> u64 {
+    encode_key(row, 0)
+}
+
+/// True if `key` is a guard entry.
+#[inline]
+pub fn is_guard(key: u64) -> bool {
+    (key as u32) == GUARD_DST
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        for (s, d) in [(0u32, 0u32), (1, 2), (u32::MAX - 1, 12345), (7, u32::MAX - 1)] {
+            let k = encode_key(s, d);
+            assert_eq!(decode_key(k), (s, d));
+        }
+    }
+
+    #[test]
+    fn key_order_is_row_major() {
+        assert!(encode_key(0, 100) < encode_key(1, 0));
+        assert!(encode_key(5, 3) < encode_key(5, 4));
+        assert!(encode_key(5, MAX_DST) < guard_key(5));
+        assert!(guard_key(5) < row_start_key(6));
+    }
+
+    #[test]
+    fn guard_detection() {
+        assert!(is_guard(guard_key(9)));
+        assert!(!is_guard(encode_key(9, 0)));
+        assert!(!is_guard(encode_key(9, MAX_DST)));
+    }
+
+    #[test]
+    fn edge_helpers() {
+        let e = Edge::weighted(3, 4, 9);
+        assert_eq!(e.key(), encode_key(3, 4));
+        assert_eq!(e.reversed(), Edge::weighted(4, 3, 9));
+        assert_eq!(Edge::new(1, 2).weight, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Synthetic graph generators: RMAT (the Graph500 generator of §6.1) and
+//! Erdős–Rényi G(n, m), plus the power-law sampling helper used by the
+//! dataset synthesizers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::edge::Edge;
+use crate::formats::Coo;
+
+/// Graph500 RMAT partition probabilities (a, b, c, d).
+pub const GRAPH500_PROBS: (f64, f64, f64, f64) = (0.57, 0.19, 0.19, 0.05);
+
+/// RMAT generator: recursively picks a quadrant of the adjacency matrix per
+/// bit level. Produces a heavily skewed (power-law) simple digraph with
+/// `2^scale` vertices and `num_edges` distinct edges (no self-loops).
+pub fn rmat(scale: u32, num_edges: usize, seed: u64) -> Coo {
+    let (a, b, c, _) = GRAPH500_PROBS;
+    let n = 1u64 << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(num_edges * 2);
+    let mut edges = Vec::with_capacity(num_edges);
+    let max_attempts = num_edges.saturating_mul(20).max(1024);
+    let mut attempts = 0usize;
+    while edges.len() < num_edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut src, mut dst) = (0u64, 0u64);
+        for level in (0..scale).rev() {
+            // Noise per level (±10%) keeps the degree distribution smooth,
+            // as in the Graph500 reference implementation.
+            let ab = a + b;
+            let a_n = a * rng.gen_range(0.9..1.1);
+            let ab_n = ab * rng.gen_range(0.9..1.1);
+            let abc_n = (ab + c) * rng.gen_range(0.9..1.1);
+            let r: f64 = rng.gen();
+            let (bit_s, bit_d) = if r < a_n {
+                (0u64, 0u64)
+            } else if r < ab_n {
+                (0, 1)
+            } else if r < abc_n {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src |= bit_s << level;
+            dst |= bit_d << level;
+        }
+        if src == dst || src >= n || dst >= n {
+            continue;
+        }
+        if seen.insert((src as u32, dst as u32)) {
+            edges.push(Edge::new(src as u32, dst as u32));
+        }
+    }
+    // Rare on reasonable parameters: top up with uniform pairs if RMAT kept
+    // colliding (tiny scales only).
+    top_up_uniform(&mut edges, &mut seen, n as u32, num_edges, &mut rng);
+    Coo::new(n as u32, edges)
+}
+
+/// Erdős–Rényi G(n, m): `num_edges` distinct uniform pairs, no self-loops —
+/// the paper's "Random" dataset (0.02% fill of the clique).
+pub fn erdos_renyi(num_vertices: u32, num_edges: usize, seed: u64) -> Coo {
+    assert!(num_vertices >= 2, "need at least two vertices");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(num_edges * 2);
+    let mut edges = Vec::with_capacity(num_edges);
+    top_up_uniform(&mut edges, &mut seen, num_vertices, num_edges, &mut rng);
+    Coo::new(num_vertices, edges)
+}
+
+fn top_up_uniform(
+    edges: &mut Vec<Edge>,
+    seen: &mut HashSet<(u32, u32)>,
+    n: u32,
+    target: usize,
+    rng: &mut SmallRng,
+) {
+    let possible = (n as u64) * (n as u64 - 1);
+    assert!(
+        (target as u64) <= possible,
+        "cannot place {target} distinct edges among {possible} pairs"
+    );
+    while edges.len() < target {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        if src != dst && seen.insert((src, dst)) {
+            edges.push(Edge::new(src, dst));
+        }
+    }
+}
+
+/// Approximate power-law rank sampler: returns a rank in `0..n` where rank
+/// `r` is drawn with probability roughly `∝ (r+1)^(-alpha)` for `alpha ∈
+/// (0, 1)` shaped skew (inverse-CDF approximation; exact tails are not needed
+/// — only the skew that stresses Stinger-style fixed blocks).
+pub fn powerlaw_rank(n: u32, skew: f64, rng: &mut SmallRng) -> u32 {
+    debug_assert!(n > 0);
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let r = (n as f64 * u.powf(1.0 / (1.0 - skew).max(1e-3))) as u32;
+    r.min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_produces_requested_edges() {
+        let g = rmat(10, 5_000, 1);
+        assert_eq!(g.num_vertices, 1024);
+        assert_eq!(g.num_edges(), 5_000);
+        // Simple digraph: no self loops, no duplicates.
+        let mut seen = HashSet::new();
+        for e in &g.edges {
+            assert_ne!(e.src, e.dst);
+            assert!(e.src < 1024 && e.dst < 1024);
+            assert!(seen.insert((e.src, e.dst)));
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 40_000, 2);
+        let mut deg = vec![0u32; 4096];
+        for e in &g.edges {
+            deg[e.src as usize] += 1;
+        }
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let avg = 40_000.0 / 4096.0;
+        // Power-law head: the hottest vertex far exceeds the mean.
+        assert!(deg[0] as f64 > 8.0 * avg, "max degree {} vs avg {avg}", deg[0]);
+    }
+
+    #[test]
+    fn rmat_is_deterministic_per_seed() {
+        let a = rmat(8, 1000, 7);
+        let b = rmat(8, 1000, 7);
+        let c = rmat(8, 1000, 8);
+        assert_eq!(a.edges, b.edges);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn erdos_renyi_is_uniform_ish() {
+        let g = erdos_renyi(1000, 20_000, 3);
+        assert_eq!(g.num_edges(), 20_000);
+        let mut deg = vec![0u32; 1000];
+        for e in &g.edges {
+            assert_ne!(e.src, e.dst);
+            deg[e.src as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap() as f64;
+        let avg = 20.0;
+        // Uniform graph: no power-law head (Poisson tail stays near mean).
+        assert!(max < 4.0 * avg, "max degree {max} too skewed for ER");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn erdos_renyi_rejects_impossible_density() {
+        erdos_renyi(3, 100, 0);
+    }
+
+    #[test]
+    fn powerlaw_rank_in_range_and_skewed() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            let r = powerlaw_rank(100, 0.6, &mut rng);
+            counts[r as usize] += 1;
+        }
+        assert!(counts[0] > counts[50], "rank 0 should dominate rank 50");
+        assert!(counts[0] > 2 * counts[99]);
+    }
+}

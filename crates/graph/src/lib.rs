@@ -1,0 +1,21 @@
+//! # gpma-graph — graphs, generators and streams for the GPMA reproduction
+//!
+//! Host-side graph machinery for *Accelerating Dynamic Graph Analytics on
+//! GPUs* (PVLDB 11(1), 2017):
+//!
+//! * [`edge`] — the `(src << 32 | dst)` key encoding shared with the device
+//!   structures (Figure 5), including per-row guard keys.
+//! * [`formats`] — COO and CSR host formats (§2.3) used as references.
+//! * [`gen`] — RMAT (Graph500) and Erdős–Rényi generators (§6.1).
+//! * [`datasets`] — the four Table 2 datasets as scaled synthetic streams.
+//! * [`stream`] — the sliding-window and explicit-update stream models (§3).
+
+pub mod datasets;
+pub mod edge;
+pub mod formats;
+pub mod gen;
+pub mod stream;
+
+pub use edge::{decode_key, encode_key, guard_key, is_guard, row_start_key, Edge, VertexId, GUARD_DST, MAX_DST};
+pub use formats::{Coo, Csr};
+pub use stream::{GraphStream, UpdateBatch};

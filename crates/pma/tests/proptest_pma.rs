@@ -1,0 +1,90 @@
+//! Property-based tests: the PMA must behave exactly like a sorted map under
+//! arbitrary operation sequences, and its structural invariants (sortedness,
+//! left-packing, density bookkeeping) must hold after every operation.
+
+use gpma_pma::{DensityConfig, Geometry, Pma};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0..key_space).prop_map(Op::Remove),
+        1 => (0..key_space).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pma_matches_btreemap_oracle(ops in prop::collection::vec(op_strategy(200), 1..400)) {
+        let mut pma: Pma<u64> = Pma::new();
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let newly = pma.insert(k, v);
+                    let was_absent = oracle.insert(k, v).is_none();
+                    prop_assert_eq!(newly, was_absent);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(pma.remove(k), oracle.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(pma.get(k), oracle.get(&k).copied());
+                }
+            }
+            prop_assert_eq!(pma.len(), oracle.len());
+        }
+        pma.check_invariants();
+        let got: Vec<(u64, u64)> = pma.iter().collect();
+        let expect: Vec<(u64, u64)> = oracle.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn invariants_hold_after_every_op(ops in prop::collection::vec(op_strategy(64), 1..150)) {
+        let mut pma: Pma<u64> = Pma::with_geometry(Geometry::new(8, 4), DensityConfig::default());
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => { pma.insert(k, v); }
+                Op::Remove(k) => { pma.remove(k); }
+                Op::Get(_) => {}
+            }
+            pma.check_invariants();
+        }
+    }
+
+    #[test]
+    fn range_matches_oracle(keys in prop::collection::btree_set(0u64..10_000, 0..200),
+                            lo in 0u64..10_000, len in 0u64..10_000) {
+        let hi = lo.saturating_add(len);
+        let mut pma: Pma<u64> = Pma::new();
+        for &k in &keys {
+            pma.insert(k, k);
+        }
+        let got: Vec<u64> = pma.range(lo, hi).map(|(k, _)| k).collect();
+        let expect: Vec<u64> = keys.iter().copied().filter(|&k| k >= lo && k < hi).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(keys in prop::collection::btree_set(0u64..1_000_000, 1..500)) {
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xFF)).collect();
+        let bulk = Pma::from_sorted(&pairs);
+        bulk.check_invariants();
+        let mut inc: Pma<u64> = Pma::new();
+        for &(k, v) in &pairs {
+            inc.insert(k, v);
+        }
+        prop_assert_eq!(bulk.iter().collect::<Vec<_>>(), inc.iter().collect::<Vec<_>>());
+    }
+}

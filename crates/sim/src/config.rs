@@ -1,0 +1,140 @@
+//! Device and PCIe configuration.
+//!
+//! The defaults are loosely calibrated against the paper's testbed (NVIDIA
+//! GeForce TITAN X, PCIe v3.0). Absolute numbers are not the goal — the cost
+//! model exists so that the *relative* behaviour of the update algorithms
+//! (coalescing, divergence, K-way scaling, launch overheads) matches the
+//! paper's analysis in Sections 5.1–5.2 and Theorem 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a simulated SIMT device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Number of streaming multiprocessors ("computation units", the `K` of
+    /// Theorem 1).
+    pub num_sms: usize,
+    /// Number of lanes per warp (always 32 on NVIDIA hardware).
+    pub warp_size: usize,
+    /// Warps resident per SM that the throughput model assumes can overlap
+    /// to hide latency.
+    pub warps_per_sm: usize,
+    /// Device clock in GHz; converts cycles to seconds.
+    pub clock_ghz: f64,
+    /// Size of one global-memory transaction in bytes (cache-line sized).
+    pub transaction_bytes: usize,
+    /// Fixed cycles charged per kernel launch (driver + dispatch overhead).
+    pub launch_overhead_cycles: u64,
+    /// Amortized cycles per global-memory transaction.
+    pub mem_cycles_per_transaction: u64,
+    /// Extra cycles per atomic operation on top of its memory transaction.
+    pub atomic_extra_cycles: u64,
+    /// Extra serialization cycles per intra-warp atomic address conflict.
+    pub atomic_conflict_cycles: u64,
+    /// Host threads used to actually execute kernel lanes. `0` or `1` runs
+    /// kernels inline on the calling thread (deterministic mode).
+    pub host_parallelism: usize,
+    /// Sample every `coalescing_sample`-th warp for the memory-trace
+    /// coalescing analysis; unsampled warps are extrapolated.
+    pub coalescing_sample: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            num_sms: 24,
+            warp_size: 32,
+            warps_per_sm: 4,
+            clock_ghz: 1.0,
+            transaction_bytes: 128,
+            launch_overhead_cycles: 5_000,
+            mem_cycles_per_transaction: 8,
+            atomic_extra_cycles: 16,
+            atomic_conflict_cycles: 32,
+            host_parallelism: default_host_parallelism(),
+            coalescing_sample: 16,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A deterministic single-host-thread configuration, useful in tests.
+    pub fn deterministic() -> Self {
+        DeviceConfig {
+            host_parallelism: 1,
+            coalescing_sample: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration with `k` compute units (used by the Theorem-1 scaling
+    /// experiments).
+    pub fn with_sms(mut self, k: usize) -> Self {
+        self.num_sms = k;
+        self
+    }
+
+    /// Seconds represented by `cycles` device cycles.
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Total warp-throughput denominator: how many warps' worth of work the
+    /// device retires per cycle in the throughput model.
+    pub fn parallel_warps(&self) -> u64 {
+        (self.num_sms * self.warps_per_sm).max(1) as u64
+    }
+}
+
+fn default_host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// PCIe link model (v3.0 x16 by default, as in the paper's testbed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PcieConfig {
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gb_s: f64,
+    /// Per-transfer latency in seconds (DMA setup + driver).
+    pub latency_s: f64,
+}
+
+impl Default for PcieConfig {
+    fn default() -> Self {
+        PcieConfig {
+            bandwidth_gb_s: 12.0,
+            latency_s: 10e-6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = DeviceConfig::default();
+        assert!(c.num_sms > 0);
+        assert_eq!(c.warp_size, 32);
+        assert!(c.clock_ghz > 0.0);
+        assert!(c.parallel_warps() >= c.num_sms as u64);
+    }
+
+    #[test]
+    fn cycles_to_secs_scales_with_clock() {
+        let mut c = DeviceConfig::default();
+        c.clock_ghz = 2.0;
+        assert!((c.cycles_to_secs(2_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_config_runs_inline() {
+        let c = DeviceConfig::deterministic();
+        assert_eq!(c.host_parallelism, 1);
+        assert_eq!(c.coalescing_sample, 1);
+    }
+}

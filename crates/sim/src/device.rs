@@ -1,0 +1,472 @@
+//! The simulated SIMT device: kernel launches, lanes, and the cost model.
+//!
+//! A kernel is a closure run once per logical thread ("lane"). Lanes are
+//! grouped into warps of [`DeviceConfig::warp_size`]; the cost model charges
+//! each warp the maximum lane instruction count (modelling divergence), and
+//! charges memory by coalesced 128-byte transactions measured on sampled
+//! warps. Total kernel time divides the summed warp work by the device's
+//! parallel warp throughput (`num_sms * warps_per_sm`) — this is what gives
+//! GPMA+ its `O(1 + log^2 N / K)` amortized behaviour from Theorem 1.
+
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+use crate::config::DeviceConfig;
+use crate::metrics::{DeviceMetrics, KernelStats, SimTime};
+use crate::pool::Pool;
+
+/// Per-lane execution context handed to kernel closures.
+///
+/// Tracks the lane id and instruction/memory counters that feed the cost
+/// model. Obtained only from [`Device::launch`].
+pub struct Lane {
+    /// Logical global thread id of this lane.
+    pub tid: usize,
+    ops: u64,
+    mem_ops: u64,
+    atomic_ops: u64,
+    trace: Option<Vec<u64>>,
+    atomic_trace: Option<Vec<u64>>,
+}
+
+impl Lane {
+    fn new(tid: usize, sampled: bool) -> Self {
+        Lane {
+            tid,
+            ops: 0,
+            mem_ops: 0,
+            atomic_ops: 0,
+            trace: sampled.then(Vec::new),
+            atomic_trace: sampled.then(Vec::new),
+        }
+    }
+
+    /// Construct a free-standing lane for unit tests of buffer access.
+    pub fn test_lane(tid: usize) -> Self {
+        Lane::new(tid, false)
+    }
+
+    /// Charge `n` ALU cycles of explicit compute work.
+    #[inline]
+    pub fn work(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    #[inline]
+    pub(crate) fn record_mem(&mut self, addr: u64) {
+        self.ops += 1;
+        self.mem_ops += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(addr);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_atomic(&mut self, addr: u64) {
+        self.ops += 2;
+        self.mem_ops += 1;
+        self.atomic_ops += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(addr);
+        }
+        if let Some(t) = self.atomic_trace.as_mut() {
+            t.push(addr);
+        }
+    }
+}
+
+#[derive(Default)]
+struct LaunchAccum {
+    ops: u64,
+    mem_ops: u64,
+    atomic_ops: u64,
+    warp_max_ops_sum: u64,
+    sampled_mem_ops: u64,
+    sampled_transactions: u64,
+    sampled_atomic_ops: u64,
+    sampled_atomic_conflicts: u64,
+}
+
+impl LaunchAccum {
+    fn merge(&mut self, o: &LaunchAccum) {
+        self.ops += o.ops;
+        self.mem_ops += o.mem_ops;
+        self.atomic_ops += o.atomic_ops;
+        self.warp_max_ops_sum += o.warp_max_ops_sum;
+        self.sampled_mem_ops += o.sampled_mem_ops;
+        self.sampled_transactions += o.sampled_transactions;
+        self.sampled_atomic_ops += o.sampled_atomic_ops;
+        self.sampled_atomic_conflicts += o.sampled_atomic_conflicts;
+    }
+}
+
+/// A simulated GPU.
+pub struct Device {
+    cfg: DeviceConfig,
+    pool: Pool,
+    metrics: Mutex<DeviceMetrics>,
+    name: String,
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::new(DeviceConfig::default())
+    }
+}
+
+impl Device {
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let pool = Pool::new(cfg.host_parallelism);
+        Device {
+            cfg,
+            pool,
+            metrics: Mutex::new(DeviceMetrics::default()),
+            name: "gpu0".to_string(),
+        }
+    }
+
+    pub fn named(cfg: DeviceConfig, name: impl Into<String>) -> Self {
+        let mut d = Device::new(cfg);
+        d.name = name.into();
+        d
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Launch `n` lanes executing `f`. Returns the cost-model statistics for
+    /// this kernel; the device clock advances by `stats.cycles`.
+    pub fn launch<F>(&self, name: &str, n: usize, f: F) -> KernelStats
+    where
+        F: Fn(&mut Lane) + Sync,
+    {
+        if n == 0 {
+            // Real drivers still charge a launch; an empty grid is usually a
+            // host-side bug worth seeing in the metrics.
+            let stats = KernelStats {
+                name: name.to_string(),
+                cycles: self.cfg.launch_overhead_cycles,
+                ..Default::default()
+            };
+            self.metrics.lock().record(stats.clone());
+            return stats;
+        }
+
+        let warp = self.cfg.warp_size.max(1);
+        let sample = self.cfg.coalescing_sample.max(1);
+        let tx_bytes = self.cfg.transaction_bytes.max(1) as u64;
+
+        let accum = Mutex::new(LaunchAccum::default());
+        let body = |start: usize, end: usize| {
+            let mut local = LaunchAccum::default();
+            let mut warp_start = start;
+            while warp_start < end {
+                let warp_end = (warp_start + warp).min(end);
+                let warp_id = warp_start / warp;
+                let sampled = warp_id.is_multiple_of(sample);
+                let mut traces: Vec<Vec<u64>> = Vec::new();
+                let mut atomic_traces: Vec<Vec<u64>> = Vec::new();
+                let mut warp_max_ops = 0u64;
+                for tid in warp_start..warp_end {
+                    let mut lane = Lane::new(tid, sampled);
+                    f(&mut lane);
+                    warp_max_ops = warp_max_ops.max(lane.ops);
+                    local.ops += lane.ops;
+                    local.mem_ops += lane.mem_ops;
+                    local.atomic_ops += lane.atomic_ops;
+                    if sampled {
+                        local.sampled_mem_ops += lane.mem_ops;
+                        local.sampled_atomic_ops += lane.atomic_ops;
+                        traces.push(lane.trace.take().unwrap_or_default());
+                        atomic_traces.push(lane.atomic_trace.take().unwrap_or_default());
+                    }
+                }
+                local.warp_max_ops_sum += warp_max_ops;
+                if sampled {
+                    local.sampled_transactions += coalesced_transactions(&traces, tx_bytes);
+                    local.sampled_atomic_conflicts += atomic_conflicts(&atomic_traces);
+                }
+                warp_start = warp_end;
+            }
+            accum.lock().merge(&local);
+        };
+
+        let ranges = self.partition(n, warp);
+        self.pool.run(&ranges, &body);
+
+        let acc = accum.into_inner();
+        let stats = self.cost_model(name, n, &acc);
+        self.metrics.lock().record(stats.clone());
+        stats
+    }
+
+    /// Split `n` lanes into warp-aligned chunks for the host pool.
+    fn partition(&self, n: usize, warp: usize) -> Vec<(usize, usize)> {
+        let workers = self.pool.size.max(1);
+        let target_chunks = (workers * 4).max(1);
+        let warps = n.div_ceil(warp);
+        let warps_per_chunk = warps.div_ceil(target_chunks).max(1);
+        let chunk = warps_per_chunk * warp;
+        let mut out = Vec::new();
+        let mut s = 0;
+        while s < n {
+            let e = (s + chunk).min(n);
+            out.push((s, e));
+            s = e;
+        }
+        out
+    }
+
+    fn cost_model(&self, name: &str, n: usize, acc: &LaunchAccum) -> KernelStats {
+        let warps = n.div_ceil(self.cfg.warp_size.max(1));
+        // Extrapolate coalescing from sampled warps to the full launch.
+        let tx_ratio = if acc.sampled_mem_ops > 0 {
+            acc.sampled_transactions as f64 / acc.sampled_mem_ops as f64
+        } else {
+            1.0
+        };
+        let mem_transactions = (acc.mem_ops as f64 * tx_ratio).ceil() as u64;
+        let conflict_ratio = if acc.sampled_atomic_ops > 0 {
+            acc.sampled_atomic_conflicts as f64 / acc.sampled_atomic_ops as f64
+        } else {
+            0.0
+        };
+        let atomic_conflicts = (acc.atomic_ops as f64 * conflict_ratio).round() as u64;
+
+        let compute_cycles = acc.warp_max_ops_sum;
+        let mem_cycles = mem_transactions * self.cfg.mem_cycles_per_transaction;
+        let atomic_cycles = acc.atomic_ops * self.cfg.atomic_extra_cycles
+            + atomic_conflicts * self.cfg.atomic_conflict_cycles;
+        let total_warp_cycles = compute_cycles + mem_cycles + atomic_cycles;
+        let cycles =
+            total_warp_cycles.div_ceil(self.cfg.parallel_warps()) + self.cfg.launch_overhead_cycles;
+
+        KernelStats {
+            name: name.to_string(),
+            threads: n,
+            warps,
+            cycles,
+            compute_cycles,
+            mem_transactions,
+            mem_ops: acc.mem_ops,
+            atomic_ops: acc.atomic_ops,
+            atomic_conflicts,
+            coalescing_factor: if mem_transactions > 0 {
+                acc.mem_ops as f64 / mem_transactions as f64
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Simulated seconds elapsed on this device since the last reset.
+    pub fn elapsed(&self) -> SimTime {
+        SimTime(self.cfg.cycles_to_secs(self.metrics.lock().total_cycles))
+    }
+
+    /// Advance the device clock by raw cycles (used by host-orchestrated
+    /// costs such as device-to-device copies).
+    pub fn advance_cycles(&self, cycles: u64) {
+        self.metrics.lock().total_cycles += cycles;
+    }
+
+    /// Reset the device clock and aggregate metrics (not buffer contents).
+    pub fn reset_clock(&self) {
+        *self.metrics.lock() = DeviceMetrics::default();
+    }
+
+    /// Snapshot of aggregate metrics.
+    pub fn metrics(&self) -> DeviceMetrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Run `f` while measuring the simulated time it adds to the clock.
+    pub fn timed<R>(&self, f: impl FnOnce(&Device) -> R) -> (R, SimTime) {
+        let before = self.metrics.lock().total_cycles;
+        let r = f(self);
+        let after = self.metrics.lock().total_cycles;
+        (r, SimTime(self.cfg.cycles_to_secs(after - before)))
+    }
+}
+
+/// Number of memory transactions needed for the aligned access steps of one
+/// warp: at each step, lanes hitting the same `tx_bytes` line share one
+/// transaction (the hardware coalescer).
+fn coalesced_transactions(traces: &[Vec<u64>], tx_bytes: u64) -> u64 {
+    let max_len = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut tx = 0u64;
+    let mut lines: HashSet<u64> = HashSet::new();
+    for step in 0..max_len {
+        lines.clear();
+        for t in traces {
+            if let Some(&addr) = t.get(step) {
+                lines.insert(addr / tx_bytes);
+            }
+        }
+        tx += lines.len() as u64;
+    }
+    tx
+}
+
+/// Same-address atomic collisions within a warp step (serialized by
+/// hardware).
+fn atomic_conflicts(traces: &[Vec<u64>]) -> u64 {
+    let max_len = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut conflicts = 0u64;
+    let mut seen: HashSet<u64> = HashSet::new();
+    for step in 0..max_len {
+        seen.clear();
+        let mut count = 0u64;
+        for t in traces {
+            if let Some(&addr) = t.get(step) {
+                count += 1;
+                seen.insert(addr);
+            }
+        }
+        conflicts += count - seen.len() as u64;
+    }
+    conflicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DeviceBuffer;
+
+    fn det_device() -> Device {
+        Device::new(DeviceConfig::deterministic())
+    }
+
+    #[test]
+    fn launch_executes_every_lane() {
+        let dev = det_device();
+        let out = DeviceBuffer::<u64>::new(1000);
+        dev.launch("iota", 1000, |lane| {
+            out.set(lane, lane.tid, lane.tid as u64 * 2);
+        });
+        let v = out.to_vec();
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn launch_executes_in_parallel_pool() {
+        let mut cfg = DeviceConfig::default();
+        cfg.host_parallelism = 4;
+        let dev = Device::new(cfg);
+        let out = DeviceBuffer::<u32>::new(10_000);
+        dev.launch("fill", 10_000, |lane| {
+            out.set(lane, lane.tid, 7);
+        });
+        assert!(out.to_vec().iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn clock_advances_and_resets() {
+        let dev = det_device();
+        assert_eq!(dev.elapsed().secs(), 0.0);
+        dev.launch("noop", 64, |_| {});
+        assert!(dev.elapsed().secs() > 0.0);
+        let m = dev.metrics();
+        assert_eq!(m.launches, 1);
+        dev.reset_clock();
+        assert_eq!(dev.elapsed().secs(), 0.0);
+    }
+
+    #[test]
+    fn coalesced_access_uses_fewer_transactions_than_strided() {
+        let dev = det_device();
+        let buf = DeviceBuffer::<u32>::new(32 * 64);
+        let s1 = dev.launch("coalesced", 32, |lane| {
+            let _ = buf.get(lane, lane.tid);
+        });
+        let s2 = dev.launch("strided", 32, |lane| {
+            let _ = buf.get(lane, lane.tid * 64);
+        });
+        assert!(s1.mem_transactions < s2.mem_transactions);
+        assert!(s1.coalescing_factor > s2.coalescing_factor);
+        assert!(s1.cycles < s2.cycles);
+    }
+
+    #[test]
+    fn divergence_charged_as_warp_max() {
+        let dev = det_device();
+        // One heavy lane per warp: warp cost should be ~heavy cost, not avg.
+        let s = dev.launch("divergent", 32, |lane| {
+            if lane.tid == 0 {
+                lane.work(10_000);
+            }
+        });
+        assert!(s.compute_cycles >= 10_000);
+    }
+
+    #[test]
+    fn atomic_conflicts_detected() {
+        let dev = det_device();
+        let buf = DeviceBuffer::<u32>::new(64);
+        let conflicting = dev.launch("same-addr", 32, |lane| {
+            buf.atomic_add(lane, 0, 1);
+        });
+        let disjoint = dev.launch("diff-addr", 32, |lane| {
+            buf.atomic_add(lane, lane.tid, 1);
+        });
+        assert!(conflicting.atomic_conflicts > 0);
+        assert_eq!(disjoint.atomic_conflicts, 0);
+        assert_eq!(buf.host_read(0), 33); // 32 adds + 1 from disjoint lane 0
+    }
+
+    #[test]
+    fn more_sms_means_faster_kernels() {
+        let slow = Device::new(DeviceConfig::deterministic().with_sms(1));
+        let fast = Device::new(DeviceConfig::deterministic().with_sms(32));
+        let buf_a = DeviceBuffer::<u64>::new(1 << 16);
+        let buf_b = DeviceBuffer::<u64>::new(1 << 16);
+        let sa = slow.launch("work", 1 << 16, |lane| {
+            buf_a.set(lane, lane.tid, 1);
+            lane.work(64);
+        });
+        let sb = fast.launch("work", 1 << 16, |lane| {
+            buf_b.set(lane, lane.tid, 1);
+            lane.work(64);
+        });
+        // Equal total work; the 32-SM device must be much faster.
+        assert!(sa.cycles > 4 * sb.cycles, "{} vs {}", sa.cycles, sb.cycles);
+    }
+
+    #[test]
+    fn empty_launch_charges_overhead_only() {
+        let dev = det_device();
+        let s = dev.launch("empty", 0, |_| {});
+        assert_eq!(s.cycles, dev.config().launch_overhead_cycles);
+        assert_eq!(s.threads, 0);
+    }
+
+    #[test]
+    fn timed_measures_only_inner_work() {
+        let dev = det_device();
+        dev.launch("pre", 128, |lane| lane.work(10));
+        let (_, t) = dev.timed(|d| {
+            d.launch("inner", 128, |lane| lane.work(10));
+        });
+        assert!(t.secs() > 0.0);
+        assert!(t.secs() < dev.elapsed().secs());
+    }
+
+    #[test]
+    fn atomic_counter_sums_correctly_under_parallel_pool() {
+        let mut cfg = DeviceConfig::default();
+        cfg.host_parallelism = 8;
+        let dev = Device::new(cfg);
+        let counter = DeviceBuffer::<u64>::new(1);
+        dev.launch("count", 100_000, |lane| {
+            counter.atomic_add(lane, 0, 1);
+        });
+        assert_eq!(counter.host_read(0), 100_000);
+    }
+}

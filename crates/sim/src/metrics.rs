@@ -1,0 +1,136 @@
+//! Simulated-time accounting: per-kernel statistics and the device clock.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics for a single kernel launch, produced by the cost model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KernelStats {
+    pub name: String,
+    pub threads: usize,
+    pub warps: usize,
+    /// Total device cycles this launch consumed (including launch overhead).
+    pub cycles: u64,
+    /// Sum over warps of the max lane instruction count (divergence-aware
+    /// compute work).
+    pub compute_cycles: u64,
+    /// Estimated global-memory transactions after coalescing.
+    pub mem_transactions: u64,
+    /// Raw per-lane memory operations before coalescing.
+    pub mem_ops: u64,
+    /// Atomic operations issued.
+    pub atomic_ops: u64,
+    /// Intra-warp same-address atomic conflicts observed in sampled warps,
+    /// extrapolated to the whole launch.
+    pub atomic_conflicts: u64,
+    /// `mem_ops / mem_transactions`; 32 lanes hitting one 128-byte line give
+    /// high values, fully scattered access gives ~1.
+    pub coalescing_factor: f64,
+}
+
+/// Aggregate metrics for a device since the last clock reset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeviceMetrics {
+    pub launches: u64,
+    pub total_cycles: u64,
+    pub total_mem_transactions: u64,
+    pub total_atomic_ops: u64,
+    pub total_atomic_conflicts: u64,
+    /// Ring of the most recent kernels (bounded so long benches do not
+    /// accumulate unbounded logs).
+    pub recent: Vec<KernelStats>,
+}
+
+pub(crate) const RECENT_CAP: usize = 64;
+
+impl DeviceMetrics {
+    pub(crate) fn record(&mut self, stats: KernelStats) {
+        self.launches += 1;
+        self.total_cycles += stats.cycles;
+        self.total_mem_transactions += stats.mem_transactions;
+        self.total_atomic_ops += stats.atomic_ops;
+        self.total_atomic_conflicts += stats.atomic_conflicts;
+        if self.recent.len() == RECENT_CAP {
+            self.recent.remove(0);
+        }
+        self.recent.push(stats);
+    }
+}
+
+/// A span of simulated device time, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    pub fn millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime(1.5);
+        let b = SimTime(0.5);
+        assert_eq!((a + b).secs(), 2.0);
+        assert_eq!((a - b).secs(), 1.0);
+        assert_eq!(a.millis(), 1500.0);
+        assert_eq!(b.micros(), 500_000.0);
+        let total: SimTime = [a, b].into_iter().sum();
+        assert_eq!(total.secs(), 2.0);
+    }
+
+    #[test]
+    fn metrics_ring_is_bounded() {
+        let mut m = DeviceMetrics::default();
+        for i in 0..(RECENT_CAP + 10) {
+            m.record(KernelStats {
+                name: format!("k{i}"),
+                cycles: 1,
+                ..Default::default()
+            });
+        }
+        assert_eq!(m.recent.len(), RECENT_CAP);
+        assert_eq!(m.launches, (RECENT_CAP + 10) as u64);
+        assert_eq!(m.total_cycles, (RECENT_CAP + 10) as u64);
+        assert_eq!(m.recent.last().unwrap().name, format!("k{}", RECENT_CAP + 9));
+    }
+}

@@ -1,0 +1,168 @@
+//! PCIe transfer model and the asynchronous-stream pipeline of Figure 2.
+//!
+//! The paper hides host↔device transfer behind device compute by running
+//! three asynchronous streams (graph-stream H2D, query/result transfers, and
+//! compute). [`Pipeline`] reproduces the steady-state schedule of Figure 2 and
+//! reports, per step, how much transfer time was overlapped — the data behind
+//! Figure 11.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::PcieConfig;
+use crate::metrics::SimTime;
+
+/// A modeled PCIe link.
+#[derive(Debug, Clone, Default)]
+pub struct Pcie {
+    cfg: PcieConfig,
+}
+
+impl Pcie {
+    pub fn new(cfg: PcieConfig) -> Self {
+        Pcie { cfg }
+    }
+
+    pub fn config(&self) -> &PcieConfig {
+        &self.cfg
+    }
+
+    /// Time to move `bytes` across the link in one DMA transfer.
+    pub fn transfer_time(&self, bytes: usize) -> SimTime {
+        SimTime(self.cfg.latency_s + bytes as f64 / (self.cfg.bandwidth_gb_s * 1e9))
+    }
+}
+
+/// Durations of the four activities in one steady-state pipeline step
+/// (Figure 2): send the next update batch (H2D), apply the current batch on
+/// the device, run the analytic kernel, and fetch its result (D2H).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StepCosts {
+    pub h2d_updates: SimTime,
+    pub update_compute: SimTime,
+    pub analytics_compute: SimTime,
+    pub d2h_results: SimTime,
+}
+
+/// Outcome of scheduling one steady-state step with asynchronous streams.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StepSchedule {
+    pub costs: StepCosts,
+    /// Wall time of the step with async streams (compute serializes
+    /// update→analytics; copies run concurrently on their own streams).
+    pub makespan: SimTime,
+    /// Wall time if everything were serialized on one stream.
+    pub serialized: SimTime,
+    /// True when both transfers finish strictly within the compute time,
+    /// i.e. PCIe is completely hidden (the Figure 11 claim).
+    pub transfers_hidden: bool,
+}
+
+/// Figure 2's three-stream schedule.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    pcie: Pcie,
+}
+
+impl Pipeline {
+    pub fn new(pcie: Pcie) -> Self {
+        Pipeline { pcie }
+    }
+
+    pub fn pcie(&self) -> &Pcie {
+        &self.pcie
+    }
+
+    /// Schedule one steady-state step. In steady state (Step 2/3 of Figure 2
+    /// repeating), the compute stream runs `update; analytics` while the H2D
+    /// stream ships the *next* update batch and the D2H stream returns the
+    /// *previous* result, so the step time is the max of the three streams.
+    pub fn steady_state_step(&self, costs: StepCosts) -> StepSchedule {
+        let compute = costs.update_compute + costs.analytics_compute;
+        let makespan = SimTime(
+            compute
+                .secs()
+                .max(costs.h2d_updates.secs())
+                .max(costs.d2h_results.secs()),
+        );
+        let serialized =
+            costs.h2d_updates + costs.update_compute + costs.analytics_compute + costs.d2h_results;
+        StepSchedule {
+            costs,
+            makespan,
+            serialized,
+            transfers_hidden: costs.h2d_updates.secs() <= compute.secs()
+                && costs.d2h_results.secs() <= compute.secs(),
+        }
+    }
+
+    /// Convenience: build [`StepCosts`] from byte sizes and compute times.
+    pub fn step_from_bytes(
+        &self,
+        update_bytes: usize,
+        result_bytes: usize,
+        update_compute: SimTime,
+        analytics_compute: SimTime,
+    ) -> StepSchedule {
+        self.steady_state_step(StepCosts {
+            h2d_updates: self.pcie.transfer_time(update_bytes),
+            d2h_results: self.pcie.transfer_time(result_bytes),
+            update_compute,
+            analytics_compute,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_has_latency_floor_and_bandwidth_slope() {
+        let p = Pcie::new(PcieConfig {
+            bandwidth_gb_s: 10.0,
+            latency_s: 1e-5,
+        });
+        let tiny = p.transfer_time(1);
+        assert!(tiny.secs() >= 1e-5);
+        let one_gb = p.transfer_time(1_000_000_000);
+        assert!((one_gb.secs() - (0.1 + 1e-5)).abs() < 1e-9);
+        // Monotone in bytes.
+        assert!(p.transfer_time(100).secs() < p.transfer_time(1_000_000).secs());
+    }
+
+    #[test]
+    fn transfers_hidden_when_compute_dominates() {
+        let pipe = Pipeline::new(Pcie::default());
+        let sched = pipe.steady_state_step(StepCosts {
+            h2d_updates: SimTime(0.001),
+            d2h_results: SimTime(0.002),
+            update_compute: SimTime(0.010),
+            analytics_compute: SimTime(0.020),
+        });
+        assert!(sched.transfers_hidden);
+        assert!((sched.makespan.secs() - 0.030).abs() < 1e-12);
+        assert!((sched.serialized.secs() - 0.033).abs() < 1e-12);
+        assert!(sched.makespan.secs() < sched.serialized.secs());
+    }
+
+    #[test]
+    fn transfers_visible_when_pcie_dominates() {
+        let pipe = Pipeline::new(Pcie::default());
+        let sched = pipe.steady_state_step(StepCosts {
+            h2d_updates: SimTime(0.050),
+            d2h_results: SimTime(0.001),
+            update_compute: SimTime(0.002),
+            analytics_compute: SimTime(0.003),
+        });
+        assert!(!sched.transfers_hidden);
+        assert!((sched.makespan.secs() - 0.050).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_from_bytes_uses_link_model() {
+        let pipe = Pipeline::new(Pcie::default());
+        let sched = pipe.step_from_bytes(1 << 20, 1 << 20, SimTime(1.0), SimTime(1.0));
+        assert!(sched.transfers_hidden);
+        assert_eq!(sched.makespan.secs(), 2.0);
+    }
+}

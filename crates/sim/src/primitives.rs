@@ -1,0 +1,445 @@
+//! Device-wide parallel primitives, mirroring the NVIDIA CUB operations the
+//! paper builds GPMA+ from (Section 5.2): radix sort, exclusive scan,
+//! run-length encoding, stream compaction and reduction.
+//!
+//! Every primitive is implemented as a sequence of real kernel launches on
+//! the simulated device, so it both computes the correct result and charges
+//! the cost model a linear-in-`n / K` amount of work like its CUB
+//! counterpart.
+
+use crate::buffer::{DeviceBuffer, DevicePod};
+use crate::device::Device;
+
+/// Elements each block-thread processes sequentially in the blocked kernels
+/// (the analogue of a CUDA thread block's tile).
+pub const BLOCK: usize = 256;
+
+// ----------------------------------------------------------------------
+// Exclusive scan
+// ----------------------------------------------------------------------
+
+/// Exclusive prefix sum. Returns the scanned buffer and the grand total.
+///
+/// Three-phase blocked scan (partial sums, recursive scan of block sums,
+/// offset add), the standard GPU formulation.
+pub fn exclusive_scan_u32(dev: &Device, input: &DeviceBuffer<u32>) -> (DeviceBuffer<u32>, u32) {
+    let n = input.len();
+    let out = DeviceBuffer::<u32>::new(n);
+    if n == 0 {
+        return (out, 0);
+    }
+    if n <= BLOCK {
+        let total = DeviceBuffer::<u32>::new(1);
+        dev.launch("scan_small", 1, |lane| {
+            let mut acc = 0u32;
+            for i in 0..n {
+                let v = input.get(lane, i);
+                out.set(lane, i, acc);
+                acc += v;
+            }
+            total.set(lane, 0, acc);
+        });
+        let t = total.host_read(0);
+        return (out, t);
+    }
+
+    let nb = n.div_ceil(BLOCK);
+    let block_sums = DeviceBuffer::<u32>::new(nb);
+    dev.launch("scan_block_sums", nb, |lane| {
+        let b = lane.tid;
+        let start = b * BLOCK;
+        let end = (start + BLOCK).min(n);
+        let mut acc = 0u32;
+        for i in start..end {
+            acc += input.get(lane, i);
+        }
+        block_sums.set(lane, b, acc);
+    });
+
+    let (scanned_sums, total) = exclusive_scan_u32(dev, &block_sums);
+
+    dev.launch("scan_add_offsets", nb, |lane| {
+        let b = lane.tid;
+        let start = b * BLOCK;
+        let end = (start + BLOCK).min(n);
+        let mut acc = scanned_sums.get(lane, b);
+        for i in start..end {
+            let v = input.get(lane, i);
+            out.set(lane, i, acc);
+            acc += v;
+        }
+    });
+
+    (out, total)
+}
+
+// ----------------------------------------------------------------------
+// Reduce
+// ----------------------------------------------------------------------
+
+/// Sum-reduce a `u64` buffer.
+pub fn reduce_u64(dev: &Device, input: &DeviceBuffer<u64>) -> u64 {
+    let n = input.len();
+    if n == 0 {
+        return 0;
+    }
+    if n <= BLOCK {
+        let total = DeviceBuffer::<u64>::new(1);
+        dev.launch("reduce_small", 1, |lane| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(input.get(lane, i));
+            }
+            total.set(lane, 0, acc);
+        });
+        return total.host_read(0);
+    }
+    let nb = n.div_ceil(BLOCK);
+    let partials = DeviceBuffer::<u64>::new(nb);
+    dev.launch("reduce_partials", nb, |lane| {
+        let b = lane.tid;
+        let start = b * BLOCK;
+        let end = (start + BLOCK).min(n);
+        let mut acc = 0u64;
+        for i in start..end {
+            acc = acc.wrapping_add(input.get(lane, i));
+        }
+        partials.set(lane, b, acc);
+    });
+    reduce_u64(dev, &partials)
+}
+
+// ----------------------------------------------------------------------
+// Run-length encoding
+// ----------------------------------------------------------------------
+
+/// Output of [`run_length_encode_u32`]: `unique[j]` repeats `counts[j]`
+/// times starting at input index `starts[j]`.
+pub struct Rle {
+    pub unique: DeviceBuffer<u32>,
+    pub counts: DeviceBuffer<u32>,
+    /// Exclusive scan of `counts` — the index set `I` of Algorithm 4.
+    pub starts: DeviceBuffer<u32>,
+    pub num_runs: usize,
+}
+
+/// Run-length encode a buffer (CUB `DeviceRunLengthEncode::Encode`).
+pub fn run_length_encode_u32(dev: &Device, input: &DeviceBuffer<u32>) -> Rle {
+    let n = input.len();
+    if n == 0 {
+        return Rle {
+            unique: DeviceBuffer::new(0),
+            counts: DeviceBuffer::new(0),
+            starts: DeviceBuffer::new(0),
+            num_runs: 0,
+        };
+    }
+    let flags = DeviceBuffer::<u32>::new(n);
+    dev.launch("rle_head_flags", n, |lane| {
+        let i = lane.tid;
+        let head = if i == 0 {
+            1
+        } else {
+            let prev = input.get(lane, i - 1);
+            let cur = input.get(lane, i);
+            (prev != cur) as u32
+        };
+        flags.set(lane, i, head);
+    });
+
+    let (positions, num_runs) = exclusive_scan_u32(dev, &flags);
+    let num_runs = num_runs as usize;
+
+    let unique = DeviceBuffer::<u32>::new(num_runs);
+    let run_starts = DeviceBuffer::<u32>::new(num_runs);
+    dev.launch("rle_scatter", n, |lane| {
+        let i = lane.tid;
+        if flags.get(lane, i) == 1 {
+            let p = positions.get(lane, i) as usize;
+            let v = input.get(lane, i);
+            unique.set(lane, p, v);
+            run_starts.set(lane, p, i as u32);
+        }
+    });
+
+    let counts = DeviceBuffer::<u32>::new(num_runs);
+    dev.launch("rle_counts", num_runs, |lane| {
+        let j = lane.tid;
+        let start = run_starts.get(lane, j);
+        let end = if j + 1 < num_runs {
+            run_starts.get(lane, j + 1)
+        } else {
+            n as u32
+        };
+        counts.set(lane, j, end - start);
+    });
+
+    Rle {
+        unique,
+        counts,
+        starts: run_starts,
+        num_runs,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Stream compaction
+// ----------------------------------------------------------------------
+
+/// Keep `data[i]` where `flags[i] != 0` (CUB `DeviceSelect::Flagged`).
+pub fn compact_flagged<T: DevicePod>(
+    dev: &Device,
+    data: &DeviceBuffer<T>,
+    flags: &DeviceBuffer<u32>,
+) -> DeviceBuffer<T> {
+    assert_eq!(data.len(), flags.len());
+    let n = data.len();
+    let (positions, kept) = exclusive_scan_u32(dev, flags);
+    let out = DeviceBuffer::<T>::new(kept as usize);
+    if n > 0 {
+        dev.launch("compact_scatter", n, |lane| {
+            let i = lane.tid;
+            if flags.get(lane, i) != 0 {
+                let p = positions.get(lane, i) as usize;
+                let v = data.get(lane, i);
+                out.set(lane, p, v);
+            }
+        });
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Radix sort
+// ----------------------------------------------------------------------
+
+const RADIX_BITS: u32 = 8;
+const RADIX: usize = 1 << RADIX_BITS;
+
+/// Stable LSD radix sort of `(key, value)` pairs by full 64-bit key
+/// (CUB `DeviceRadixSort::SortPairs`). Sorts in place.
+pub fn radix_sort_pairs_u64(
+    dev: &Device,
+    keys: &mut DeviceBuffer<u64>,
+    vals: &mut DeviceBuffer<u64>,
+) {
+    assert_eq!(keys.len(), vals.len());
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let nb = n.div_ceil(BLOCK);
+    let mut src_k = keys.clone();
+    let mut src_v = vals.clone();
+    let mut dst_k = DeviceBuffer::<u64>::new(n);
+    let mut dst_v = DeviceBuffer::<u64>::new(n);
+
+    for pass in 0..(64 / RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        radix_pass(dev, n, nb, shift, &src_k, &src_v, &dst_k, &dst_v);
+        std::mem::swap(&mut src_k, &mut dst_k);
+        std::mem::swap(&mut src_v, &mut dst_v);
+    }
+    // 8 passes = even number of swaps: result lives in src_k/src_v.
+    *keys = src_k;
+    *vals = src_v;
+}
+
+/// Sort a key-only buffer.
+pub fn radix_sort_u64(dev: &Device, keys: &mut DeviceBuffer<u64>) {
+    let mut dummy = DeviceBuffer::<u64>::new(keys.len());
+    radix_sort_pairs_u64(dev, keys, &mut dummy);
+}
+
+fn radix_pass(
+    dev: &Device,
+    n: usize,
+    nb: usize,
+    shift: u32,
+    src_k: &DeviceBuffer<u64>,
+    src_v: &DeviceBuffer<u64>,
+    dst_k: &DeviceBuffer<u64>,
+    dst_v: &DeviceBuffer<u64>,
+) {
+    // Column-major histogram: hist[d * nb + b] so that the exclusive scan
+    // yields digit-major/block-minor global offsets (stable order).
+    let hist = DeviceBuffer::<u32>::new(RADIX * nb);
+    dev.launch("radix_hist", nb, |lane| {
+        let b = lane.tid;
+        let start = b * BLOCK;
+        let end = (start + BLOCK).min(n);
+        let mut local = [0u32; RADIX];
+        for i in start..end {
+            let d = ((src_k.get(lane, i) >> shift) & 0xFF) as usize;
+            local[d] += 1;
+            lane.work(1);
+        }
+        for (d, &c) in local.iter().enumerate() {
+            if c > 0 {
+                hist.set(lane, d * nb + b, c);
+            }
+        }
+    });
+
+    let (offsets, _) = exclusive_scan_u32(dev, &hist);
+
+    dev.launch("radix_scatter", nb, |lane| {
+        let b = lane.tid;
+        let start = b * BLOCK;
+        let end = (start + BLOCK).min(n);
+        let mut local = [0u32; RADIX];
+        let mut used = [false; RADIX];
+        for i in start..end {
+            let k = src_k.get(lane, i);
+            let v = src_v.get(lane, i);
+            let d = ((k >> shift) & 0xFF) as usize;
+            if !used[d] {
+                local[d] = offsets.get(lane, d * nb + b);
+                used[d] = true;
+            }
+            let pos = local[d] as usize;
+            local[d] += 1;
+            dst_k.set(lane, pos, k);
+            dst_v.set(lane, pos, v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::deterministic())
+    }
+
+    fn pdev() -> Device {
+        let mut cfg = DeviceConfig::default();
+        cfg.host_parallelism = 4;
+        Device::new(cfg)
+    }
+
+    #[test]
+    fn scan_matches_reference_small_and_large() {
+        let d = dev();
+        for n in [0usize, 1, 5, BLOCK, BLOCK + 1, 4 * BLOCK + 17, 70_000] {
+            let data: Vec<u32> = (0..n).map(|i| (i % 7) as u32 + 1).collect();
+            let input = DeviceBuffer::from_slice(&data);
+            let (out, total) = exclusive_scan_u32(&d, &input);
+            let mut acc = 0u32;
+            let mut expect = Vec::with_capacity(n);
+            for &v in &data {
+                expect.push(acc);
+                acc += v;
+            }
+            assert_eq!(out.to_vec(), expect, "n={n}");
+            assert_eq!(total, acc, "n={n}");
+        }
+    }
+
+    #[test]
+    fn reduce_matches_reference() {
+        let d = dev();
+        for n in [0usize, 1, BLOCK, 3 * BLOCK + 5, 100_000] {
+            let data: Vec<u64> = (0..n).map(|i| i as u64).collect();
+            let input = DeviceBuffer::from_slice(&data);
+            assert_eq!(reduce_u64(&d, &input), data.iter().sum::<u64>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn rle_basic() {
+        let d = dev();
+        let input = DeviceBuffer::from_slice(&[3u32, 3, 3, 5, 7, 7, 9]);
+        let rle = run_length_encode_u32(&d, &input);
+        assert_eq!(rle.num_runs, 4);
+        assert_eq!(rle.unique.to_vec(), vec![3, 5, 7, 9]);
+        assert_eq!(rle.counts.to_vec(), vec![3, 1, 2, 1]);
+        assert_eq!(rle.starts.to_vec(), vec![0, 3, 4, 6]);
+    }
+
+    #[test]
+    fn rle_single_run_and_empty() {
+        let d = dev();
+        let rle = run_length_encode_u32(&d, &DeviceBuffer::from_slice(&[8u32; 1000]));
+        assert_eq!(rle.num_runs, 1);
+        assert_eq!(rle.counts.to_vec(), vec![1000]);
+        let empty = run_length_encode_u32(&d, &DeviceBuffer::new(0));
+        assert_eq!(empty.num_runs, 0);
+    }
+
+    #[test]
+    fn compact_keeps_flagged() {
+        let d = dev();
+        let data = DeviceBuffer::from_slice(&[10u64, 11, 12, 13, 14]);
+        let flags = DeviceBuffer::from_slice(&[1u32, 0, 1, 0, 1]);
+        let out = compact_flagged(&d, &data, &flags);
+        assert_eq!(out.to_vec(), vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn radix_sort_random() {
+        use rand::{Rng, SeedableRng};
+        let d = dev();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        for n in [0usize, 1, 2, 255, 256, 257, 10_000] {
+            let data: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            let mut keys = DeviceBuffer::from_slice(&data);
+            let mut vals = DeviceBuffer::from_slice(&data.iter().map(|k| k ^ 0xABCD).collect::<Vec<_>>());
+            radix_sort_pairs_u64(&d, &mut keys, &mut vals);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            assert_eq!(keys.to_vec(), expect, "n={n}");
+            // Values travel with their keys.
+            for (k, v) in keys.to_vec().into_iter().zip(vals.to_vec()) {
+                assert_eq!(v, k ^ 0xABCD);
+            }
+        }
+    }
+
+    #[test]
+    fn radix_sort_is_stable_for_equal_keys() {
+        let d = dev();
+        // Equal keys, distinguishable values in original order.
+        let keys_in: Vec<u64> = vec![5, 1, 5, 1, 5, 1, 5, 1];
+        let vals_in: Vec<u64> = (0..8).collect();
+        let mut keys = DeviceBuffer::from_slice(&keys_in);
+        let mut vals = DeviceBuffer::from_slice(&vals_in);
+        radix_sort_pairs_u64(&d, &mut keys, &mut vals);
+        assert_eq!(keys.to_vec(), vec![1, 1, 1, 1, 5, 5, 5, 5]);
+        assert_eq!(vals.to_vec(), vec![1, 3, 5, 7, 0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn radix_sort_parallel_pool_matches() {
+        use rand::{Rng, SeedableRng};
+        let d = pdev();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let data: Vec<u64> = (0..50_000).map(|_| rng.gen::<u64>()).collect();
+        let mut keys = DeviceBuffer::from_slice(&data);
+        radix_sort_u64(&d, &mut keys);
+        let mut expect = data;
+        expect.sort_unstable();
+        assert_eq!(keys.to_vec(), expect);
+    }
+
+    #[test]
+    fn primitives_advance_the_clock() {
+        let d = dev();
+        let before = d.elapsed();
+        let input = DeviceBuffer::from_slice(&vec![1u32; 10_000]);
+        let _ = exclusive_scan_u32(&d, &input);
+        assert!(d.elapsed().secs() > before.secs());
+    }
+
+    #[test]
+    fn scan_cost_scales_sublinearly_with_sms() {
+        let d1 = Device::new(DeviceConfig::deterministic().with_sms(1));
+        let d32 = Device::new(DeviceConfig::deterministic().with_sms(32));
+        let data = vec![1u32; 1 << 18];
+        let (_, _) = exclusive_scan_u32(&d1, &DeviceBuffer::from_slice(&data));
+        let (_, _) = exclusive_scan_u32(&d32, &DeviceBuffer::from_slice(&data));
+        assert!(d1.elapsed().secs() > 2.0 * d32.elapsed().secs());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: the device primitives must agree with their std
+//! reference implementations on arbitrary inputs, under both deterministic
+//! and parallel host execution.
+
+use gpma_sim::{primitives, Device, DeviceBuffer, DeviceConfig};
+use proptest::prelude::*;
+
+fn det() -> Device {
+    Device::new(DeviceConfig::deterministic())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn radix_sort_sorts_any_input(mut data in prop::collection::vec(any::<u64>(), 0..2000)) {
+        let d = det();
+        let mut keys = DeviceBuffer::from_slice(&data);
+        primitives::radix_sort_u64(&d, &mut keys);
+        data.sort_unstable();
+        prop_assert_eq!(keys.to_vec(), data);
+    }
+
+    #[test]
+    fn sort_pairs_keeps_payloads_attached(data in prop::collection::vec(any::<u64>(), 0..1000)) {
+        let d = det();
+        let vals: Vec<u64> = data.iter().map(|&k| k.wrapping_mul(31).wrapping_add(7)).collect();
+        let mut dk = DeviceBuffer::from_slice(&data);
+        let mut dv = DeviceBuffer::from_slice(&vals);
+        primitives::radix_sort_pairs_u64(&d, &mut dk, &mut dv);
+        for (k, v) in dk.to_vec().into_iter().zip(dv.to_vec()) {
+            prop_assert_eq!(v, k.wrapping_mul(31).wrapping_add(7));
+        }
+    }
+
+    #[test]
+    fn scan_matches_prefix_sums(data in prop::collection::vec(0u32..1000, 0..3000)) {
+        let d = det();
+        let (out, total) = primitives::exclusive_scan_u32(&d, &DeviceBuffer::from_slice(&data));
+        let mut acc = 0u32;
+        let expect: Vec<u32> = data.iter().map(|&v| { let p = acc; acc += v; p }).collect();
+        prop_assert_eq!(out.to_vec(), expect);
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn rle_reconstructs_input(data in prop::collection::vec(0u32..20, 0..1500)) {
+        let d = det();
+        let rle = primitives::run_length_encode_u32(&d, &DeviceBuffer::from_slice(&data));
+        let mut rebuilt = Vec::new();
+        for (u, c) in rle.unique.to_vec().into_iter().zip(rle.counts.to_vec()) {
+            rebuilt.extend(std::iter::repeat(u).take(c as usize));
+        }
+        prop_assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn compact_equals_filter(data in prop::collection::vec(any::<u64>(), 0..1500),
+                             keep_mod in 1u64..7) {
+        let d = det();
+        let flags: Vec<u32> = data.iter().map(|&v| (v % keep_mod == 0) as u32).collect();
+        let out = primitives::compact_flagged(
+            &d,
+            &DeviceBuffer::from_slice(&data),
+            &DeviceBuffer::from_slice(&flags),
+        );
+        let expect: Vec<u64> = data.iter().copied().filter(|&v| v % keep_mod == 0).collect();
+        prop_assert_eq!(out.to_vec(), expect);
+    }
+
+    #[test]
+    fn reduce_matches_sum(data in prop::collection::vec(0u64..1_000_000, 0..3000)) {
+        let d = det();
+        let got = primitives::reduce_u64(&d, &DeviceBuffer::from_slice(&data));
+        prop_assert_eq!(got, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn parallel_execution_is_equivalent(data in prop::collection::vec(any::<u64>(), 1..1200)) {
+        let par = Device::new(DeviceConfig { host_parallelism: 4, ..DeviceConfig::default() });
+        let mut a = DeviceBuffer::from_slice(&data);
+        primitives::radix_sort_u64(&par, &mut a);
+        let det_dev = det();
+        let mut b = DeviceBuffer::from_slice(&data);
+        primitives::radix_sort_u64(&det_dev, &mut b);
+        prop_assert_eq!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn cost_model_is_deterministic(n in 1usize..3000, work in 1u64..100) {
+        let run = || {
+            let d = det();
+            let buf = DeviceBuffer::<u64>::new(n);
+            let s = d.launch("k", n, |lane| {
+                buf.set(lane, lane.tid, lane.tid as u64);
+                lane.work(work);
+            });
+            s.cycles
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
