@@ -92,9 +92,10 @@ mod tests {
 
     #[test]
     fn atomic_add_accumulates_under_contention() {
-        let mut cfg = DeviceConfig::default();
-        cfg.host_parallelism = 8;
-        let d = Device::new(cfg);
+        let d = Device::new(DeviceConfig {
+            host_parallelism: 8,
+            ..DeviceConfig::default()
+        });
         let acc = filled_f64(0.0, 1);
         d.launch("madd", 10_000, |lane| {
             atomic_add_f64(lane, &acc, 0, 0.5);

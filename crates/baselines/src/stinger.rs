@@ -278,7 +278,6 @@ mod tests {
 
     #[test]
     fn chains_grow_past_one_block() {
-        let mut g = StingerGraph::new(2);
         let ins: Vec<Edge> = (0..50u32).map(|i| Edge::new(0, i % 2 + 2)).collect();
         // Only 2 distinct dsts — dedup via modification.
         let mut g2 = StingerGraph::new(4);
@@ -286,7 +285,7 @@ mod tests {
         assert_eq!(g2.num_edges(), 2);
         // Distinct dsts exceed a block.
         let ins: Vec<Edge> = (0..50u32).map(|i| Edge::new(1, i)).collect();
-        g = StingerGraph::new(64);
+        let mut g = StingerGraph::new(64);
         g.update_batch(&UpdateBatch { insertions: ins, deletions: vec![] });
         assert_eq!(g.out_degree(1), 50);
         assert!(g.chains[1].len() >= 50usize.div_ceil(BLOCK_EDGES));

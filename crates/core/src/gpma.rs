@@ -266,9 +266,10 @@ mod tests {
     }
 
     fn pdev() -> Device {
-        let mut cfg = DeviceConfig::default();
-        cfg.host_parallelism = 8;
-        Device::new(cfg)
+        Device::new(DeviceConfig {
+            host_parallelism: 8,
+            ..DeviceConfig::default()
+        })
     }
 
     fn edges(pairs: &[(u32, u32)]) -> Vec<Edge> {

@@ -447,7 +447,7 @@ mod tests {
     #[test]
     fn lazy_deletion_tombstones_and_recycles() {
         let d = dev();
-        let all: Vec<Edge> = (0..100).map(|i| Edge::new(i % 10, ((i / 10)))).collect();
+        let all: Vec<Edge> = (0..100).map(|i| Edge::new(i % 10, i / 10)).collect();
         let all: Vec<Edge> = all.into_iter().filter(|e| e.src != e.dst).collect();
         let mut g = GpmaPlus::build(&d, 10, &all);
         let n0 = g.storage.num_edges();

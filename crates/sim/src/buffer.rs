@@ -80,7 +80,7 @@ impl<T: DevicePod> DeviceBuffer<T> {
         let cells: Vec<SyncCell<T>> = data.iter().map(|&v| SyncCell(UnsafeCell::new(v))).collect();
         DeviceBuffer {
             cells: cells.into_boxed_slice(),
-            vbase: alloc_vbase(data.len() * std::mem::size_of::<T>()),
+            vbase: alloc_vbase(std::mem::size_of_val(data)),
         }
     }
 

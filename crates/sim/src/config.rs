@@ -126,8 +126,10 @@ mod tests {
 
     #[test]
     fn cycles_to_secs_scales_with_clock() {
-        let mut c = DeviceConfig::default();
-        c.clock_ghz = 2.0;
+        let c = DeviceConfig {
+            clock_ghz: 2.0,
+            ..DeviceConfig::default()
+        };
         assert!((c.cycles_to_secs(2_000_000_000) - 1.0).abs() < 1e-12);
     }
 

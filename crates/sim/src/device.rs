@@ -357,9 +357,10 @@ mod tests {
 
     #[test]
     fn launch_executes_in_parallel_pool() {
-        let mut cfg = DeviceConfig::default();
-        cfg.host_parallelism = 4;
-        let dev = Device::new(cfg);
+        let dev = Device::new(DeviceConfig {
+            host_parallelism: 4,
+            ..DeviceConfig::default()
+        });
         let out = DeviceBuffer::<u32>::new(10_000);
         dev.launch("fill", 10_000, |lane| {
             out.set(lane, lane.tid, 7);
@@ -460,9 +461,10 @@ mod tests {
 
     #[test]
     fn atomic_counter_sums_correctly_under_parallel_pool() {
-        let mut cfg = DeviceConfig::default();
-        cfg.host_parallelism = 8;
-        let dev = Device::new(cfg);
+        let dev = Device::new(DeviceConfig {
+            host_parallelism: 8,
+            ..DeviceConfig::default()
+        });
         let counter = DeviceBuffer::<u64>::new(1);
         dev.launch("count", 100_000, |lane| {
             counter.atomic_add(lane, 0, 1);

@@ -236,7 +236,18 @@ pub fn radix_sort_pairs_u64(
 
     for pass in 0..(64 / RADIX_BITS) {
         let shift = pass * RADIX_BITS;
-        radix_pass(dev, n, nb, shift, &src_k, &src_v, &dst_k, &dst_v);
+        radix_pass(
+            dev,
+            n,
+            nb,
+            shift,
+            PassBufs {
+                src_k: &src_k,
+                src_v: &src_v,
+                dst_k: &dst_k,
+                dst_v: &dst_v,
+            },
+        );
         std::mem::swap(&mut src_k, &mut dst_k);
         std::mem::swap(&mut src_v, &mut dst_v);
     }
@@ -251,16 +262,22 @@ pub fn radix_sort_u64(dev: &Device, keys: &mut DeviceBuffer<u64>) {
     radix_sort_pairs_u64(dev, keys, &mut dummy);
 }
 
-fn radix_pass(
-    dev: &Device,
-    n: usize,
-    nb: usize,
-    shift: u32,
-    src_k: &DeviceBuffer<u64>,
-    src_v: &DeviceBuffer<u64>,
-    dst_k: &DeviceBuffer<u64>,
-    dst_v: &DeviceBuffer<u64>,
-) {
+/// The ping-pong buffer set one radix pass reads from and scatters into.
+#[derive(Clone, Copy)]
+struct PassBufs<'a> {
+    src_k: &'a DeviceBuffer<u64>,
+    src_v: &'a DeviceBuffer<u64>,
+    dst_k: &'a DeviceBuffer<u64>,
+    dst_v: &'a DeviceBuffer<u64>,
+}
+
+fn radix_pass(dev: &Device, n: usize, nb: usize, shift: u32, bufs: PassBufs<'_>) {
+    let PassBufs {
+        src_k,
+        src_v,
+        dst_k,
+        dst_v,
+    } = bufs;
     // Column-major histogram: hist[d * nb + b] so that the exclusive scan
     // yields digit-major/block-minor global offsets (stable order).
     let hist = DeviceBuffer::<u32>::new(RADIX * nb);
@@ -315,9 +332,10 @@ mod tests {
     }
 
     fn pdev() -> Device {
-        let mut cfg = DeviceConfig::default();
-        cfg.host_parallelism = 4;
-        Device::new(cfg)
+        Device::new(DeviceConfig {
+            host_parallelism: 4,
+            ..DeviceConfig::default()
+        })
     }
 
     #[test]

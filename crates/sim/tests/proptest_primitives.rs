@@ -49,7 +49,7 @@ proptest! {
         let rle = primitives::run_length_encode_u32(&d, &DeviceBuffer::from_slice(&data));
         let mut rebuilt = Vec::new();
         for (u, c) in rle.unique.to_vec().into_iter().zip(rle.counts.to_vec()) {
-            rebuilt.extend(std::iter::repeat(u).take(c as usize));
+            rebuilt.extend(std::iter::repeat_n(u, c as usize));
         }
         prop_assert_eq!(rebuilt, data);
     }

@@ -9,7 +9,7 @@
 //! collusion clusters), using the device CC kernel.
 //!
 //! ```sh
-//! cargo run -p gpma-bench --release --example fraud_rings
+//! cargo run --release --example fraud_rings
 //! ```
 
 use gpma_analytics::{cc_device, GpmaView};

@@ -3,7 +3,7 @@
 //! Figure 12 experiment as a library walkthrough.
 //!
 //! ```sh
-//! cargo run -p gpma-bench --release --example multi_gpu_scaling
+//! cargo run --release --example multi_gpu_scaling
 //! ```
 
 use gpma_analytics::multi::{bfs_multi, cc_multi, pagerank_multi};

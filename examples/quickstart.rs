@@ -2,7 +2,7 @@
 //! few update batches through it, and run the three analytics of the paper.
 //!
 //! ```sh
-//! cargo run -p gpma-bench --release --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use gpma_analytics::{bfs_device, cc_device, component_count, pagerank_device, GpmaView};

@@ -4,7 +4,7 @@
 //! transfers were hidden behind compute (Figure 2 / Figure 11).
 //!
 //! ```sh
-//! cargo run -p gpma-bench --release --example streaming_analytics
+//! cargo run --release --example streaming_analytics
 //! ```
 
 use gpma_analytics::{pagerank_device, GpmaView};

@@ -90,9 +90,10 @@ fn gpma_plus_parallel_pool_determinism() {
         g.storage.host_entries()
     };
     let a = run(DeviceConfig::deterministic());
-    let mut par = DeviceConfig::default();
-    par.host_parallelism = 8;
-    let b = run(par);
+    let b = run(DeviceConfig {
+        host_parallelism: 8,
+        ..DeviceConfig::default()
+    });
     assert_eq!(a, b, "device results must not depend on host parallelism");
 }
 

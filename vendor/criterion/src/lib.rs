@@ -1,0 +1,211 @@
+//! Offline stub for `criterion 0.5`: the subset the figure benches use.
+//!
+//! No statistics, plots or HTML reports — each benchmark runs a bounded
+//! number of timed iterations and prints one plain-text line:
+//!
+//! ```text
+//! fig7_updates_graph500/GPMA+/1024  median 1.234ms  (5 samples x 10 iters)
+//! ```
+//!
+//! `iter_custom` benches report whatever `Duration` the closure returns
+//! (the simulated-device benches return *simulated* time, so the numbers
+//! are stable across machines). Swapping in real Criterion is a one-line
+//! change in the root manifest; bench sources won't change.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Samples per benchmark; `sample_size` is clamped into a small range so
+/// `cargo bench` stays fast even with real-Criterion-sized settings.
+const MAX_SAMPLES: usize = 5;
+const ITERS_PER_SAMPLE: u64 = 10;
+
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            samples: MAX_SAMPLES,
+        }
+    }
+
+    pub fn final_summary(&self) {
+        println!("{} benchmarks run (stub criterion harness)", self.benchmarks_run);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(2, MAX_SAMPLES);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's run length is governed by
+    /// sample count alone.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.samples),
+            target_samples: self.samples,
+        };
+        f(&mut bencher, input);
+        self.report(&id.0, &bencher.samples);
+        self.parent.benchmarks_run += 1;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.samples),
+            target_samples: self.samples,
+        };
+        f(&mut bencher);
+        self.report(&id.0, &bencher.samples);
+        self.parent.benchmarks_run += 1;
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        println!(
+            "{}/{}  median {:?}  ({} samples x {} iters)",
+            self.name,
+            id,
+            median,
+            samples.len(),
+            ITERS_PER_SAMPLE,
+        );
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `GPMA+/1024`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Wall-clock timing of `routine`, `ITERS_PER_SAMPLE` calls per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..ITERS_PER_SAMPLE {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / ITERS_PER_SAMPLE as u32);
+        }
+    }
+
+    /// Caller-measured timing: `routine(iters)` returns the total duration
+    /// for `iters` iterations (used to report *simulated* device time).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        for _ in 0..self.target_samples {
+            self.samples
+                .push(routine(ITERS_PER_SAMPLE) / ITERS_PER_SAMPLE as u32);
+        }
+    }
+}
+
+/// Identity function opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Groups bench functions under one callable, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_and_iter_custom_record_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("iter", 1), &1u32, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.bench_with_input(BenchmarkId::new("custom", 2), &2u32, |b, _| {
+            b.iter_custom(|iters| Duration::from_nanos(iters))
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

@@ -1,0 +1,232 @@
+//! MPMC channels with crossbeam's API shape: both `Sender` and `Receiver`
+//! are cloneable; `recv` fails once every sender is gone and the queue is
+//! drained; `send` fails once every receiver is gone.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signals receivers (data available / senders gone).
+    recv_cv: Condvar,
+    /// Signals blocked bounded senders (space available / receivers gone).
+    send_cv: Condvar,
+    capacity: Option<usize>,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are disconnected;
+/// carries the unsent message back, like crossbeam's.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like crossbeam: Debug without a `T: Debug` bound, so `.expect()` works on
+// channels of non-Debug messages.
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Channel with unlimited buffering: `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Channel buffering at most `cap` messages: `send` blocks when full.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        recv_cv: Condvar::new(),
+        send_cv: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks while a bounded channel is full; fails once all receivers are
+    /// dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.shared.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self.shared.send_cv.wait(state).expect("channel lock");
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.recv_cv.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel lock").senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            self.shared.recv_cv.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives; fails once the channel is drained and
+    /// all senders are dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.shared.send_cv.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.recv_cv.wait(state).expect("channel lock");
+        }
+    }
+
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel lock").receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.shared.send_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpmc_roundtrip() {
+        let (tx, rx) = unbounded::<usize>();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0usize;
+                    while let Ok(v) = rx.recv() {
+                        got += v;
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for v in 0..100 {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn recv_fails_after_senders_gone() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_gone() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).map_err(|_| ()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap().unwrap();
+    }
+}

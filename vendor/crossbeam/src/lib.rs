@@ -1,0 +1,8 @@
+//! Offline stub for `crossbeam`: the subset this workspace uses.
+//!
+//! * [`channel`] — MPMC channels (cloneable `Sender` *and* `Receiver`),
+//!   bounded and unbounded, built on `Mutex<VecDeque>` + `Condvar`.
+//! * [`thread`] — scoped threads delegating to `std::thread::scope`.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,70 @@
+//! Scoped threads with crossbeam's API shape, delegating to
+//! `std::thread::scope` (stable since 1.63).
+//!
+//! Differences kept deliberately small: child panics propagate as a panic
+//! from [`scope`] itself (std semantics) rather than an `Err`, so callers'
+//! `.expect(..)` never fires but panic propagation is preserved.
+
+/// Matches `crossbeam::thread::Result`.
+pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+/// The scope handle passed to the [`scope`] closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Placeholder passed to spawned closures (crossbeam hands each spawned
+/// thread a scope so it can spawn nested children; nothing in this
+/// workspace does, so nested spawning is unsupported here).
+pub struct NestedScope {
+    _private: (),
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&NestedScope { _private: () }))
+    }
+}
+
+/// Run `f` with a scope allowing borrows of non-`'static` data in spawned
+/// threads; joins all children before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_borrows_of_stack_data() {
+        let mut parts = vec![0u64; 8];
+        let chunks: Vec<&mut [u64]> = parts.chunks_mut(2).collect();
+        scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u64 + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(parts, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn child_panic_propagates() {
+        let _ = scope(|s| {
+            s.spawn(|_| panic!("child died"));
+        });
+    }
+}

@@ -1,0 +1,138 @@
+//! Collection strategies: `prop::collection::{vec, btree_set}`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Size specification for collection strategies (subset of proptest's).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive, matching `Range<usize>` inputs.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.max <= self.min + 1 {
+            self.min
+        } else {
+            rng.rng().gen_range(self.min..self.max)
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// `Vec` strategy with a size drawn from `size` per case.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeSet` strategy: draws a target size, then samples until the set
+/// reaches it or the element domain is plausibly exhausted.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        // Duplicate draws shrink the set below target only when the element
+        // domain is small; cap attempts so a tiny domain can't loop forever.
+        let max_attempts = target.saturating_mul(10) + 16;
+        let mut attempts = 0;
+        while set.len() < target && attempts < max_attempts {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let mut rng = TestRng::for_test("vec_sizes");
+        let s = vec(0u32..100, 3..7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_distinct_and_bounded() {
+        let mut rng = TestRng::for_test("set_sizes");
+        let s = btree_set(0u64..1000, 0..50);
+        for _ in 0..100 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() < 50);
+        }
+    }
+
+    #[test]
+    fn tiny_domain_terminates() {
+        let mut rng = TestRng::for_test("tiny_domain");
+        let s = btree_set(0u64..3, 0..40);
+        let set = s.generate(&mut rng);
+        assert!(set.len() <= 3);
+    }
+}

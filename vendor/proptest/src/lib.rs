@@ -1,0 +1,106 @@
+//! Offline stub for `proptest 1.x`: the subset this workspace uses.
+//!
+//! Design deltas versus real proptest, chosen for an offline, deterministic
+//! test suite:
+//!
+//! * **Deterministic seeding** — each `proptest!` test derives its RNG seed
+//!   from the test's name (FNV-1a), so runs are reproducible everywhere
+//!   with no regression files.
+//! * **No shrinking** — a failing case panics with the generated inputs in
+//!   the panic message (via `prop_assert*`'s formatting) instead of
+//!   minimizing. Re-running reproduces the same case.
+//! * **Bounded cases** — `ProptestConfig::with_cases` is honored exactly;
+//!   the default is 32 cases.
+//!
+//! Implemented surface: `Strategy` (with `prop_map`/`boxed`), range and
+//! tuple strategies, `any::<T>()`, `prop::collection::{vec, btree_set}`,
+//! `prop_oneof!` (weighted and unweighted), `ProptestConfig`, and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` macros.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` paths as used via `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each function runs `cases` deterministic
+/// iterations, generating every `pat in strategy` argument per iteration.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    // Strategy expressions are rebuilt per case — they are
+                    // cheap constructors, and this keeps the macro free of
+                    // tuple-destructuring gymnastics.
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted union of strategies: `prop_oneof![3 => a, 2 => b, 1 => c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

@@ -1,0 +1,75 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Subset of proptest's `ProptestConfig`: only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Smaller than real proptest's 256: these suites run in CI on every
+        // push and each case exercises whole data-structure workloads.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Per-test RNG, seeded from the test name so every run of a given test is
+/// identical on every machine (no regression files, no env coupling).
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        TestRng {
+            rng: SmallRng::seed_from_u64(fnv1a(name.as_bytes())),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_name_same_stream() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_test("x");
+            (0..4).map(|_| r.rng().gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_test("x");
+            (0..4).map(|_| r.rng().gen()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = TestRng::for_test("y");
+            (0..4).map(|_| r.rng().gen()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,289 @@
+//! Offline stub for `rand 0.8`: the subset this workspace uses.
+//!
+//! [`rngs::SmallRng`] is a splitmix64 generator: small state, excellent
+//! avalanche behaviour, and — unlike the real `SmallRng`, whose algorithm
+//! is explicitly unspecified — a *stable* stream per seed, which the
+//! dataset generators and experiment configs depend on for
+//! reproducibility.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface (the subset of `rand_core::RngCore` we need).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface: only `seed_from_u64` is used in this workspace.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Uniform sampling over a type's full domain (`Rng::gen`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform sampling from range expressions (`Rng::gen_range`).
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reject_sample(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (reject_sample(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                // Widen to i64 before differencing: `hi.wrapping_sub(lo) as
+                // u64` on a narrow signed type sign-extends a wrapped span
+                // (e.g. -100i8..100 wraps to -56) and lands out of range.
+                // For 64-bit types the i64 subtraction wraps modularly,
+                // which the u64 cast then reads back correctly.
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(reject_sample(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(reject_sample(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty gen_range");
+        self.start + f32::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Debiased uniform draw in `[0, span)` via rejection sampling.
+fn reject_sample<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Splitmix64: the stable small generator backing this stub.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let mut c = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0usize..=5);
+            assert!(w <= 5);
+            let f = rng.gen_range(0.9f64..1.1);
+            assert!((0.9..1.1).contains(&f));
+            let i = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_wider_than_half_the_type() {
+        // Regression: the span of -100i8..100 (200) overflows i8; a naive
+        // `wrapping_sub` + sign-extending cast produced out-of-range values.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen_neg = false;
+        let mut seen_pos = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&v), "out of range: {v}");
+            seen_neg |= v < -50;
+            seen_pos |= v > 50;
+        }
+        assert!(seen_neg && seen_pos, "both tails must be reachable");
+        for _ in 0..1000 {
+            let v = rng.gen_range(i32::MIN..i32::MAX);
+            assert_ne!(v, i32::MAX, "exclusive upper bound");
+            let w = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = w; // full-domain inclusive range must not panic
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.7)).count();
+        assert!((hits as f64 / 100_000.0 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn small_spans_cover_all_values() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

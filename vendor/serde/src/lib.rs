@@ -1,0 +1,16 @@
+//! Offline stub for `serde 1.0`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and metrics
+//! types but never actually serializes anything (no format crate is in the
+//! dependency tree), so the traits are markers and the derives emit empty
+//! impls. When a real serialization need lands, replace this stub with the
+//! real crate in the root manifest — the call sites won't change.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>` (lifetime dropped —
+/// nothing in-tree names the trait, only the derive).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,55 @@
+//! Offline stub for `serde_derive`: emits empty marker-trait impls.
+//!
+//! Deliberately dependency-free (no `syn`/`quote`): the item name is
+//! recovered by scanning the token stream for the `struct`/`enum` keyword.
+//! Generic items are rejected with a compile error rather than silently
+//! emitting an impl that won't type-check.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match parse_item_name(input) {
+        Ok(name) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("generated impl must tokenize"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("generated error must tokenize"),
+    }
+}
+
+/// Finds `struct NAME` / `enum NAME`, rejecting generic items (the stub
+/// cannot reproduce their bounds without a real parser).
+fn parse_item_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            return Err("stub serde derive: item name not found".into());
+        };
+        if matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!(
+                "stub serde derive: generic type `{name}` unsupported; \
+                 write the marker impl by hand or extend vendor/serde_derive"
+            ));
+        }
+        return Ok(name.to_string());
+    }
+    Err("stub serde derive: expected a struct or enum".into())
+}
