@@ -12,6 +12,29 @@
 //!   Stinger baseline;
 //! * **multi-device variants** ([`multi`]) over a vertex-partitioned
 //!   [`gpma_core::multi::MultiGpma`] for the Figure 12 scaling study.
+//!
+//! ## Quick example
+//!
+//! Device BFS over CSR-on-GPMA agrees with the CPU reference:
+//!
+//! ```
+//! use gpma_analytics::{bfs_device, bfs_host, GpmaView, HostGraph};
+//! use gpma_core::framework::GraphSnapshot;
+//! use gpma_core::GpmaPlus;
+//! use gpma_graph::Edge;
+//! use gpma_sim::{Device, DeviceConfig};
+//!
+//! let edges = vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)];
+//! let dev = Device::new(DeviceConfig::deterministic());
+//! let graph = GpmaPlus::build(&dev, 4, &edges);
+//! let view = GpmaView::build(&dev, &graph.storage);
+//! let device_dist = bfs_device(&dev, &view, 0).to_vec();
+//!
+//! // Epoch-stamped service snapshots are host graphs too (§6.5 monitors).
+//! let snap = GraphSnapshot::from_edges(1, 4, edges);
+//! assert_eq!(device_dist, bfs_host(&snap, 0));
+//! assert_eq!(device_dist, vec![0, 1, 2, 3]);
+//! ```
 
 pub mod bfs;
 pub mod cc;

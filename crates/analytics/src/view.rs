@@ -162,6 +162,25 @@ impl HostGraph for PmaGraph {
     }
 }
 
+/// Epoch-stamped service snapshots are first-class host graphs, so the CPU
+/// reference analytics (`bfs_host`, `cc_host`, `pagerank_host`) double as
+/// the streaming facade's continuous monitors: they read a consistent
+/// [`GraphSnapshot`](gpma_core::framework::GraphSnapshot) while updates keep
+/// flowing on the service worker (the paper's §6.5 concurrency scenario).
+impl HostGraph for gpma_core::framework::GraphSnapshot {
+    fn num_vertices(&self) -> u32 {
+        gpma_core::framework::GraphSnapshot::num_vertices(self)
+    }
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32, u64)) {
+        for e in self.neighbors(v) {
+            f(e.dst, e.weight);
+        }
+    }
+    fn out_degree(&self, v: u32) -> usize {
+        gpma_core::framework::GraphSnapshot::out_degree(self, v)
+    }
+}
+
 impl HostGraph for StingerGraph {
     fn num_vertices(&self) -> u32 {
         StingerGraph::num_vertices(self)
@@ -225,6 +244,27 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 3);
         assert_eq!(gv.degrees().to_vec(), rv.degrees().to_vec());
+    }
+
+    #[test]
+    fn snapshot_is_a_host_graph() {
+        use gpma_core::framework::GraphSnapshot;
+        let snap = GraphSnapshot::from_edges(3, 3, tri());
+        let adj = AdjLists::build(3, &tri());
+        for v in 0..3u32 {
+            let collect = |g: &dyn HostGraph| {
+                let mut out = Vec::new();
+                g.for_each_neighbor(v, &mut |d, w| out.push((d, w)));
+                out
+            };
+            assert_eq!(collect(&snap), collect(&adj), "row {v}");
+            assert_eq!(HostGraph::out_degree(&snap, v), adj.out_degree(v));
+        }
+        // The reference analytics run directly off the snapshot.
+        let dist = crate::bfs_host(&snap, 0);
+        assert_eq!(dist, vec![0, 1, 2]);
+        let labels = crate::cc_host(&snap);
+        assert_eq!(crate::component_count(&labels), 1);
     }
 
     #[test]

@@ -13,6 +13,26 @@
 //!
 //! (DCSR is intentionally absent: the paper excludes it because it supports
 //! neither deletions nor efficient searches.)
+//!
+//! ## Quick example
+//!
+//! The CPU baselines share the same build-then-mutate shape:
+//!
+//! ```
+//! use gpma_baselines::{AdjLists, PmaGraph};
+//! use gpma_graph::Edge;
+//!
+//! let edges = vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(2, 1)];
+//! let mut adj = AdjLists::build(3, &edges);
+//! let pma = PmaGraph::build(3, &edges);
+//! assert_eq!(adj.out_degree(0), 2);
+//! assert_eq!(
+//!     adj.neighbors(0).collect::<Vec<_>>(),
+//!     pma.neighbors(0).collect::<Vec<_>>(),
+//! );
+//! adj.insert(&Edge::new(1, 2));
+//! assert_eq!(adj.out_degree(1), 1);
+//! ```
 
 pub mod adjlists;
 pub mod pma_graph;

@@ -4,7 +4,7 @@
 //!
 //! The fixed block size is deliberately faithful: it is the documented cause
 //! of Stinger's poor behaviour on the heavily skewed Graph500 dataset
-//! (§6.2 cites [8]) — hub vertices grow long block chains (slow scans) while
+//! (§6.2 cites \[8\]) — hub vertices grow long block chains (slow scans) while
 //! low-degree vertices waste most of their block (memory blow-up). Both
 //! effects are measurable through [`StingerGraph::memory_stats`].
 

@@ -1,0 +1,65 @@
+//! Streaming-service bench: end-to-end ingest throughput of the concurrent
+//! facade (`gpma-service`) as the producer count grows. Unlike the figure
+//! benches this measures host wall-clock — the service's queueing, flush
+//! cadence and snapshot publication are real host work; only the GPMA+
+//! batch applies inside each flush run on the simulated device.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpma_core::framework::DynamicGraphSystem;
+use gpma_graph::datasets::DatasetKind;
+use gpma_graph::Edge;
+use gpma_service::{ServiceConfig, StreamingService};
+use gpma_sim::{Device, DeviceConfig};
+use std::time::{Duration, Instant};
+
+/// Live edges streamed per measured iteration (bounded so `cargo bench`
+/// stays fast; the flush threshold still gets dozens of device steps).
+const EDGES_PER_ITER: usize = 2000;
+
+fn service_throughput(c: &mut Criterion) {
+    let stream = bench_stream(DatasetKind::RedditLike);
+    let batch = stream.slide_batch_size(0.01).max(1);
+    let tail: Vec<Edge> = stream.edges[stream.initial_size()..]
+        .iter()
+        .take(EDGES_PER_ITER)
+        .copied()
+        .collect();
+
+    let mut group = c.benchmark_group("service_throughput_reddit");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(1500));
+    for &producers in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("producers", producers),
+            &producers,
+            |b, &producers| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let dev = Device::new(DeviceConfig::default());
+                        let sys = DynamicGraphSystem::new(
+                            dev,
+                            stream.num_vertices,
+                            stream.initial_edges(),
+                            batch,
+                        );
+                        let svc = StreamingService::spawn(ServiceConfig::default(), sys);
+                        let t0 = Instant::now();
+                        gpma_bench::feed_concurrently(&svc, &tail, producers);
+                        total += t0.elapsed();
+                        drop(svc);
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

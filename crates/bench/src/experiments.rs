@@ -6,6 +6,7 @@
 //! approaches, simulated device time for GPU approaches (see EXPERIMENTS.md
 //! for the comparison methodology).
 
+use gpma_core::framework::DynamicGraphSystem;
 use gpma_core::multi::MultiGpma;
 use gpma_core::{Gpma, GpmaPlus};
 use gpma_graph::datasets::{generate, DatasetKind, DatasetStats};
@@ -496,6 +497,56 @@ pub fn explicit_stream(cfg: &ExpConfig) {
 // ----------------------------------------------------------------------
 // Ablations (DESIGN.md §5)
 // ----------------------------------------------------------------------
+
+// ----------------------------------------------------------------------
+// Service — concurrent streaming facade throughput (§6.5 scenario)
+// ----------------------------------------------------------------------
+
+/// Streaming-service scaling: end-to-end ingest of the live half of the
+/// Reddit stream through `gpma-service` with a growing producer count.
+/// Host wall-clock (the queueing and flush cadence are real host work);
+/// the simulated device time spent inside flushes is reported alongside.
+pub fn service(cfg: &ExpConfig) {
+    use gpma_graph::Edge;
+    use gpma_service::{ServiceConfig, StreamingService};
+
+    let stream = generate(DatasetKind::RedditLike, cfg.scale, cfg.seed);
+    let batch = stream.slide_batch_size(0.01).max(1);
+    // Bound the fed tail so `--quick` stays a smoke run.
+    let cap = (batch * 20 * cfg.max_slides.max(1)).min(stream.len() - stream.initial_size());
+    let tail: Vec<Edge> = stream.edges[stream.initial_size()..stream.initial_size() + cap].to_vec();
+
+    let mut rows = Vec::new();
+    for producers in [1usize, 2, 4, 8] {
+        let dev = Device::new(cfg.device_cfg.clone());
+        let sys = DynamicGraphSystem::new(dev, stream.num_vertices, stream.initial_edges(), batch);
+        let svc = StreamingService::spawn(ServiceConfig::default(), sys);
+        let t0 = std::time::Instant::now();
+        let snap = crate::feed_concurrently(&svc, &tail, producers);
+        let wall = t0.elapsed().as_secs_f64();
+        let report = svc.shutdown();
+        let c = &report.metrics.counters;
+        rows.push(vec![
+            format!("{producers}"),
+            format!("{}", c.ingested()),
+            fmt_meps(c.ingested() as usize, wall),
+            format!("{}", c.flushes),
+            fmt_ms(c.avg_flush_wall_secs()),
+            fmt_ms(c.update_sim.secs() / c.flushes.max(1) as f64),
+            format!("{}", c.max_queue_depth),
+            format!("{}", snap.epoch()),
+        ]);
+    }
+    emit(
+        "service",
+        "Streaming service: concurrent ingest through the facade (Reddit, 1% flush batches)",
+        &[
+            "Producers", "Updates", "HostMeps", "Flushes", "FlushMs", "SimUpdateMs", "MaxQueue",
+            "FinalEpoch",
+        ],
+        &rows,
+    );
+}
 
 pub fn ablation(cfg: &ExpConfig) {
     let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);

@@ -8,7 +8,31 @@
 //! Experiment index (DESIGN.md §5): `table1`, `table2`, `fig7` (updates vs
 //! batch size), `fig8`/`fig9`/`fig10` (streaming BFS / CC / PageRank),
 //! `fig11` (PCIe overlap), `fig12` (multi-GPU), `sorted`, `explicit`,
-//! `ablation`.
+//! `ablation`, `service` (the concurrent streaming facade).
+//!
+//! ## Quick example
+//!
+//! Every compared approach hides behind the uniform [`Store`] wrapper:
+//!
+//! ```
+//! use gpma_bench::{ApproachKind, Store};
+//! use gpma_graph::{Edge, UpdateBatch};
+//! use gpma_sim::DeviceConfig;
+//!
+//! let edges = vec![Edge::new(0, 1), Edge::new(1, 2)];
+//! let mut store = Store::build_with(
+//!     ApproachKind::GpmaPlus,
+//!     4,
+//!     &edges,
+//!     DeviceConfig::deterministic(),
+//! );
+//! let secs = store.apply(&UpdateBatch {
+//!     insertions: vec![Edge::new(2, 3)],
+//!     deletions: vec![Edge::new(0, 1)],
+//! });
+//! assert!(secs > 0.0, "simulated device time for GPU stores");
+//! assert_eq!(store.kind().name(), "GPMA+");
+//! ```
 
 pub mod approaches;
 pub mod apps;
@@ -21,3 +45,31 @@ pub use experiments::ExpConfig;
 
 /// Bytes shipped per streamed update over PCIe (key + weight + op).
 pub const BYTES_PER_UPDATE: usize = gpma_core::framework::BYTES_PER_UPDATE;
+
+/// Feed `edges` through `producers` concurrent ingest handles (round-robin
+/// split), join the feeders, then barrier-flush and return the resulting
+/// snapshot. The shared driver for the `service` experiment and the
+/// `service_throughput` bench, so their feeding policy cannot drift apart.
+pub fn feed_concurrently(
+    svc: &gpma_service::StreamingService,
+    edges: &[gpma_graph::Edge],
+    producers: usize,
+) -> std::sync::Arc<gpma_core::framework::GraphSnapshot> {
+    let producers = producers.max(1);
+    let feeders: Vec<_> = (0..producers)
+        .map(|p| {
+            let h = svc.handle();
+            let chunk: Vec<gpma_graph::Edge> =
+                edges.iter().skip(p).step_by(producers).copied().collect();
+            std::thread::spawn(move || {
+                for e in chunk {
+                    h.insert(e).expect("service alive");
+                }
+            })
+        })
+        .collect();
+    for f in feeders {
+        f.join().expect("producer thread");
+    }
+    svc.barrier().expect("service alive")
+}

@@ -67,6 +67,7 @@ impl CsrView {
         }
     }
 
+    /// Vertex count of the underlying store.
     pub fn num_vertices(&self) -> u32 {
         self.num_vertices
     }

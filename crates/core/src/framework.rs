@@ -18,7 +18,12 @@ pub const BYTES_PER_UPDATE: usize = 8 + 8 + 4;
 
 /// A continuous monitoring task (Figure 1's "Continuous Monitoring"):
 /// invoked after every applied update batch.
-pub trait Monitor {
+///
+/// `Send` is a supertrait so a [`DynamicGraphSystem`] with registered
+/// monitors can move onto a service worker thread (the `gpma-service`
+/// facade); monitors hold only their own state plus what `run` borrows.
+pub trait Monitor: Send {
+    /// Short stable name used in [`StepReport::analytics`] rows.
     fn name(&self) -> &str;
 
     /// Run the analytic on the up-to-date graph; returns the size in bytes
@@ -35,6 +40,8 @@ pub struct GraphStreamBuffer {
 }
 
 impl GraphStreamBuffer {
+    /// Create a buffer that signals [`Self::ready`] at `threshold` pending
+    /// updates (clamped to at least 1).
     pub fn new(threshold: usize) -> Self {
         GraphStreamBuffer {
             pending: UpdateBatch::default(),
@@ -42,45 +49,91 @@ impl GraphStreamBuffer {
         }
     }
 
+    /// Buffer one edge insertion.
     pub fn offer_insert(&mut self, e: Edge) {
         self.pending.insertions.push(e);
     }
 
+    /// Buffer one edge deletion.
     pub fn offer_delete(&mut self, e: Edge) {
         self.pending.deletions.push(e);
     }
 
+    /// Buffer a whole update batch (insertions and deletions).
     pub fn offer_batch(&mut self, batch: &UpdateBatch) {
         self.pending.insertions.extend_from_slice(&batch.insertions);
         self.pending.deletions.extend_from_slice(&batch.deletions);
     }
 
+    /// Pending updates (insertions + deletions).
     pub fn len(&self) -> usize {
         self.pending.len()
     }
 
+    /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
 
-    /// True when the buffer should be flushed to the device.
+    /// The flush threshold this buffer was built with: [`Self::ready`] trips
+    /// once at least this many updates (insertions + deletions combined) are
+    /// pending, and [`Self::take_batch`] drains at most this many per call.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// True when the buffer holds at least [`Self::threshold`] pending
+    /// updates and should be flushed to the device. A buffer below threshold
+    /// is *not* empty — callers that must apply every pending update (end
+    /// of stream, service shutdown) drain with [`Self::take`] regardless of
+    /// readiness.
     pub fn ready(&self) -> bool {
         self.pending.len() >= self.threshold
     }
 
-    /// Drain everything buffered.
+    /// Drain *everything* buffered in one batch, ignoring the threshold.
+    ///
+    /// Use for final/forced flushes where residue below the threshold must
+    /// still reach the device (shutdown, explicit barrier). For steady-state
+    /// threshold-sized steps use [`Self::take_batch`]. Equivalent to
+    /// `take_up_to(usize::MAX)`.
     pub fn take(&mut self) -> UpdateBatch {
-        std::mem::take(&mut self.pending)
+        self.take_up_to(usize::MAX)
     }
 
-    /// Drain one step's worth: at most `threshold` updates, deletions first
-    /// (the batch-apply order), keeping the remainder buffered.
+    /// Drain one step's worth: at most [`Self::threshold`] updates, keeping
+    /// the remainder buffered.
+    ///
+    /// Use in the steady-state flush loop so each device step stays at the
+    /// tuned batch size; delegates to the same drain as [`Self::take`] with
+    /// the threshold as budget.
     pub fn take_batch(&mut self) -> UpdateBatch {
-        if self.pending.len() <= self.threshold {
-            return self.take();
+        self.take_up_to(self.threshold)
+    }
+
+    /// Remove still-buffered insertions of edge key `key`; returns how many
+    /// were cancelled.
+    ///
+    /// Within one flushed batch deletions apply *before* insertions (the
+    /// sliding-window convention of `prepare_updates`), so a deletion that
+    /// arrives after a same-key insertion still sitting in this buffer would
+    /// otherwise lose to it. A caller that needs arrival-order (sequential)
+    /// semantics — the `gpma-service` ingest worker — cancels the pending
+    /// insertion before offering the deletion.
+    pub fn cancel_pending_inserts(&mut self, key: u64) -> usize {
+        let before = self.pending.insertions.len();
+        self.pending.insertions.retain(|e| e.key() != key);
+        before - self.pending.insertions.len()
+    }
+
+    /// Shared drain: up to `limit` updates, deletions first (the batch-apply
+    /// order fixed by `prepare_updates`), remainder left buffered.
+    fn take_up_to(&mut self, limit: usize) -> UpdateBatch {
+        if self.pending.len() <= limit {
+            return std::mem::take(&mut self.pending);
         }
         let mut out = UpdateBatch::default();
-        let mut budget = self.threshold;
+        let mut budget = limit;
         let nd = self.pending.deletions.len().min(budget);
         out.deletions = self.pending.deletions.drain(..nd).collect();
         budget -= nd;
@@ -94,32 +147,143 @@ impl GraphStreamBuffer {
 /// Figure 2 schedule showing whether transfers were hidden.
 #[derive(Debug, Clone)]
 pub struct StepReport {
+    /// Epoch this step produced (see [`DynamicGraphSystem::epoch`]).
+    pub epoch: u64,
+    /// Updates applied in this step (insertions + deletions).
     pub batch_size: usize,
+    /// Insertions in this step superseded by a later insertion of the same
+    /// `(src, dst)` key in the same batch (last write wins — the paper's
+    /// modification semantics). Service layers surface this as the
+    /// duplicate-edge counter.
+    pub duplicate_inserts: usize,
+    /// Simulated device time of the GPMA+ batch apply.
     pub update_time: SimTime,
     /// `(monitor name, simulated compute time, result bytes)`.
     pub analytics: Vec<(String, SimTime, usize)>,
+    /// Figure 2 three-stream schedule for this step.
     pub schedule: StepSchedule,
 }
 
 impl StepReport {
+    /// Total simulated time spent in monitor analytics this step.
     pub fn analytics_time(&self) -> SimTime {
         self.analytics.iter().map(|&(_, t, _)| t).sum()
     }
 }
 
+/// An immutable, epoch-stamped host-side copy of the active graph — the
+/// read side of the concurrent streaming facade (`gpma-service`).
+///
+/// A snapshot is taken after a flush completes, so it is always *consistent*:
+/// every update of epochs `1..=epoch` is reflected, none of the still-queued
+/// ones are. Readers (continuous monitors, ad-hoc queries) work on the
+/// snapshot while the writer keeps mutating the live [`GpmaPlus`], which is
+/// the paper's "concurrent streams and queries" scenario (§6.5) expressed in
+/// host memory. Edges are sorted by `(src, dst)` key, so per-vertex rows are
+/// contiguous and found by binary search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSnapshot {
+    epoch: u64,
+    num_vertices: u32,
+    /// Live edges sorted by storage key (row-major CSR order).
+    edges: Vec<Edge>,
+}
+
+impl GraphSnapshot {
+    /// Build a snapshot from parts; `edges` may arrive unsorted and may
+    /// repeat `(src, dst)` keys — the later occurrence wins, matching the
+    /// store's modification semantics.
+    pub fn from_edges(epoch: u64, num_vertices: u32, mut edges: Vec<Edge>) -> Self {
+        // Stable sort keeps arrival order within equal keys, so keeping the
+        // last element of each run is last-write-wins.
+        edges.sort_by_key(Edge::key);
+        edges.reverse();
+        edges.dedup_by_key(|e| e.key());
+        edges.reverse();
+        GraphSnapshot {
+            epoch,
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Epoch stamp: the number of flushes applied before this copy was taken.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Vertex count of the underlying store.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Live edges at this epoch.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph had no live edges at this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// All live edges in row-major `(src, dst)` order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Row of vertex `v`: its out-edges as a contiguous sorted slice.
+    pub fn neighbors(&self, v: u32) -> &[Edge] {
+        let lo = self.edges.partition_point(|e| e.src < v);
+        let hi = self.edges.partition_point(|e| e.src <= v);
+        &self.edges[lo..hi]
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Weight of edge `(src, dst)` at this epoch, if live.
+    pub fn weight(&self, src: u32, dst: u32) -> Option<u64> {
+        let row = self.neighbors(src);
+        row.binary_search_by_key(&dst, |e| e.dst)
+            .ok()
+            .map(|i| row[i].weight)
+    }
+
+    /// True when edge `(src, dst)` was live at this epoch.
+    pub fn contains(&self, src: u32, dst: u32) -> bool {
+        self.weight(src, dst).is_some()
+    }
+}
+
 /// The assembled framework: device, active graph, buffers, monitors and the
 /// PCIe pipeline.
+///
+/// The system is `Send` (all parts live on the host or in simulated device
+/// memory, and [`Monitor`] requires `Send`), so it can be constructed on one
+/// thread and moved onto a dedicated worker — the seam `gpma-service` builds
+/// its concurrent facade on.
 pub struct DynamicGraphSystem {
+    /// The simulated device all kernels run on.
     pub device: Device,
+    /// The active GPMA+ store.
     pub graph: GpmaPlus,
+    /// Host-side buffering of the incoming update stream.
     pub stream: GraphStreamBuffer,
     pipeline: Pipeline,
     monitors: Vec<Box<dyn Monitor>>,
+    /// Flushes applied so far; stamps [`StepReport`]s and [`GraphSnapshot`]s.
+    epoch: u64,
     /// Use the sliding-window lazy-deletion fast path.
     pub lazy_deletes: bool,
 }
 
 impl DynamicGraphSystem {
+    /// Assemble the framework: bulk-build the GPMA+ store from
+    /// `initial_edges` on `device` and attach a stream buffer flushing at
+    /// `batch_threshold` updates.
     pub fn new(
         device: Device,
         num_vertices: u32,
@@ -133,16 +297,38 @@ impl DynamicGraphSystem {
             stream: GraphStreamBuffer::new(batch_threshold),
             pipeline: Pipeline::new(Pcie::new(PcieConfig::default())),
             monitors: Vec::new(),
+            epoch: 0,
             lazy_deletes: true,
         }
     }
 
+    /// Register a continuous monitor, run after every flushed step.
     pub fn register_monitor(&mut self, m: Box<dyn Monitor>) {
         self.monitors.push(m);
     }
 
+    /// Number of registered continuous monitors.
     pub fn num_monitors(&self) -> usize {
         self.monitors.len()
+    }
+
+    /// Flushes applied so far. Epoch `0` is the initial bulk-built graph;
+    /// each [`Self::flush`] increments it, including forced flushes of an
+    /// empty buffer (an empty batch still advances the version).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Copy the live graph into an epoch-stamped immutable [`GraphSnapshot`]
+    /// (the D2H readback a real deployment would DMA). Consistent by
+    /// construction: called between flushes, it reflects exactly the updates
+    /// of epochs `1..=epoch()`.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        GraphSnapshot {
+            epoch: self.epoch,
+            num_vertices: self.graph.storage.num_vertices(),
+            edges: self.graph.storage.host_edges(),
+        }
     }
 
     /// Feed stream elements; flushes automatically when the buffer fills.
@@ -161,6 +347,7 @@ impl DynamicGraphSystem {
     pub fn flush(&mut self) -> StepReport {
         let batch = self.stream.take_batch();
         let batch_size = batch.len();
+        let duplicate_inserts = count_duplicate_inserts(&batch);
         let lazy = self.lazy_deletes;
         let graph = &mut self.graph;
         let (_, update_time) = self.device.timed(|d| {
@@ -188,8 +375,11 @@ impl DynamicGraphSystem {
             update_time,
             analytics_total,
         );
+        self.epoch += 1;
         StepReport {
+            epoch: self.epoch,
             batch_size,
+            duplicate_inserts,
             update_time,
             analytics,
             schedule,
@@ -201,6 +391,17 @@ impl DynamicGraphSystem {
     pub fn ad_hoc<R>(&self, f: impl FnOnce(&Device, &GpmaPlus) -> R) -> R {
         f(&self.device, &self.graph)
     }
+}
+
+/// Insertions whose `(src, dst)` key recurs later in the same batch (the
+/// earlier write is superseded — GPMA treats a re-insert as a modification).
+fn count_duplicate_inserts(batch: &UpdateBatch) -> usize {
+    if batch.insertions.len() < 2 {
+        return 0;
+    }
+    let mut keys: Vec<u64> = batch.insertions.iter().map(Edge::key).collect();
+    keys.sort_unstable();
+    keys.windows(2).filter(|w| w[0] == w[1]).count()
 }
 
 #[cfg(test)]
@@ -294,6 +495,139 @@ mod tests {
         // Compute dominates a one-edge transfer: the Figure 11 claim.
         assert!(s.transfers_hidden);
         assert!(s.makespan.secs() <= s.serialized.secs());
+    }
+
+    #[test]
+    fn system_is_send_with_monitors() {
+        fn assert_send<T: Send>(_t: &T) {}
+        let dev = Device::new(DeviceConfig::deterministic());
+        let mut sys = DynamicGraphSystem::new(dev, 8, &edges(&[(0, 1)]), 4);
+        sys.register_monitor(Box::new(CountingMonitor { runs: 0 }));
+        assert_send(&sys);
+    }
+
+    #[test]
+    fn epoch_advances_per_flush_and_stamps_snapshots() {
+        let dev = Device::new(DeviceConfig::deterministic());
+        let mut sys = DynamicGraphSystem::new(dev, 8, &edges(&[(0, 1)]), 2);
+        assert_eq!(sys.epoch(), 0);
+        let snap0 = sys.snapshot();
+        assert_eq!(snap0.epoch(), 0);
+        assert_eq!(snap0.num_edges(), 1);
+        let reports = sys.ingest(&UpdateBatch {
+            insertions: edges(&[(1, 2), (2, 3), (3, 4), (4, 5)]),
+            deletions: vec![],
+        });
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].epoch, 1);
+        assert_eq!(reports[1].epoch, 2);
+        assert_eq!(sys.epoch(), 2);
+        let snap = sys.snapshot();
+        assert_eq!(snap.epoch(), 2);
+        assert_eq!(snap.num_edges(), 5);
+        // snap0 is immutable: it still sees the initial graph.
+        assert_eq!(snap0.num_edges(), 1);
+    }
+
+    #[test]
+    fn snapshot_rows_and_lookups() {
+        let snap = GraphSnapshot::from_edges(
+            7,
+            5,
+            vec![
+                Edge::weighted(2, 0, 9),
+                Edge::new(0, 1),
+                Edge::new(0, 3),
+                Edge::new(2, 4),
+            ],
+        );
+        assert_eq!(snap.epoch(), 7);
+        assert_eq!(snap.num_vertices(), 5);
+        assert_eq!(snap.num_edges(), 4);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.out_degree(0), 2);
+        assert_eq!(snap.out_degree(1), 0);
+        let row2: Vec<u32> = snap.neighbors(2).iter().map(|e| e.dst).collect();
+        assert_eq!(row2, vec![0, 4]);
+        assert_eq!(snap.weight(2, 0), Some(9));
+        assert!(snap.contains(0, 3));
+        assert!(!snap.contains(3, 0));
+        // Edges come back sorted in row-major key order.
+        let keys: Vec<u64> = snap.edges().iter().map(Edge::key).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn snapshot_from_edges_dedups_last_write_wins() {
+        let snap = GraphSnapshot::from_edges(
+            1,
+            3,
+            vec![
+                Edge::weighted(0, 1, 5),
+                Edge::weighted(1, 2, 1),
+                Edge::weighted(0, 1, 9),
+            ],
+        );
+        assert_eq!(snap.num_edges(), 2);
+        assert_eq!(snap.weight(0, 1), Some(9), "later duplicate wins");
+        assert_eq!(snap.out_degree(0), 1);
+    }
+
+    #[test]
+    fn take_drains_everything_take_batch_respects_threshold() {
+        let mut buf = GraphStreamBuffer::new(3);
+        assert_eq!(buf.threshold(), 3);
+        for i in 0..5u32 {
+            buf.offer_insert(Edge::new(i, i + 1));
+        }
+        buf.offer_delete(Edge::new(9, 8));
+        assert!(buf.ready());
+        let step = buf.take_batch();
+        assert_eq!(step.len(), 3);
+        // Deletions drain first (the batch-apply order).
+        assert_eq!(step.deletions.len(), 1);
+        assert_eq!(buf.len(), 3);
+        let rest = buf.take();
+        assert_eq!(rest.len(), 3);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn cancel_pending_inserts_restores_sequential_order() {
+        let dev = Device::new(DeviceConfig::deterministic());
+        let mut sys = DynamicGraphSystem::new(dev, 8, &[], 100);
+        // Arrival order: insert (1,2), then delete (1,2). Batch semantics
+        // alone would re-apply the insert after the delete; cancelling the
+        // buffered insert first preserves sequential semantics.
+        sys.stream.offer_insert(Edge::new(1, 2));
+        sys.stream.offer_insert(Edge::new(2, 3));
+        assert_eq!(sys.stream.cancel_pending_inserts(Edge::new(1, 2).key()), 1);
+        sys.stream.offer_delete(Edge::new(1, 2));
+        sys.flush();
+        assert_eq!(sys.graph.storage.num_edges(), 1);
+        assert!(sys.snapshot().contains(2, 3));
+        assert!(!sys.snapshot().contains(1, 2));
+    }
+
+    #[test]
+    fn duplicate_inserts_are_counted_per_step() {
+        let dev = Device::new(DeviceConfig::deterministic());
+        let mut sys = DynamicGraphSystem::new(dev, 8, &[], 100);
+        sys.ingest(&UpdateBatch {
+            insertions: vec![
+                Edge::weighted(0, 1, 1),
+                Edge::weighted(0, 1, 2),
+                Edge::weighted(0, 1, 3),
+                Edge::new(1, 2),
+            ],
+            deletions: vec![],
+        });
+        let report = sys.flush();
+        assert_eq!(report.duplicate_inserts, 2);
+        // Last write wins: the store holds one (0,1) edge with weight 3.
+        assert_eq!(sys.graph.storage.num_edges(), 2);
+        let snap = sys.snapshot();
+        assert_eq!(snap.weight(0, 1), Some(3));
     }
 
     #[test]

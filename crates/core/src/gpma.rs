@@ -39,10 +39,12 @@ const ST_ROOT: u32 = 3;
 
 /// The lock-based GPMA dynamic graph store.
 pub struct Gpma {
+    /// The shared device-resident PMA slot array.
     pub storage: GpmaStorage,
 }
 
 impl Gpma {
+    /// Bulk-build from an initial edge set (same layout as GPMA+).
     pub fn build(dev: &Device, num_vertices: u32, edges: &[Edge]) -> Self {
         Gpma {
             storage: GpmaStorage::build(dev, num_vertices, edges),

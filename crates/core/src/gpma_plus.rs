@@ -44,6 +44,7 @@ pub struct PlusStats {
 
 /// The GPMA+ dynamic graph store.
 pub struct GpmaPlus {
+    /// The shared device-resident PMA slot array.
     pub storage: GpmaStorage,
     /// Tier threshold: windows up to this many slots use the warp/block
     /// (serial-lane) merge; larger ones the device tier. Exposed for the

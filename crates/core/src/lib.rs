@@ -33,6 +33,8 @@
 //! assert_eq!(view.degrees.to_vec(), vec![0, 1, 1, 0]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod csr;
 pub mod framework;
 pub mod gpma;

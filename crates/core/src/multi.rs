@@ -17,11 +17,14 @@ use crate::gpma_plus::GpmaPlus;
 /// Contiguous vertex-range partition over `num_shards` devices.
 #[derive(Debug, Clone, Copy)]
 pub struct VertexPartition {
+    /// Total vertices being partitioned.
     pub num_vertices: u32,
+    /// Number of devices (shards).
     pub num_shards: usize,
 }
 
 impl VertexPartition {
+    /// The shard owning source vertex `v`.
     pub fn shard_of(&self, v: u32) -> usize {
         debug_assert!(v < self.num_vertices);
         let per = self.num_vertices.div_ceil(self.num_shards as u32).max(1);
@@ -49,6 +52,7 @@ pub struct MultiStepTime {
 }
 
 impl MultiStepTime {
+    /// End-to-end step time: slowest device plus synchronization.
     pub fn total(&self) -> SimTime {
         self.makespan + self.comm
     }
@@ -96,26 +100,32 @@ impl MultiGpma {
         }
     }
 
+    /// Number of simulated devices the graph is sharded across.
     pub fn num_devices(&self) -> usize {
         self.devices.len()
     }
 
+    /// The vertex-range partition in force.
     pub fn partition(&self) -> VertexPartition {
         self.partition
     }
 
+    /// All shard devices, index-aligned with [`Self::shards`].
     pub fn devices(&self) -> &[Device] {
         &self.devices
     }
 
+    /// All per-device GPMA+ shards.
     pub fn shards(&self) -> &[GpmaPlus] {
         &self.shards
     }
 
+    /// Mutable access to the per-device shards (multi-GPU analytics).
     pub fn shards_mut(&mut self) -> &mut [GpmaPlus] {
         &mut self.shards
     }
 
+    /// Device `i` (panics when out of range).
     pub fn device(&self, i: usize) -> &Device {
         &self.devices[i]
     }

@@ -88,18 +88,22 @@ impl GpmaStorage {
     // Accessors
     // ------------------------------------------------------------------
 
+    /// Segment-tree geometry (leaf size, level count, capacity).
     pub fn geometry(&self) -> Geometry {
         self.geom
     }
 
+    /// The density thresholds of Figure 3.
     pub fn density_config(&self) -> DensityConfig {
         self.density
     }
 
+    /// Vertex count this store was built for (one guard entry each).
     pub fn num_vertices(&self) -> u32 {
         self.num_vertices
     }
 
+    /// Total slots in the PMA array (live entries + gaps).
     pub fn capacity(&self) -> usize {
         self.geom.capacity()
     }
@@ -109,6 +113,7 @@ impl GpmaStorage {
         self.len_counter.host_read(0) as usize
     }
 
+    /// True when the store holds no live entries (not even guards).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

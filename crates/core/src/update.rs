@@ -8,20 +8,26 @@ use gpma_sim::{primitives, Device, DeviceBuffer, Lane};
 
 use crate::storage::{GpmaStorage, EMPTY};
 
-/// Update operation codes (stored in a lane-visible buffer).
+/// Operation code for an insertion/modification (stored lane-visible).
 pub const OP_INSERT: u32 = 0;
+/// Operation code for a deletion (stored lane-visible).
 pub const OP_DELETE: u32 = 1;
 
 /// A sorted update set resident on the device: `keys` ascending; for runs of
 /// equal keys the *last* element wins (update semantics).
 pub struct DeviceUpdates {
+    /// Edge storage keys (`src << 32 | dst`), ascending.
     pub keys: DeviceBuffer<u64>,
+    /// Edge weights, aligned with `keys` (zero for deletions).
     pub vals: DeviceBuffer<u64>,
+    /// Operation codes aligned with `keys`: [`OP_INSERT`] or [`OP_DELETE`].
     pub ops: DeviceBuffer<u32>,
+    /// Number of updates in the set.
     pub len: usize,
 }
 
 impl DeviceUpdates {
+    /// True when the set holds no updates.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

@@ -9,6 +9,23 @@
 //! * [`gen`] — RMAT (Graph500) and Erdős–Rényi generators (§6.1).
 //! * [`datasets`] — the four Table 2 datasets as scaled synthetic streams.
 //! * [`stream`] — the sliding-window and explicit-update stream models (§3).
+//!
+//! ## Quick example
+//!
+//! The sliding-window model: the first half of a stream is the initial
+//! graph; each slide inserts the `b` newest edges and deletes the `b`
+//! oldest (§6.1):
+//!
+//! ```
+//! use gpma_graph::{Edge, GraphStream};
+//!
+//! let edges: Vec<Edge> = (0..8).map(|i| Edge::new(i, (i + 1) % 8)).collect();
+//! let stream = GraphStream::new("toy", 8, edges);
+//! assert_eq!(stream.initial_size(), 4);
+//! let slide = stream.sliding(2).next().unwrap();
+//! assert_eq!(slide.insertions, vec![Edge::new(4, 5), Edge::new(5, 6)]);
+//! assert_eq!(slide.deletions, vec![Edge::new(0, 1), Edge::new(1, 2)]);
+//! ```
 
 pub mod datasets;
 pub mod edge;

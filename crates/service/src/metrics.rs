@@ -1,0 +1,121 @@
+//! The [`ServiceMetrics`] report: cumulative [`ServiceCounters`] plus the
+//! live gauges (queue depth, latest epoch, service age) and derived rates.
+
+use gpma_sim::ServiceCounters;
+
+/// A point-in-time metrics report from a running
+/// [`StreamingService`](crate::StreamingService).
+///
+/// Counters accumulate from service start; gauges (`queue_depth`,
+/// `latest_epoch`) are sampled at the moment of the
+/// [`metrics()`](crate::StreamingService::metrics) call. The `Display`
+/// impl renders a one-line operational summary.
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    /// Cumulative ingest/flush/drop counters (see [`ServiceCounters`]).
+    pub counters: ServiceCounters,
+    /// Commands queued at sampling time (backpressure gauge).
+    pub queue_depth: usize,
+    /// Epoch of the latest published snapshot.
+    pub latest_epoch: u64,
+    /// Host wall-clock seconds since the service was spawned.
+    pub elapsed_secs: f64,
+}
+
+impl ServiceMetrics {
+    /// Updates accepted per wall-clock second since spawn.
+    pub fn ingest_throughput(&self) -> f64 {
+        self.counters.ingest_throughput(self.elapsed_secs)
+    }
+
+    /// Mean wall-clock flush latency in seconds (0 before the first flush).
+    pub fn avg_flush_latency_secs(&self) -> f64 {
+        self.counters.avg_flush_wall_secs()
+    }
+
+    /// Wall-clock latency of the most recent flush, in seconds.
+    pub fn last_flush_latency_secs(&self) -> f64 {
+        self.counters.last_flush_wall_secs
+    }
+
+    /// Fraction of offered updates shed by backpressure (0 when nothing was
+    /// offered).
+    pub fn drop_rate(&self) -> f64 {
+        let total = self.counters.ingested() + self.counters.dropped_updates;
+        if total == 0 {
+            0.0
+        } else {
+            self.counters.dropped_updates as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {}: {} updates in ({:.0}/s), {} flushes (avg {:.2} ms, sim update {:.2} ms / analytics {:.2} ms), \
+             queue {} (max {}), dropped {}, duplicates {}, queries {}",
+            self.latest_epoch,
+            self.counters.ingested(),
+            self.ingest_throughput(),
+            self.counters.flushes,
+            self.avg_flush_latency_secs() * 1e3,
+            self.counters.update_sim.millis(),
+            self.counters.analytics_sim.millis(),
+            self.queue_depth,
+            self.counters.max_queue_depth,
+            self.counters.dropped_updates,
+            self.counters.duplicate_edges,
+            self.counters.queries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpma_sim::SimTime;
+
+    fn sample() -> ServiceMetrics {
+        let mut counters = ServiceCounters {
+            ingested_inserts: 90,
+            ingested_deletes: 10,
+            dropped_updates: 25,
+            ..Default::default()
+        };
+        counters.record_flush(0.002, 3, SimTime(0.5), SimTime(0.25));
+        ServiceMetrics {
+            counters,
+            queue_depth: 7,
+            latest_epoch: 1,
+            elapsed_secs: 50.0,
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = sample();
+        assert_eq!(m.ingest_throughput(), 2.0);
+        assert_eq!(m.avg_flush_latency_secs(), 0.002);
+        assert_eq!(m.last_flush_latency_secs(), 0.002);
+        assert_eq!(m.drop_rate(), 0.2);
+        let line = m.to_string();
+        assert!(line.contains("epoch 1"), "{line}");
+        assert!(line.contains("dropped 25"), "{line}");
+        assert!(line.contains("duplicates 3"), "{line}");
+    }
+
+    #[test]
+    fn zero_states_do_not_divide_by_zero() {
+        let m = ServiceMetrics {
+            counters: ServiceCounters::default(),
+            queue_depth: 0,
+            latest_epoch: 0,
+            elapsed_secs: 0.0,
+        };
+        assert_eq!(m.ingest_throughput(), 0.0);
+        assert_eq!(m.drop_rate(), 0.0);
+        assert_eq!(m.avg_flush_latency_secs(), 0.0);
+    }
+}

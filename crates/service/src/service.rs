@@ -1,0 +1,773 @@
+//! The service runtime: ingest handles, the worker thread that drains the
+//! queue into the framework's [`GraphStreamBuffer`], snapshot publication
+//! and the shutdown protocol.
+//!
+//! [`GraphStreamBuffer`]: gpma_core::framework::GraphStreamBuffer
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot};
+use gpma_graph::{Edge, UpdateBatch};
+use gpma_sim::ServiceCounters;
+use parking_lot::Mutex;
+
+use crate::metrics::ServiceMetrics;
+
+/// Tuning knobs for a [`StreamingService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Capacity of the bounded ingest queue (in commands, each carrying one
+    /// update or one batch). Blocking producers stall when it is full —
+    /// that is the backpressure policy; the non-blocking `offer_*` path
+    /// drops instead and counts the drop.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Error returned by every handle operation once the service worker has
+/// exited (after [`StreamingService::shutdown`] or a worker panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceClosed;
+
+impl std::fmt::Display for ServiceClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the streaming service has shut down")
+    }
+}
+
+impl std::error::Error for ServiceClosed {}
+
+/// A continuous analytic fed with every published snapshot, run on the
+/// service's dedicated analytics thread — the concurrent-queries half of the
+/// paper's §6.5 scenario. Implementations typically run PageRank / BFS / CC
+/// from `gpma-analytics` against the [`GraphSnapshot`] (which implements the
+/// host graph contract there).
+pub trait SnapshotMonitor: Send {
+    /// Short stable name (used in logs and reports).
+    fn name(&self) -> &str;
+
+    /// Observe one published snapshot. Snapshots arrive in epoch order but
+    /// may skip epochs: while an analytic runs, newer snapshots supersede
+    /// queued ones so monitors always work on the freshest state.
+    fn on_snapshot(&mut self, snapshot: &GraphSnapshot);
+}
+
+/// Commands flowing through the bounded ingest queue to the worker.
+enum Command {
+    Insert(Edge),
+    Delete(Edge),
+    Batch(UpdateBatch),
+    /// Flush all residue, publish a snapshot, and ack with it.
+    Barrier(Sender<Arc<GraphSnapshot>>),
+    /// Run a closure against the live system, serialized with updates
+    /// (Figure 1's dynamic query buffer). The closure carries its own
+    /// reply channel.
+    AdHoc(Box<dyn FnOnce(&DynamicGraphSystem) + Send>),
+    /// Drain everything still queued, final-flush, publish, exit.
+    Shutdown,
+}
+
+/// State shared between producers, the worker, and the front object.
+///
+/// Producer-side counters are lock-free atomics so the per-edge ingest hot
+/// path never contends on the metrics mutex (which would serialize exactly
+/// the multi-producer scaling the facade exists to provide); the mutex
+/// guards only the worker-side flush accounting.
+struct Shared {
+    counters: Mutex<ServiceCounters>,
+    /// Insertions accepted into the queue (producer-side, lock-free).
+    ingested_inserts: AtomicU64,
+    /// Deletions accepted into the queue (producer-side, lock-free).
+    ingested_deletes: AtomicU64,
+    /// Updates shed by the non-blocking offer path (producer-side).
+    dropped_updates: AtomicU64,
+    /// Snapshot queries served (reader-side).
+    queries: AtomicU64,
+    /// High-water mark of the queue depth the worker observed (sampled on
+    /// every popped command, so it must not take the metrics mutex).
+    max_queue_depth: AtomicU64,
+    /// Latest published snapshot; swapped whole so readers never block the
+    /// worker for longer than an `Arc` clone.
+    snapshot: Mutex<Arc<GraphSnapshot>>,
+    started: Instant,
+}
+
+impl Shared {
+    fn latest(&self) -> Arc<GraphSnapshot> {
+        self.snapshot.lock().clone()
+    }
+
+    /// Merge the lock-free producer/reader counters into a counters copy.
+    fn counters_snapshot(&self) -> ServiceCounters {
+        let mut c = self.counters.lock().clone();
+        c.ingested_inserts = self.ingested_inserts.load(Ordering::Relaxed);
+        c.ingested_deletes = self.ingested_deletes.load(Ordering::Relaxed);
+        c.dropped_updates = self.dropped_updates.load(Ordering::Relaxed);
+        c.queries = self.queries.load(Ordering::Relaxed);
+        c.max_queue_depth = self.max_queue_depth.load(Ordering::Relaxed) as usize;
+        c
+    }
+
+    /// Record an observed queue depth (lock-free high-water mark).
+    fn observe_queue_depth(&self, depth: usize) {
+        self.max_queue_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+/// A cloneable producer handle feeding the service's bounded ingest queue.
+///
+/// The blocking methods ([`insert`](Self::insert), [`delete`](Self::delete),
+/// [`ingest`](Self::ingest)) park the producer while the queue is full —
+/// backpressure. The non-blocking `offer_*` variants return `Ok(false)`
+/// instead and count the update as dropped in [`ServiceMetrics`].
+#[derive(Clone)]
+pub struct IngestHandle {
+    tx: Sender<Command>,
+    shared: Arc<Shared>,
+}
+
+impl IngestHandle {
+    /// Stream one edge insertion, blocking while the queue is full.
+    ///
+    /// Updates from one handle are applied in arrival order: an insertion
+    /// followed by a [`delete`](Self::delete) of the same edge nets to
+    /// *absent*, regardless of flush-batch boundaries.
+    pub fn insert(&self, e: Edge) -> Result<(), ServiceClosed> {
+        self.tx.send(Command::Insert(e)).map_err(|_| ServiceClosed)?;
+        self.shared.ingested_inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Stream one edge deletion, blocking while the queue is full.
+    pub fn delete(&self, e: Edge) -> Result<(), ServiceClosed> {
+        self.tx.send(Command::Delete(e)).map_err(|_| ServiceClosed)?;
+        self.shared.ingested_deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Stream a pre-assembled batch, blocking while the queue is full.
+    ///
+    /// The framework's sliding-window convention applies *inside* the
+    /// batch: its deletions apply before its insertions, so deleting and
+    /// re-inserting the same edge in one batch nets to *present* in the
+    /// final state. Across separately sent commands, arrival order wins
+    /// (see [`Self::insert`]).
+    ///
+    /// Visibility caveat: a batch larger than the system's flush threshold
+    /// is applied across several flushes, each publishing a snapshot, so
+    /// readers can observe *intermediate* epochs where only part of the
+    /// batch has landed (the final state is unaffected). For all-or-nothing
+    /// epoch visibility keep batches within the flush threshold.
+    pub fn ingest(&self, batch: UpdateBatch) -> Result<(), ServiceClosed> {
+        let (ins, del) = (batch.insertions.len() as u64, batch.deletions.len() as u64);
+        self.tx
+            .send(Command::Batch(batch))
+            .map_err(|_| ServiceClosed)?;
+        self.shared.ingested_inserts.fetch_add(ins, Ordering::Relaxed);
+        self.shared.ingested_deletes.fetch_add(del, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Non-blocking insert: `Ok(false)` (and a counted drop) when the queue
+    /// is full — the load-shedding policy for producers that must not stall.
+    pub fn offer_insert(&self, e: Edge) -> Result<bool, ServiceClosed> {
+        match self.tx.try_send(Command::Insert(e)) {
+            Ok(()) => {
+                self.shared.ingested_inserts.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.dropped_updates.fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServiceClosed),
+        }
+    }
+
+    /// Non-blocking delete; same drop policy as [`Self::offer_insert`].
+    pub fn offer_delete(&self, e: Edge) -> Result<bool, ServiceClosed> {
+        match self.tx.try_send(Command::Delete(e)) {
+            Ok(()) => {
+                self.shared.ingested_deletes.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.dropped_updates.fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServiceClosed),
+        }
+    }
+
+    /// Commands currently queued (a racy snapshot, useful for pacing).
+    pub fn queue_depth(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+/// Final accounting returned by [`StreamingService::shutdown`].
+pub struct ServiceReport {
+    /// The framework system, handed back for post-mortem inspection or
+    /// continued single-threaded use.
+    pub system: DynamicGraphSystem,
+    /// The snapshot published by the final flush.
+    pub final_snapshot: Arc<GraphSnapshot>,
+    /// Metrics frozen at shutdown.
+    pub metrics: ServiceMetrics,
+}
+
+/// The concurrent streaming facade over [`DynamicGraphSystem`].
+///
+/// Spawning moves the system onto a dedicated worker thread; producers feed
+/// it through cloneable [`IngestHandle`]s over a bounded queue, and readers
+/// consume epoch-stamped [`GraphSnapshot`]s that the worker publishes after
+/// every flush. See the crate docs for the architecture diagram and a
+/// runnable end-to-end example.
+pub struct StreamingService {
+    tx: Sender<Command>,
+    worker: Option<JoinHandle<DynamicGraphSystem>>,
+    monitors: Option<JoinHandle<Vec<Box<dyn SnapshotMonitor>>>>,
+    shared: Arc<Shared>,
+}
+
+impl StreamingService {
+    /// Spawn the service over a pre-assembled system ([`Monitor`]s already
+    /// registered). The system's stream-buffer threshold becomes the flush
+    /// batch size.
+    ///
+    /// [`Monitor`]: gpma_core::framework::Monitor
+    pub fn spawn(cfg: ServiceConfig, system: DynamicGraphSystem) -> Self {
+        Self::spawn_with_monitors(cfg, system, Vec::new())
+    }
+
+    /// Spawn with additional [`SnapshotMonitor`]s that run on a dedicated
+    /// analytics thread, concurrently with ingest, against every published
+    /// snapshot (superseded snapshots are skipped, never reordered).
+    pub fn spawn_with_monitors(
+        cfg: ServiceConfig,
+        system: DynamicGraphSystem,
+        monitors: Vec<Box<dyn SnapshotMonitor>>,
+    ) -> Self {
+        let (tx, rx) = bounded(cfg.queue_capacity.max(1));
+        let shared = Arc::new(Shared {
+            counters: Mutex::new(ServiceCounters::default()),
+            ingested_inserts: AtomicU64::new(0),
+            ingested_deletes: AtomicU64::new(0),
+            dropped_updates: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            snapshot: Mutex::new(Arc::new(system.snapshot())),
+            started: Instant::now(),
+        });
+
+        let (monitor_handle, snap_tx) = if monitors.is_empty() {
+            (None, None)
+        } else {
+            let (snap_tx, snap_rx) = crossbeam::channel::unbounded::<Arc<GraphSnapshot>>();
+            let handle = std::thread::Builder::new()
+                .name("gpma-service-monitors".into())
+                .spawn(move || run_monitors(snap_rx, monitors))
+                .expect("spawn service monitor thread");
+            (Some(handle), Some(snap_tx))
+        };
+
+        let worker_shared = shared.clone();
+        let worker = std::thread::Builder::new()
+            .name("gpma-service-worker".into())
+            .spawn(move || run_worker(rx, system, worker_shared, snap_tx))
+            .expect("spawn service worker thread");
+
+        StreamingService {
+            tx,
+            worker: Some(worker),
+            monitors: monitor_handle,
+            shared,
+        }
+    }
+
+    /// A new producer handle; clone freely across threads.
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle {
+            tx: self.tx.clone(),
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The latest published snapshot (epoch-stamped, immutable, cheap to
+    /// clone). Never blocks on the worker beyond an `Arc` swap.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        self.shared.latest()
+    }
+
+    /// Run an ad-hoc read against the latest snapshot — the concurrent
+    /// query path: updates keep flowing while `f` runs.
+    pub fn query<R>(&self, f: impl FnOnce(&GraphSnapshot) -> R) -> R {
+        f(&self.snapshot())
+    }
+
+    /// Epoch of the latest published snapshot.
+    pub fn latest_epoch(&self) -> u64 {
+        self.shared.latest().epoch()
+    }
+
+    /// Flush everything enqueued *before* this call and return the snapshot
+    /// the flush produced. On return, every update previously accepted by
+    /// any handle is reflected in the snapshot (updates enqueued
+    /// concurrently by other producers may be included too).
+    pub fn barrier(&self) -> Result<Arc<GraphSnapshot>, ServiceClosed> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Command::Barrier(ack_tx))
+            .map_err(|_| ServiceClosed)?;
+        ack_rx.recv().map_err(|_| ServiceClosed)
+    }
+
+    /// Run a closure against the *live* system, serialized with updates on
+    /// the worker thread (Figure 1's dynamic query buffer). Blocks until the
+    /// worker reaches the command; buffered-but-unflushed updates are not
+    /// yet visible. Prefer [`Self::query`] for reads that can tolerate
+    /// snapshot staleness — it never queues behind updates.
+    pub fn ad_hoc<R, F>(&self, f: F) -> Result<R, ServiceClosed>
+    where
+        R: Send + 'static,
+        F: FnOnce(&DynamicGraphSystem) -> R + Send + 'static,
+    {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Command::AdHoc(Box::new(move |sys: &DynamicGraphSystem| {
+                let _ = reply_tx.send(f(sys));
+            })))
+            .map_err(|_| ServiceClosed)?;
+        reply_rx.recv().map_err(|_| ServiceClosed)
+    }
+
+    /// Current metrics: cumulative counters plus live queue depth, latest
+    /// epoch and service wall-clock age.
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            counters: self.shared.counters_snapshot(),
+            queue_depth: self.tx.len(),
+            latest_epoch: self.shared.latest().epoch(),
+            elapsed_secs: self.shared.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Stop the service: drain the queue, final-flush all residue, publish
+    /// the final snapshot, join both threads and hand everything back.
+    /// Outstanding [`IngestHandle`]s get [`ServiceClosed`] afterwards.
+    ///
+    /// Exactness contract: join (or otherwise quiesce) producer threads
+    /// before calling this. The worker keeps draining and flushing until
+    /// the queue is empty, but a blocking `insert` that wins the race with
+    /// the worker's final empty-check can be accepted (and counted) yet
+    /// never applied — the same way a request can slip into any server's
+    /// accept queue at the instant it stops.
+    pub fn shutdown(mut self) -> ServiceReport {
+        let system = match self.stop_worker().expect("service worker already stopped") {
+            Ok(system) => system,
+            // Re-raise the worker's own panic with its original payload.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        ServiceReport {
+            final_snapshot: self.shared.latest(),
+            metrics: ServiceMetrics {
+                counters: self.shared.counters_snapshot(),
+                queue_depth: 0,
+                latest_epoch: self.shared.latest().epoch(),
+                elapsed_secs: self.shared.started.elapsed().as_secs_f64(),
+            },
+            system,
+        }
+    }
+
+    /// Send `Shutdown`, join the worker (recovering the system or its panic
+    /// payload), then join the monitor thread (which exits once the worker
+    /// drops its snapshot sender). Used by both `shutdown` and `Drop`.
+    fn stop_worker(&mut self) -> Option<std::thread::Result<DynamicGraphSystem>> {
+        let worker = self.worker.take()?;
+        let _ = self.tx.send(Command::Shutdown);
+        let result = worker.join();
+        if let Some(m) = self.monitors.take() {
+            let _ = m.join();
+        }
+        Some(result)
+    }
+}
+
+impl Drop for StreamingService {
+    fn drop(&mut self) {
+        // Never panic out of Drop: re-raising a worker panic here would
+        // double-panic (abort) when the service is dropped during an
+        // unwind, hiding the original failure. Surface it on stderr only.
+        if let Some(Err(_)) = self.stop_worker() {
+            eprintln!("gpma-service: worker thread panicked; state discarded");
+        }
+    }
+}
+
+/// The worker loop: block on the queue, buffer updates into the system's
+/// stream buffer, flush threshold-sized steps, publish snapshots.
+fn run_worker(
+    rx: Receiver<Command>,
+    mut sys: DynamicGraphSystem,
+    shared: Arc<Shared>,
+    snap_tx: Option<Sender<Arc<GraphSnapshot>>>,
+) -> DynamicGraphSystem {
+    loop {
+        let cmd = match rx.recv() {
+            Ok(cmd) => cmd,
+            // Every producer (and the front object) is gone: final flush.
+            Err(_) => break,
+        };
+        shared.observe_queue_depth(rx.len() + 1);
+        if handle_command(cmd, &rx, &mut sys, &shared, &snap_tx) {
+            return sys;
+        }
+        // Opportunistically absorb whatever else is already queued before
+        // flushing, so bursts coalesce into threshold-sized device steps.
+        loop {
+            if sys.stream.ready() {
+                flush_once(&mut sys, &shared, &snap_tx);
+                continue;
+            }
+            match rx.try_recv() {
+                Ok(cmd) => {
+                    // Producers refill the queue while we flush; sample here
+                    // too or the high-water mark misses exactly the bursts
+                    // it exists to measure.
+                    shared.observe_queue_depth(rx.len() + 1);
+                    if handle_command(cmd, &rx, &mut sys, &shared, &snap_tx) {
+                        return sys;
+                    }
+                }
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+    }
+    drain_and_stop(&rx, &mut sys, &shared, &snap_tx);
+    sys
+}
+
+/// Apply one command. Returns `true` when the worker must exit (after the
+/// shutdown drain has already run).
+fn handle_command(
+    cmd: Command,
+    rx: &Receiver<Command>,
+    sys: &mut DynamicGraphSystem,
+    shared: &Shared,
+    snap_tx: &Option<Sender<Arc<GraphSnapshot>>>,
+) -> bool {
+    match cmd {
+        Command::Insert(_) | Command::Delete(_) | Command::Batch(_) => {
+            buffer_update(cmd, sys, shared);
+        }
+        Command::Barrier(ack) => {
+            while !sys.stream.is_empty() {
+                flush_once(sys, shared, snap_tx);
+            }
+            // flush_once published; with nothing buffered the latest
+            // snapshot is already current (nothing else mutates the graph),
+            // so re-publishing would only repeat an O(E) copy.
+            let _ = ack.send(shared.latest());
+        }
+        Command::AdHoc(f) => f(sys),
+        Command::Shutdown => {
+            drain_and_stop(rx, sys, shared, snap_tx);
+            return true;
+        }
+    }
+    false
+}
+
+/// Buffer an update command, enforcing per-producer arrival-order
+/// semantics: a deletion cancels any same-key insertion still buffered, so
+/// "insert then delete" within one flush window nets to *absent* (within a
+/// pre-assembled [`UpdateBatch`] the framework's delete-first convention
+/// applies, as documented on [`IngestHandle::ingest`]).
+fn buffer_update(cmd: Command, sys: &mut DynamicGraphSystem, shared: &Shared) {
+    match cmd {
+        Command::Insert(e) => sys.stream.offer_insert(e),
+        Command::Delete(e) => {
+            let cancelled = sys.stream.cancel_pending_inserts(e.key());
+            if cancelled > 0 {
+                shared.counters.lock().record_cancelled(cancelled as u64);
+            }
+            sys.stream.offer_delete(e);
+        }
+        Command::Batch(b) => {
+            let mut cancelled = 0usize;
+            for d in &b.deletions {
+                cancelled += sys.stream.cancel_pending_inserts(d.key());
+            }
+            if cancelled > 0 {
+                shared.counters.lock().record_cancelled(cancelled as u64);
+            }
+            sys.stream.offer_batch(&b);
+        }
+        Command::Barrier(_) | Command::AdHoc(_) | Command::Shutdown => {
+            unreachable!("buffer_update only receives update commands")
+        }
+    }
+}
+
+/// Shutdown path: absorb every command still queued (acking barriers,
+/// answering ad-hoc queries), then flush all residue and publish. The
+/// drain-flush cycle repeats until the queue is observed empty *after* a
+/// flush, so updates accepted while the final flushes ran are still
+/// applied; only a send racing the very last empty-check can be discarded
+/// (see [`StreamingService::shutdown`] for the producer contract).
+fn drain_and_stop(
+    rx: &Receiver<Command>,
+    sys: &mut DynamicGraphSystem,
+    shared: &Shared,
+    snap_tx: &Option<Sender<Arc<GraphSnapshot>>>,
+) {
+    loop {
+        while let Ok(cmd) = rx.try_recv() {
+            match cmd {
+                Command::Insert(_) | Command::Delete(_) | Command::Batch(_) => {
+                    buffer_update(cmd, sys, shared);
+                }
+                Command::Barrier(ack) => {
+                    while !sys.stream.is_empty() {
+                        flush_once(sys, shared, snap_tx);
+                    }
+                    let _ = ack.send(shared.latest());
+                }
+                Command::AdHoc(f) => f(sys),
+                Command::Shutdown => {}
+            }
+        }
+        while !sys.stream.is_empty() {
+            flush_once(sys, shared, snap_tx);
+        }
+        if rx.is_empty() {
+            break;
+        }
+    }
+}
+
+/// One threshold-sized device step + metrics + snapshot publication.
+fn flush_once(
+    sys: &mut DynamicGraphSystem,
+    shared: &Shared,
+    snap_tx: &Option<Sender<Arc<GraphSnapshot>>>,
+) {
+    let t0 = Instant::now();
+    let report = sys.flush();
+    let wall = t0.elapsed().as_secs_f64();
+    shared.counters.lock().record_flush(
+        wall,
+        report.duplicate_inserts as u64,
+        report.update_time,
+        report.analytics_time(),
+    );
+    publish(sys, shared, snap_tx);
+}
+
+/// Copy the live graph into a fresh epoch-stamped snapshot and make it the
+/// one readers see; also feed the analytics thread when one exists.
+fn publish(
+    sys: &DynamicGraphSystem,
+    shared: &Shared,
+    snap_tx: &Option<Sender<Arc<GraphSnapshot>>>,
+) {
+    let snap = Arc::new(sys.snapshot());
+    *shared.snapshot.lock() = snap.clone();
+    if let Some(tx) = snap_tx {
+        let _ = tx.send(snap);
+    }
+}
+
+/// The analytics thread: run every monitor on each published snapshot,
+/// skipping to the newest when the queue backs up (fresh beats complete).
+fn run_monitors(
+    rx: Receiver<Arc<GraphSnapshot>>,
+    mut monitors: Vec<Box<dyn SnapshotMonitor>>,
+) -> Vec<Box<dyn SnapshotMonitor>> {
+    while let Ok(mut snap) = rx.recv() {
+        // Supersede: only the newest queued snapshot is worth analysing.
+        while let Ok(newer) = rx.try_recv() {
+            snap = newer;
+        }
+        for m in monitors.iter_mut() {
+            m.on_snapshot(&snap);
+        }
+    }
+    monitors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpma_sim::{Device, DeviceConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn system(threshold: usize) -> DynamicGraphSystem {
+        let dev = Device::new(DeviceConfig::deterministic());
+        DynamicGraphSystem::new(dev, 64, &[Edge::new(0, 1)], threshold)
+    }
+
+    #[test]
+    fn single_producer_roundtrip() {
+        let svc = StreamingService::spawn(ServiceConfig::default(), system(4));
+        let h = svc.handle();
+        for i in 1..=8u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        let snap = svc.barrier().unwrap();
+        assert_eq!(snap.num_edges(), 9);
+        assert!(snap.epoch() >= 2, "8 inserts at threshold 4: ≥2 flushes");
+        let report = svc.shutdown();
+        assert_eq!(report.metrics.counters.ingested(), 8);
+        assert_eq!(report.final_snapshot.num_edges(), 9);
+        assert_eq!(report.system.graph.storage.num_edges(), 9);
+    }
+
+    #[test]
+    fn handles_fail_after_shutdown() {
+        let svc = StreamingService::spawn(ServiceConfig::default(), system(4));
+        let h = svc.handle();
+        drop(svc.shutdown());
+        assert_eq!(h.insert(Edge::new(1, 2)), Err(ServiceClosed));
+        assert_eq!(h.offer_delete(Edge::new(1, 2)), Err(ServiceClosed));
+    }
+
+    #[test]
+    fn offer_drops_when_queue_full_and_counts_it() {
+        // Stall the worker inside an ad-hoc closure so the capacity-1 queue
+        // deterministically fills: first offer accepted, the rest shed.
+        let svc = StreamingService::spawn(ServiceConfig { queue_capacity: 1 }, system(1_000_000));
+        let h = svc.handle();
+        let (gate_tx, gate_rx) = bounded::<()>(1);
+        let (entered_tx, entered_rx) = bounded::<()>(1);
+        svc.tx
+            .send(Command::AdHoc(Box::new(move |_sys| {
+                let _ = entered_tx.send(());
+                let _ = gate_rx.recv(); // hold the worker
+            })))
+            .unwrap();
+        entered_rx.recv().unwrap(); // worker is now parked inside the closure
+        let mut dropped = 0u64;
+        let mut accepted = 0u64;
+        for i in 0..10u32 {
+            match h.offer_insert(Edge::new(2, 3 + i)).unwrap() {
+                true => accepted += 1,
+                false => dropped += 1,
+            }
+        }
+        assert_eq!(accepted, 1, "exactly one offer fits the capacity-1 queue");
+        assert_eq!(dropped, 9);
+        gate_tx.send(()).unwrap();
+        let report = svc.shutdown();
+        assert_eq!(report.metrics.counters.dropped_updates, dropped);
+        assert_eq!(report.metrics.counters.ingested(), accepted);
+        assert_eq!(report.final_snapshot.num_edges(), 2);
+    }
+
+    #[test]
+    fn snapshot_monitors_observe_published_epochs() {
+        static SEEN: AtomicU64 = AtomicU64::new(0);
+        struct CountingMonitor;
+        impl SnapshotMonitor for CountingMonitor {
+            fn name(&self) -> &str {
+                "seen-epochs"
+            }
+            fn on_snapshot(&mut self, snapshot: &GraphSnapshot) {
+                SEEN.fetch_max(snapshot.epoch(), Ordering::SeqCst);
+            }
+        }
+        SEEN.store(0, Ordering::SeqCst);
+        let svc = StreamingService::spawn_with_monitors(
+            ServiceConfig::default(),
+            system(2),
+            vec![Box::new(CountingMonitor)],
+        );
+        let h = svc.handle();
+        for i in 0..6u32 {
+            h.insert(Edge::new(1 + i, 0)).unwrap();
+        }
+        let snap = svc.barrier().unwrap();
+        let report = svc.shutdown();
+        // The monitor thread is joined by shutdown, so the final epoch has
+        // been observed.
+        assert_eq!(SEEN.load(Ordering::SeqCst), report.final_snapshot.epoch());
+        assert!(snap.epoch() >= 3);
+    }
+
+    #[test]
+    fn ad_hoc_runs_serialized_on_live_graph() {
+        let svc = StreamingService::spawn(ServiceConfig::default(), system(2));
+        let h = svc.handle();
+        h.insert(Edge::new(1, 2)).unwrap();
+        h.insert(Edge::new(2, 3)).unwrap();
+        let n = svc
+            .ad_hoc(|sys| sys.ad_hoc(|_, g| g.storage.num_edges()))
+            .unwrap();
+        // FIFO: both inserts flushed (threshold 2) before the query ran.
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn arrival_order_wins_across_commands() {
+        // Huge threshold: everything lands in one flush window, so this
+        // exercises the cancel-pending-inserts path, not batch splitting.
+        let svc = StreamingService::spawn(ServiceConfig::default(), system(1_000_000));
+        let h = svc.handle();
+        // insert → delete ⇒ absent.
+        h.insert(Edge::new(5, 6)).unwrap();
+        h.delete(Edge::new(5, 6)).unwrap();
+        // delete → insert ⇒ present.
+        h.delete(Edge::new(7, 8)).unwrap();
+        h.insert(Edge::new(7, 8)).unwrap();
+        // insert → batch-with-delete ⇒ absent.
+        h.insert(Edge::new(9, 10)).unwrap();
+        h.ingest(UpdateBatch {
+            insertions: vec![],
+            deletions: vec![Edge::new(9, 10)],
+        })
+        .unwrap();
+        let snap = svc.barrier().unwrap();
+        assert!(!snap.contains(5, 6));
+        assert!(snap.contains(7, 8));
+        assert!(!snap.contains(9, 10));
+        let report = svc.shutdown();
+        assert_eq!(report.metrics.counters.cancelled_inserts, 2);
+    }
+
+    #[test]
+    fn metrics_report_rates() {
+        // Threshold 4 keeps the whole batch in one step, so the duplicate
+        // (1, 2) insertion pair is visible to the per-step counter.
+        let svc = StreamingService::spawn(ServiceConfig::default(), system(4));
+        let h = svc.handle();
+        h.ingest(UpdateBatch {
+            insertions: vec![Edge::new(1, 2), Edge::new(1, 2), Edge::new(2, 3)],
+            deletions: vec![Edge::new(0, 1)],
+        })
+        .unwrap();
+        svc.barrier().unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.counters.ingested_inserts, 3);
+        assert_eq!(m.counters.ingested_deletes, 1);
+        assert!(m.counters.flushes >= 1);
+        assert!(m.counters.duplicate_edges >= 1, "duplicate (1,2) counted");
+        assert!(m.elapsed_secs > 0.0);
+        assert!(m.ingest_throughput() > 0.0);
+        let line = m.to_string();
+        assert!(line.contains("epoch"), "display: {line}");
+        drop(svc);
+    }
+}

@@ -18,6 +18,26 @@
 //! Simulated time ([`SimTime`]) is derived purely from the cost model and is
 //! completely independent of host wall-clock time, so results are stable
 //! across machines.
+//!
+//! ## Quick example
+//!
+//! Launch a kernel over 256 lanes and read the cost model's verdict:
+//!
+//! ```
+//! use gpma_sim::{Device, DeviceBuffer, DeviceConfig};
+//!
+//! let dev = Device::new(DeviceConfig::deterministic());
+//! let out = DeviceBuffer::<u64>::new(256);
+//! let stats = dev.launch("square", 256, |lane| {
+//!     let i = lane.tid as u64;
+//!     lane.work(1);
+//!     out.set(lane, lane.tid, i * i);
+//! });
+//! assert_eq!(out.to_vec()[9], 81);
+//! assert_eq!(stats.threads, 256);
+//! assert_eq!(stats.warps, 8);
+//! assert!(dev.elapsed().secs() > 0.0);
+//! ```
 
 mod buffer;
 mod config;
@@ -31,7 +51,7 @@ pub mod primitives;
 pub use buffer::{DeviceBuffer, DevicePod};
 pub use config::{DeviceConfig, PcieConfig};
 pub use device::{Device, Lane};
-pub use metrics::{DeviceMetrics, KernelStats, SimTime};
+pub use metrics::{DeviceMetrics, KernelStats, ServiceCounters, SimTime};
 
 #[cfg(test)]
 mod integration_tests {

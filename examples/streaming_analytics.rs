@@ -1,39 +1,52 @@
-//! Streaming analytics over a sliding window (the paper's §3 framework):
-//! a Reddit-like influence stream flows through the DynamicGraphSystem,
-//! PageRank is tracked continuously, and each step reports whether PCIe
-//! transfers were hidden behind compute (Figure 2 / Figure 11).
+//! Streaming analytics on the concurrent service facade (`gpma-service`):
+//! a Reddit-like influence stream is fed by multiple producer threads while
+//! PageRank tracks every published snapshot and ad-hoc queries read
+//! consistent epochs — the paper's §6.5 "concurrent streams and queries"
+//! scenario over the §3 framework.
 //!
 //! ```sh
 //! cargo run --release --example streaming_analytics
 //! ```
 
-use gpma_analytics::{pagerank_device, GpmaView};
-use gpma_core::framework::{DynamicGraphSystem, Monitor};
-use gpma_core::GpmaPlus;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gpma_analytics::pagerank_host;
+use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot};
 use gpma_graph::datasets::{generate, DatasetKind};
+use gpma_service::{ServiceConfig, SnapshotMonitor, StreamingService};
 use gpma_sim::{Device, DeviceConfig};
 
-/// Continuous PageRank tracking (the paper's TunkRank motivation).
-struct PageRankMonitor {
-    last_top: Option<(usize, f64)>,
+const PRODUCERS: usize = 4;
+
+/// Continuous PageRank tracking (the paper's TunkRank motivation), run on
+/// the service's analytics thread against immutable snapshots.
+struct PageRankTracker {
+    epochs_analyzed: Arc<AtomicU64>,
 }
 
-impl Monitor for PageRankMonitor {
+impl SnapshotMonitor for PageRankTracker {
     fn name(&self) -> &str {
         "pagerank-tracker"
     }
 
-    fn run(&mut self, dev: &Device, graph: &GpmaPlus) -> usize {
-        let view = GpmaView::build(dev, &graph.storage);
-        let pr = pagerank_device(dev, &view, 0.85, 1e-3, 100);
+    fn on_snapshot(&mut self, snap: &GraphSnapshot) {
+        let pr = pagerank_host(snap, 0.85, 1e-3, 50);
         let top = pr
             .ranks
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(v, &r)| (v, r));
-        self.last_top = top;
-        pr.ranks.len() * 8 // result bytes fetched to the host
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap());
+        if let Some((v, r)) = top {
+            println!(
+                "  [monitor] epoch {:>3}: {} edges, top influencer v{} (rank {:.5})",
+                snap.epoch(),
+                snap.num_edges(),
+                v,
+                r
+            );
+        }
+        self.epochs_analyzed.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -48,29 +61,65 @@ fn main() {
         stream.initial_size()
     );
 
+    // Assemble the framework system, then put the service facade over it.
     let batch_size = stream.slide_batch_size(0.01);
     let dev = Device::new(DeviceConfig::default());
-    let mut sys = DynamicGraphSystem::new(dev, stream.num_vertices, stream.initial_edges(), batch_size);
-    sys.register_monitor(Box::new(PageRankMonitor { last_top: None }));
+    let sys = DynamicGraphSystem::new(dev, stream.num_vertices, stream.initial_edges(), batch_size);
+    let epochs_analyzed = Arc::new(AtomicU64::new(0));
+    let svc = StreamingService::spawn_with_monitors(
+        ServiceConfig::default(),
+        sys,
+        vec![Box::new(PageRankTracker {
+            epochs_analyzed: epochs_analyzed.clone(),
+        })],
+    );
 
-    let mut steps = 0;
-    for batch in stream.sliding(batch_size).take(5) {
-        for report in sys.ingest(&batch) {
-            steps += 1;
-            println!(
-                "step {steps}: batch={} update={:.1}µs analytics={:.1}µs \
-                 step-makespan={:.1}µs (serialized {:.1}µs) transfers hidden: {}",
-                report.batch_size,
-                report.update_time.micros(),
-                report.analytics_time().micros(),
-                report.schedule.makespan.micros(),
-                report.schedule.serialized.micros(),
-                report.schedule.transfers_hidden
-            );
-        }
+    // Concurrent producers: split the live tail of the stream round-robin
+    // across threads, each feeding its own IngestHandle.
+    let tail: Vec<_> = stream.edges[stream.initial_size()..].to_vec();
+    println!("feeding {} live edges from {PRODUCERS} producer threads ...", tail.len());
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let h = svc.handle();
+            let edges: Vec<_> = tail.iter().skip(p).step_by(PRODUCERS).copied().collect();
+            std::thread::spawn(move || {
+                for e in edges {
+                    h.insert(e).expect("service alive");
+                }
+            })
+        })
+        .collect();
+
+    // Meanwhile, this thread runs ad-hoc queries against consistent
+    // epoch-stamped snapshots — ingest never pauses for them.
+    for _ in 0..5 {
+        let (epoch, edges, deg0) =
+            svc.query(|snap| (snap.epoch(), snap.num_edges(), snap.out_degree(0)));
+        println!("  [query]  epoch {epoch:>3}: {edges} edges live, deg(v0) = {deg0}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
     }
 
-    // Ad-hoc query against the live graph (Figure 1's query path).
-    let (edges, vertices) = sys.ad_hoc(|_, g| (g.storage.num_edges(), g.storage.num_vertices()));
-    println!("final active graph: {edges} edges / {vertices} vertices");
+    for t in producers {
+        t.join().unwrap();
+    }
+
+    // Barrier: everything accepted above is flushed and visible.
+    let final_snap = svc.barrier().expect("service alive");
+    println!(
+        "barrier: epoch {} with {} live edges",
+        final_snap.epoch(),
+        final_snap.num_edges()
+    );
+
+    let report = svc.shutdown();
+    println!("service metrics: {}", report.metrics);
+    println!(
+        "epochs analyzed by PageRank monitor: {}",
+        epochs_analyzed.load(Ordering::Relaxed)
+    );
+    assert_eq!(
+        report.metrics.counters.ingested(),
+        tail.len() as u64,
+        "every streamed edge was accepted"
+    );
 }

@@ -1,9 +1,21 @@
 //! # gpma-repro — umbrella crate for the GPMA/GPMA+ reproduction
 //!
-//! Re-exports the seven workspace crates under one roof and anchors the
+//! Re-exports the eight workspace crates under one roof and anchors the
 //! root-level integration tests (`tests/`) and examples (`examples/`).
 //! See `DESIGN.md` for the crate map and experiment index, and `ROADMAP.md`
 //! for build/test/bench commands.
+//!
+//! ```
+//! use gpma_repro::graph::Edge;
+//! use gpma_repro::service::{ServiceConfig, StreamingService};
+//! use gpma_repro::sim::{Device, DeviceConfig};
+//!
+//! let dev = Device::new(DeviceConfig::deterministic());
+//! let sys = gpma_repro::core::framework::DynamicGraphSystem::new(dev, 4, &[], 2);
+//! let svc = StreamingService::spawn(ServiceConfig::default(), sys);
+//! svc.handle().insert(Edge::new(0, 1)).unwrap();
+//! assert_eq!(svc.barrier().unwrap().num_edges(), 1);
+//! ```
 
 pub use gpma_analytics as analytics;
 pub use gpma_baselines as baselines;
@@ -11,4 +23,5 @@ pub use gpma_bench as bench;
 pub use gpma_core as core;
 pub use gpma_graph as graph;
 pub use gpma_pma as pma;
+pub use gpma_service as service;
 pub use gpma_sim as sim;

@@ -55,6 +55,74 @@ impl fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// Error returned by [`Sender::try_send`]: the channel is either full (at
+/// bounded capacity) or disconnected. Carries the unsent message back.
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recover the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+        }
+    }
+
+    /// True when the failure was a full bounded queue (backpressure), not a
+    /// disconnect.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "Full(..)"),
+            TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+/// Error returned by [`Receiver::try_recv`]: the channel is currently empty
+/// or empty-and-disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is queued right now; senders may still produce more.
+    Empty,
+    /// The channel is drained and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
 }
@@ -113,6 +181,35 @@ impl<T> Sender<T> {
         self.shared.recv_cv.notify_one();
         Ok(())
     }
+
+    /// Non-blocking send: fails immediately with [`TrySendError::Full`] when
+    /// a bounded channel is at capacity (the backpressure probe) instead of
+    /// waiting for space.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if state.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.recv_cv.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued (racy by nature; a snapshot, not a fence).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("channel lock").queue.len()
+    }
+
+    /// True when no message is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -153,6 +250,32 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Non-blocking receive: distinguishes "nothing queued yet"
+    /// ([`TryRecvError::Empty`]) from "drained and all senders gone"
+    /// ([`TryRecvError::Disconnected`]).
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        if let Some(msg) = state.queue.pop_front() {
+            drop(state);
+            self.shared.send_cv.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Messages currently queued (racy by nature; a snapshot, not a fence).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("channel lock").queue.len()
+    }
+
+    /// True when no message is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Clone for Receiver<T> {
@@ -217,6 +340,31 @@ mod tests {
         let (tx, rx) = bounded::<u8>(1);
         drop(rx);
         assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert!(tx.try_send(2).unwrap_err().is_full());
+        assert_eq!(tx.len(), 1);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.is_empty());
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+        assert_eq!(TrySendError::Full(9u8).into_inner(), 9);
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(5).unwrap();
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx.try_recv(), Ok(5));
+        assert!(rx.is_empty());
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]
