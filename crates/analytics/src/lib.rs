@@ -10,8 +10,11 @@
 //! * **CPU references** over [`view::HostGraph`] — the standard
 //!   single-threaded algorithms used with AdjLists/PMA, also valid for the
 //!   Stinger baseline;
-//! * **multi-device variants** ([`multi`]) over a vertex-partitioned
-//!   [`gpma_core::multi::MultiGpma`] for the Figure 12 scaling study.
+//! * **multi-device variants** ([`multi`]) over a partitioned
+//!   [`gpma_core::multi::MultiGpma`] for the Figure 12 scaling study, plus
+//!   the *sharded* variants ([`bfs_sharded`], [`pagerank_sharded`]) that run
+//!   supersteps over per-shard host snapshots with a modeled frontier/rank
+//!   exchange — the analytics half of the `gpma-cluster` layer.
 //!
 //! ## Quick example
 //!
@@ -45,5 +48,6 @@ pub mod view;
 
 pub use bfs::{bfs_device, bfs_host, UNREACHED};
 pub use cc::{cc_device, cc_host, component_count};
+pub use multi::{bfs_sharded, pagerank_sharded, ExchangeStats};
 pub use pagerank::{pagerank_device, pagerank_host, PageRank, DAMPING, EPSILON, MAX_ITERS};
 pub use view::{DeviceGraphView, GpmaView, HostGraph, RebuildView};

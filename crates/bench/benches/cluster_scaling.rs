@@ -1,0 +1,68 @@
+//! Cluster shard-scaling bench: end-to-end wall-clock of streaming one
+//! fixed edge tail through a `gpma-cluster` with a growing shard count,
+//! under both partitioning policies. Like the service bench this measures
+//! host wall-clock (routing, queueing, flush cadence and the coordinated
+//! epoch cut are real host work); the GPMA+ applies inside each shard run
+//! on that shard's simulated device.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpma_cluster::{ClusterConfig, GraphCluster, PartitionPolicy};
+use gpma_graph::datasets::DatasetKind;
+use gpma_graph::Edge;
+use gpma_sim::DeviceConfig;
+use std::time::{Duration, Instant};
+
+/// Live edges streamed per measured iteration.
+const EDGES_PER_ITER: usize = 2000;
+const PRODUCERS: usize = 4;
+
+fn cluster_scaling(c: &mut Criterion) {
+    let stream = bench_stream(DatasetKind::Graph500);
+    let batch = stream.slide_batch_size(0.01).max(1);
+    let tail: Vec<Edge> = stream.edges[stream.initial_size()..]
+        .iter()
+        .take(EDGES_PER_ITER)
+        .copied()
+        .collect();
+
+    let mut group = c.benchmark_group("cluster_scaling_graph500");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(1500));
+    for policy in [PartitionPolicy::VertexHash, PartitionPolicy::EdgeGrid] {
+        for &shards in &[1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), shards),
+                &shards,
+                |b, &shards| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let cluster = GraphCluster::spawn(
+                                ClusterConfig {
+                                    flush_threshold: batch,
+                                    ..Default::default()
+                                },
+                                &DeviceConfig::default(),
+                                policy.build(stream.num_vertices, shards),
+                                stream.initial_edges(),
+                            );
+                            let t0 = Instant::now();
+                            gpma_bench::feed_cluster_concurrently(&cluster, &tail, PRODUCERS);
+                            total += t0.elapsed();
+                            drop(cluster);
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cluster_scaling);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT ...] [--scale F] [--seed N] [--slides N] [--quick]
 //!
 //! EXPERIMENT: all | table1 | table2 | fig7 | fig8 | fig9 | fig10 | fig11 |
-//!             fig12 | sorted | explicit | ablation | service
+//!             fig12 | sorted | explicit | ablation | service | cluster
 //! ```
 
 use gpma_bench::apps::App;
@@ -51,7 +51,7 @@ fn main() {
     if selected.iter().any(|s| s == "all") {
         selected = [
             "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sorted",
-            "explicit", "ablation", "service",
+            "explicit", "ablation", "service", "cluster",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -81,6 +81,7 @@ fn main() {
             "explicit" => exp::explicit_stream(&cfg),
             "ablation" => exp::ablation(&cfg),
             "service" => exp::service(&cfg),
+            "cluster" => exp::cluster(&cfg),
             other => eprintln!("unknown experiment: {other} (see --help)"),
         }
         eprintln!("[{s} finished in {:.1}s]", t0.elapsed().as_secs_f64());
@@ -91,7 +92,7 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's evaluation\n\
          usage: repro [EXPERIMENT ...] [--scale F] [--seed N] [--slides N] [--quick]\n\
-         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation service\n\
+         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation service cluster\n\
          defaults: --scale 0.005 --seed 42 --slides 3\n\
          --quick: scale 0.001, 1 slide per configuration"
     );

@@ -548,6 +548,173 @@ pub fn service(cfg: &ExpConfig) {
     );
 }
 
+// ----------------------------------------------------------------------
+// Cluster — sharded streaming service scaling (§6.6 / Figure 12 trade-off)
+// ----------------------------------------------------------------------
+
+/// Shard-scaling study of the `gpma-cluster` facade: stream the live half
+/// of a Graph500 stream through 1/2/4/8-shard clusters under both
+/// partitioning policies, then run the distributed analytics on the final
+/// coordinated cut. Reports host ingest throughput, routing balance, the
+/// modeled cross-shard transfer volume, and the frontier/rank exchange
+/// traffic — Figure 12's trade-off space with communication made explicit.
+/// Also measures the single-device GPMA+ update hot path (wall + sim) so
+/// the perf trajectory of the streaming path accumulates run over run.
+/// Saves `results/cluster.csv` and machine-readable
+/// `results/BENCH_cluster.json`.
+pub fn cluster(cfg: &ExpConfig) {
+    use gpma_analytics::{bfs_sharded, pagerank_sharded};
+    use gpma_cluster::{ClusterConfig, GraphCluster, PartitionPolicy};
+
+    const PRODUCERS: usize = 4;
+    let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
+    let nv = stream.num_vertices;
+    let batch = stream.slide_batch_size(0.01).max(1);
+    // Bound the fed tail so `--quick` stays a smoke run.
+    let cap = (batch * 20 * cfg.max_slides.max(1)).min(stream.len() - stream.initial_size());
+    let tail = &stream.edges[stream.initial_size()..stream.initial_size() + cap];
+    let link = Pcie::new(PcieConfig::default());
+
+    // Single-device update hot path: the streaming flush loop the perf
+    // work targets (reusable upload staging + merge-tier scratch).
+    let hot = {
+        let dev = Device::new(cfg.device_cfg.clone());
+        let mut g = GpmaPlus::build(&dev, nv, stream.initial_edges());
+        let t0 = std::time::Instant::now();
+        let mut sim = 0.0f64;
+        let mut batches = 0usize;
+        for b in tail.chunks(batch) {
+            let ub = UpdateBatch {
+                insertions: b.to_vec(),
+                deletions: vec![],
+            };
+            let (_, t) = dev.timed(|d| {
+                g.update_batch_lazy(d, &ub);
+            });
+            sim += t.secs();
+            batches += 1;
+        }
+        (batches, tail.len(), t0.elapsed().as_secs_f64(), sim)
+    };
+
+    let mut rows = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    for policy in [PartitionPolicy::VertexHash, PartitionPolicy::EdgeGrid] {
+        for shards in [1usize, 2, 4, 8] {
+            let part = policy.build(nv, shards);
+            let cluster = GraphCluster::spawn(
+                ClusterConfig {
+                    flush_threshold: batch,
+                    ..Default::default()
+                },
+                &cfg.device_cfg,
+                part,
+                stream.initial_edges(),
+            );
+            let t0 = std::time::Instant::now();
+            let snap = crate::feed_cluster_concurrently(&cluster, tail, PRODUCERS);
+            let wall = t0.elapsed().as_secs_f64();
+
+            // Distributed analytics over the cut's shard snapshots.
+            let refs = snap.shard_refs();
+            let (_, bfs_stats) = bfs_sharded(&refs, nv, 0, &link);
+            let (pr, pr_stats) = pagerank_sharded(&refs, nv, 0.85, 1e-3, 50, &link);
+
+            let report = cluster.shutdown();
+            let m = &report.metrics;
+            let t = m.total_transfer();
+            let flushes: u64 = m.shards.iter().map(|s| s.counters.flushes).sum();
+            rows.push(vec![
+                policy.name().to_string(),
+                format!("{shards}"),
+                format!("{}", m.ingested()),
+                fmt_meps(m.ingested() as usize, wall),
+                format!("{:.1}%", m.cut_fraction() * 100.0),
+                format!("{:.2}", m.imbalance()),
+                format!("{}", t.bytes / 1024),
+                fmt_ms(t.time.secs()),
+                format!("{flushes}"),
+                fmt_ms(bfs_stats.comm.secs()),
+                format!("{}", bfs_stats.bytes / 1024),
+                format!("{}", pr.iterations),
+                fmt_ms(pr_stats.comm.secs()),
+                format!("{}", pr_stats.bytes / 1024),
+            ]);
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"policy\": \"{}\", \"shards\": {}, \"updates\": {}, ",
+                    "\"ingest_wall_secs\": {:.6}, \"cut_edge_fraction\": {:.4}, ",
+                    "\"route_imbalance\": {:.4}, \"router_transfer_bytes\": {}, ",
+                    "\"router_transfer_secs\": {:.6}, \"router_dmas\": {}, ",
+                    "\"shard_flushes\": {}, \"final_edges\": {}, ",
+                    "\"bfs_supersteps\": {}, \"bfs_exchange_bytes\": {}, ",
+                    "\"bfs_comm_secs\": {:.6}, \"pagerank_iters\": {}, ",
+                    "\"pagerank_exchange_bytes\": {}, \"pagerank_comm_secs\": {:.6}}}"
+                ),
+                policy.name(),
+                shards,
+                m.ingested(),
+                wall,
+                m.cut_fraction(),
+                m.imbalance(),
+                t.bytes,
+                t.time.secs(),
+                t.transfers,
+                flushes,
+                report.final_snapshot.num_edges(),
+                bfs_stats.supersteps,
+                bfs_stats.bytes,
+                bfs_stats.comm.secs(),
+                pr.iterations,
+                pr_stats.bytes,
+                pr_stats.comm.secs(),
+            ));
+            eprintln!("cluster: {} × {shards} shard(s) done", policy.name());
+        }
+    }
+    emit(
+        "cluster",
+        "Cluster: sharded streaming service scaling (Graph500, 4 producers, 1% flush batches)",
+        &[
+            "Policy", "Shards", "Updates", "HostMeps", "CutEdge", "Imbal", "RouteKB",
+            "RouteMs", "Flushes", "BfsCommMs", "BfsKB", "PrIters", "PrCommMs", "PrKB",
+        ],
+        &rows,
+    );
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"cluster\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"scale\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"num_vertices\": {},\n",
+            "  \"streamed_updates\": {},\n",
+            "  \"producers\": {},\n",
+            "  \"flush_batch\": {},\n",
+            "  \"update_hot_path\": {{\"batches\": {}, \"updates\": {}, ",
+            "\"wall_secs\": {:.6}, \"sim_secs\": {:.6}}},\n",
+            "  \"rows\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        crate::report::json_escape(&stream.name),
+        cfg.scale,
+        cfg.seed,
+        nv,
+        tail.len(),
+        PRODUCERS,
+        batch,
+        hot.0,
+        hot.1,
+        hot.2,
+        hot.3,
+        json_rows.join(",\n"),
+    );
+    if let Err(e) = crate::report::save_json("BENCH_cluster", &json) {
+        eprintln!("(json save failed for cluster: {e})");
+    }
+}
+
 pub fn ablation(cfg: &ExpConfig) {
     let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
     let batch = stream.slide_batch_size(0.01);

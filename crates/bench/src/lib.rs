@@ -73,3 +73,31 @@ pub fn feed_concurrently(
     }
     svc.barrier().expect("service alive")
 }
+
+/// Cluster twin of [`feed_concurrently`]: stream `edges` through
+/// `producers` cluster handles (round-robin split), join the feeders, then
+/// take a coordinated epoch cut and return its snapshot. Shared by the
+/// `cluster` experiment and the `cluster_scaling` bench.
+pub fn feed_cluster_concurrently(
+    cluster: &gpma_cluster::GraphCluster,
+    edges: &[gpma_graph::Edge],
+    producers: usize,
+) -> std::sync::Arc<gpma_cluster::ClusterSnapshot> {
+    let producers = producers.max(1);
+    let feeders: Vec<_> = (0..producers)
+        .map(|p| {
+            let h = cluster.handle();
+            let chunk: Vec<gpma_graph::Edge> =
+                edges.iter().skip(p).step_by(producers).copied().collect();
+            std::thread::spawn(move || {
+                for e in chunk {
+                    h.insert(e).expect("cluster alive");
+                }
+            })
+        })
+        .collect();
+    for f in feeders {
+        f.join().expect("producer thread");
+    }
+    cluster.epoch_cut().expect("cluster alive")
+}

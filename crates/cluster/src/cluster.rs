@@ -1,0 +1,683 @@
+//! The cluster runtime: cluster handles, the router thread that fans one
+//! ingest stream out across per-shard [`StreamingService`] workers, the
+//! coordinated epoch cut, and the shutdown protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot, BYTES_PER_UPDATE};
+use gpma_core::multi::Partitioner;
+use gpma_graph::{Edge, UpdateBatch};
+use gpma_service::{IngestHandle, ServiceConfig, ServiceReport, StreamingService};
+use gpma_sim::pcie::{Pcie, TransferLedger};
+use gpma_sim::{Device, DeviceConfig, PcieConfig};
+use parking_lot::Mutex;
+
+use crate::metrics::ClusterMetrics;
+use crate::snapshot::ClusterSnapshot;
+
+/// Tuning knobs for a [`GraphCluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Capacity of the cluster's bounded router queue. Blocking producers
+    /// stall when it fills — backpressure propagates from the shard queues
+    /// through the router to every [`ClusterHandle`].
+    pub queue_capacity: usize,
+    /// Capacity of each shard service's own ingest queue.
+    pub shard_queue_capacity: usize,
+    /// Flush threshold of each shard's `GraphStreamBuffer` (updates per
+    /// device step).
+    pub flush_threshold: usize,
+    /// Updates the router coalesces before forwarding per-shard sub-batches
+    /// (one modeled DMA per non-empty sub-batch). Larger values amortize
+    /// the per-transfer latency floor; smaller values cut snapshot
+    /// staleness.
+    pub router_batch: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            queue_capacity: 4096,
+            shard_queue_capacity: 1024,
+            flush_threshold: 64,
+            router_batch: 256,
+        }
+    }
+}
+
+/// Error returned by every handle operation once the cluster router has
+/// exited (after [`GraphCluster::shutdown`] or a router panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterClosed;
+
+impl std::fmt::Display for ClusterClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the graph cluster has shut down")
+    }
+}
+
+impl std::error::Error for ClusterClosed {}
+
+/// Commands flowing through the bounded router queue.
+enum Command {
+    Insert(Edge),
+    Delete(Edge),
+    Batch(UpdateBatch),
+    /// Forward all residue, barrier every shard, publish a cut, ack it.
+    Cut(Sender<Arc<ClusterSnapshot>>),
+    /// Reply with each shard service's live metrics.
+    Stats(Sender<Vec<gpma_service::ServiceMetrics>>),
+    /// Drain everything queued, final-cut, stop the shard services, exit.
+    Shutdown,
+}
+
+/// Router-side accounting, written by the router thread per forwarding step
+/// and read whole by [`GraphCluster::metrics`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RouterCounters {
+    /// Updates routed to each shard.
+    pub routed: Vec<u64>,
+    /// Modeled host→shard transfer ledger per shard.
+    pub transfer: Vec<TransferLedger>,
+    /// Routed insertions whose endpoints have different home shards (the
+    /// traffic analytics must pay along partition boundaries).
+    pub cut_edges: u64,
+    /// Pending insertions cancelled in the router by a later same-key
+    /// deletion (arrival-order semantics, before the shard even sees them).
+    pub cancelled_inserts: u64,
+}
+
+/// State shared between producers, the router, and the front object.
+struct Shared {
+    /// Latest published cut; swapped whole so readers never block the
+    /// router for longer than an `Arc` clone.
+    snapshot: Mutex<Arc<ClusterSnapshot>>,
+    router: Mutex<RouterCounters>,
+    ingested_inserts: AtomicU64,
+    ingested_deletes: AtomicU64,
+    queries: AtomicU64,
+    cuts: AtomicU64,
+    started: Instant,
+}
+
+/// A cloneable producer handle feeding the cluster's bounded router queue.
+///
+/// Semantics match the single-shard [`IngestHandle`]: updates from one
+/// handle apply in arrival order (insert-then-delete nets to *absent*)
+/// regardless of which shard each edge routes to, because the router is a
+/// single FIFO stage that cancels pending inserts before forwarding a
+/// same-key deletion.
+#[derive(Clone)]
+pub struct ClusterHandle {
+    tx: Sender<Command>,
+    shared: Arc<Shared>,
+}
+
+impl ClusterHandle {
+    /// Stream one edge insertion, blocking while the router queue is full.
+    pub fn insert(&self, e: Edge) -> Result<(), ClusterClosed> {
+        self.tx.send(Command::Insert(e)).map_err(|_| ClusterClosed)?;
+        self.shared.ingested_inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Stream one edge deletion, blocking while the router queue is full.
+    pub fn delete(&self, e: Edge) -> Result<(), ClusterClosed> {
+        self.tx.send(Command::Delete(e)).map_err(|_| ClusterClosed)?;
+        self.shared.ingested_deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Stream a pre-assembled batch (deletions apply before insertions
+    /// within the batch, the framework convention), blocking while the
+    /// router queue is full.
+    pub fn ingest(&self, batch: UpdateBatch) -> Result<(), ClusterClosed> {
+        let (ins, del) = (batch.insertions.len() as u64, batch.deletions.len() as u64);
+        self.tx
+            .send(Command::Batch(batch))
+            .map_err(|_| ClusterClosed)?;
+        self.shared.ingested_inserts.fetch_add(ins, Ordering::Relaxed);
+        self.shared.ingested_deletes.fetch_add(del, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Commands currently queued at the router (racy, for pacing).
+    pub fn queue_depth(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+/// Final accounting returned by [`GraphCluster::shutdown`].
+pub struct ClusterReport {
+    /// The final coordinated cut: every accepted update is reflected.
+    pub final_snapshot: Arc<ClusterSnapshot>,
+    /// Cluster metrics frozen at shutdown (per-shard metrics included).
+    pub metrics: ClusterMetrics,
+    /// Each shard service's own report (system, final snapshot, metrics),
+    /// index-aligned with shard ids.
+    pub shard_reports: Vec<ServiceReport>,
+}
+
+/// The sharded streaming facade: one ingest stream fanned out across
+/// per-shard [`StreamingService`] workers by a [`Partitioner`] policy.
+///
+/// See the crate docs for the architecture diagram; `examples/
+/// sharded_service.rs` is the runnable walkthrough.
+pub struct GraphCluster {
+    tx: Sender<Command>,
+    router: Option<JoinHandle<Vec<ServiceReport>>>,
+    shared: Arc<Shared>,
+    partitioner: Arc<dyn Partitioner>,
+}
+
+impl GraphCluster {
+    /// Spawn the cluster: build one simulated device + GPMA+ system per
+    /// shard (initial edges routed by the policy), wrap each in a
+    /// [`StreamingService`], and start the router thread.
+    pub fn spawn(
+        cfg: ClusterConfig,
+        device_cfg: &DeviceConfig,
+        partitioner: Arc<dyn Partitioner>,
+        initial_edges: &[Edge],
+    ) -> Self {
+        let num_shards = partitioner.num_shards();
+        assert!(num_shards >= 1);
+        let num_vertices = partitioner.num_vertices();
+        let mut per_shard: Vec<Vec<Edge>> = vec![Vec::new(); num_shards];
+        for e in initial_edges {
+            per_shard[partitioner.shard_of_edge(e.src, e.dst)].push(*e);
+        }
+
+        let mut services = Vec::with_capacity(num_shards);
+        let mut initial_snaps = Vec::with_capacity(num_shards);
+        for (i, edges) in per_shard.iter().enumerate() {
+            let dev = Device::named(device_cfg.clone(), format!("shard{i}"));
+            let sys = DynamicGraphSystem::new(dev, num_vertices, edges, cfg.flush_threshold);
+            initial_snaps.push(Arc::new(sys.snapshot()));
+            services.push(StreamingService::spawn(
+                ServiceConfig {
+                    queue_capacity: cfg.shard_queue_capacity,
+                },
+                sys,
+            ));
+        }
+
+        let shared = Arc::new(Shared {
+            snapshot: Mutex::new(Arc::new(ClusterSnapshot::new(0, num_vertices, initial_snaps))),
+            router: Mutex::new(RouterCounters {
+                routed: vec![0; num_shards],
+                transfer: vec![TransferLedger::default(); num_shards],
+                cut_edges: 0,
+                cancelled_inserts: 0,
+            }),
+            ingested_inserts: AtomicU64::new(0),
+            ingested_deletes: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            cuts: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+
+        let (tx, rx) = bounded(cfg.queue_capacity.max(1));
+        let router_shared = shared.clone();
+        let router_part = partitioner.clone();
+        let router = std::thread::Builder::new()
+            .name("gpma-cluster-router".into())
+            .spawn(move || run_router(rx, services, router_part, router_shared, cfg.router_batch))
+            .expect("spawn cluster router thread");
+
+        GraphCluster {
+            tx,
+            router: Some(router),
+            shared,
+            partitioner,
+        }
+    }
+
+    /// A new producer handle; clone freely across threads.
+    pub fn handle(&self) -> ClusterHandle {
+        ClusterHandle {
+            tx: self.tx.clone(),
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The partitioning policy the router applies.
+    pub fn partitioner(&self) -> &Arc<dyn Partitioner> {
+        &self.partitioner
+    }
+
+    /// Number of shards (and shard services / simulated devices).
+    pub fn num_shards(&self) -> usize {
+        self.partitioner.num_shards()
+    }
+
+    /// The latest published coordinated cut (cut 0 until the first
+    /// [`Self::epoch_cut`]). Never blocks beyond an `Arc` swap.
+    pub fn snapshot(&self) -> Arc<ClusterSnapshot> {
+        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        self.shared.snapshot.lock().clone()
+    }
+
+    /// Run a read against the latest published cut — reads never queue
+    /// behind updates.
+    pub fn query<R>(&self, f: impl FnOnce(&ClusterSnapshot) -> R) -> R {
+        f(&self.snapshot())
+    }
+
+    /// Coordinate a globally consistent epoch cut: every update accepted by
+    /// any handle *before* this call is reflected in the returned snapshot
+    /// (the router forwards its residue, then barriers every shard).
+    /// Updates enqueued concurrently by other producers may be included
+    /// too; none accepted after the ack are.
+    pub fn epoch_cut(&self) -> Result<Arc<ClusterSnapshot>, ClusterClosed> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Command::Cut(ack_tx))
+            .map_err(|_| ClusterClosed)?;
+        ack_rx.recv().map_err(|_| ClusterClosed)
+    }
+
+    /// Current cluster metrics; fetching per-shard service metrics round-
+    /// trips through the router, so this queues behind in-flight updates.
+    pub fn metrics(&self) -> Result<ClusterMetrics, ClusterClosed> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Command::Stats(reply_tx))
+            .map_err(|_| ClusterClosed)?;
+        let shards = reply_rx.recv().map_err(|_| ClusterClosed)?;
+        Ok(self.assemble_metrics(shards))
+    }
+
+    fn assemble_metrics(&self, shards: Vec<gpma_service::ServiceMetrics>) -> ClusterMetrics {
+        let router = self.shared.router.lock().clone();
+        ClusterMetrics {
+            num_shards: self.num_shards(),
+            policy: self.partitioner.name().to_string(),
+            cuts: self.shared.cuts.load(Ordering::Relaxed),
+            latest_cut: self.shared.snapshot.lock().cut(),
+            queue_depth: self.tx.len(),
+            ingested_inserts: self.shared.ingested_inserts.load(Ordering::Relaxed),
+            ingested_deletes: self.shared.ingested_deletes.load(Ordering::Relaxed),
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            elapsed_secs: self.shared.started.elapsed().as_secs_f64(),
+            routed: router.routed,
+            transfer: router.transfer,
+            cut_edges: router.cut_edges,
+            cancelled_inserts: router.cancelled_inserts,
+            shards,
+        }
+    }
+
+    /// Stop the cluster: drain the router queue, forward all residue, take
+    /// a final coordinated cut, shut every shard service down and hand all
+    /// reports back. Outstanding [`ClusterHandle`]s get [`ClusterClosed`]
+    /// afterwards. Quiesce producer threads first (same contract as
+    /// [`StreamingService::shutdown`]).
+    pub fn shutdown(mut self) -> ClusterReport {
+        let shard_reports = match self.stop_router().expect("cluster router already stopped") {
+            Ok(reports) => reports,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        let metrics =
+            self.assemble_metrics(shard_reports.iter().map(|r| r.metrics.clone()).collect());
+        ClusterReport {
+            final_snapshot: self.shared.snapshot.lock().clone(),
+            metrics,
+            shard_reports,
+        }
+    }
+
+    fn stop_router(&mut self) -> Option<std::thread::Result<Vec<ServiceReport>>> {
+        let router = self.router.take()?;
+        let _ = self.tx.send(Command::Shutdown);
+        Some(router.join())
+    }
+}
+
+impl Drop for GraphCluster {
+    fn drop(&mut self) {
+        // Mirror StreamingService::drop: never re-panic out of Drop.
+        if let Some(Err(_)) = self.stop_router() {
+            eprintln!("gpma-cluster: router thread panicked; state discarded");
+        }
+    }
+}
+
+/// Everything the router loop threads through its helpers.
+struct Router {
+    handles: Vec<IngestHandle>,
+    services: Vec<StreamingService>,
+    part: Arc<dyn Partitioner>,
+    shared: Arc<Shared>,
+    link: Pcie,
+    /// Per-shard sub-batches under assembly (deletions before insertions,
+    /// the framework batch convention).
+    pending: Vec<UpdateBatch>,
+    pending_len: usize,
+    /// Counters accumulated lock-free in the per-edge routing loop and
+    /// published under the single metrics lock [`Self::forward`] already
+    /// takes per burst (the same rule the service crate applies to its
+    /// ingest hot path).
+    local_cut_edges: u64,
+    local_cancelled: u64,
+}
+
+impl Router {
+    /// Buffer one routed update, enforcing arrival-order semantics within
+    /// the pending window (a deletion cancels a same-key pending insert on
+    /// its shard before being buffered).
+    fn route(&mut self, cmd: Command) {
+        match cmd {
+            Command::Insert(e) => {
+                self.route_insert(e);
+                self.pending_len += 1;
+            }
+            Command::Delete(e) => {
+                self.route_delete(e);
+                self.pending_len += 1;
+            }
+            Command::Batch(b) => {
+                // Batch convention: its deletions precede its insertions,
+                // so route deletions first (cancelling only *earlier*
+                // pending inserts, never this batch's own).
+                self.pending_len += b.len();
+                for e in &b.deletions {
+                    self.route_delete(*e);
+                }
+                for e in b.insertions {
+                    self.route_insert(e);
+                }
+            }
+            Command::Cut(_) | Command::Stats(_) | Command::Shutdown => {
+                unreachable!("route only receives update commands")
+            }
+        }
+    }
+
+    fn route_insert(&mut self, e: Edge) {
+        let s = self.part.shard_of_edge(e.src, e.dst);
+        if self.part.is_cut_edge(e.src, e.dst) {
+            self.local_cut_edges += 1;
+        }
+        self.pending[s].insertions.push(e);
+    }
+
+    fn route_delete(&mut self, e: Edge) {
+        let s = self.part.shard_of_edge(e.src, e.dst);
+        let key = e.key();
+        let before = self.pending[s].insertions.len();
+        self.pending[s].insertions.retain(|p| p.key() != key);
+        self.local_cancelled += (before - self.pending[s].insertions.len()) as u64;
+        self.pending[s].deletions.push(e);
+    }
+
+    /// Ship every non-empty per-shard sub-batch: record one modeled DMA per
+    /// sub-batch against that shard's ledger (all accounting under one lock
+    /// per burst), then forward through the shards' (blocking) ingest
+    /// handles — shard backpressure stalls the router, which fills the
+    /// cluster queue, which stalls producers.
+    fn forward(&mut self) {
+        if self.pending_len == 0 {
+            return;
+        }
+        let mut outgoing: Vec<(usize, UpdateBatch)> = Vec::with_capacity(self.pending.len());
+        for (i, slot) in self.pending.iter_mut().enumerate() {
+            if !slot.is_empty() {
+                outgoing.push((i, std::mem::take(slot)));
+            }
+        }
+        {
+            let mut c = self.shared.router.lock();
+            c.cut_edges += std::mem::take(&mut self.local_cut_edges);
+            c.cancelled_inserts += std::mem::take(&mut self.local_cancelled);
+            for (i, b) in &outgoing {
+                c.routed[*i] += b.len() as u64;
+                c.transfer[*i].record(&self.link, b.len() * BYTES_PER_UPDATE);
+            }
+        }
+        for (i, b) in outgoing {
+            // A closed shard only happens mid-teardown; drop silently like
+            // any send into a stopping server.
+            let _ = self.handles[i].ingest(b);
+        }
+        self.pending_len = 0;
+    }
+
+    /// Coordinated cut: forward residue, barrier every shard (each ack is
+    /// its epoch-stamped snapshot), assemble and publish the cluster cut.
+    fn cut(&mut self) -> Arc<ClusterSnapshot> {
+        self.forward();
+        let snaps: Vec<Arc<GraphSnapshot>> = self
+            .services
+            .iter()
+            .map(|svc| svc.barrier().expect("shard service alive"))
+            .collect();
+        let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
+        let snap = Arc::new(ClusterSnapshot::new(cut, self.part.num_vertices(), snaps));
+        *self.shared.snapshot.lock() = snap.clone();
+        snap
+    }
+}
+
+/// The router loop: block on the queue, coalesce bursts into per-shard
+/// sub-batches, forward, serve cuts and stats, and on shutdown drain
+/// everything, final-cut and stop the shard services.
+fn run_router(
+    rx: Receiver<Command>,
+    services: Vec<StreamingService>,
+    part: Arc<dyn Partitioner>,
+    shared: Arc<Shared>,
+    router_batch: usize,
+) -> Vec<ServiceReport> {
+    let num_shards = services.len();
+    let mut r = Router {
+        handles: services.iter().map(|s| s.handle()).collect(),
+        services,
+        part,
+        shared,
+        link: Pcie::new(PcieConfig::default()),
+        pending: vec![UpdateBatch::default(); num_shards],
+        pending_len: 0,
+        local_cut_edges: 0,
+        local_cancelled: 0,
+    };
+    let router_batch = router_batch.max(1);
+    'serve: loop {
+        let cmd = match rx.recv() {
+            Ok(cmd) => cmd,
+            // Front object and every handle dropped: final flush.
+            Err(_) => break 'serve,
+        };
+        if handle_command(cmd, &mut r) {
+            break 'serve;
+        }
+        // Coalesce whatever else is already queued before forwarding, so
+        // bursts ship as few, large modeled DMAs.
+        let mut stop = false;
+        while r.pending_len < router_batch && !stop {
+            match rx.try_recv() {
+                Ok(cmd) => stop = handle_command(cmd, &mut r),
+                Err(_) => break,
+            }
+        }
+        r.forward();
+        if stop {
+            break 'serve;
+        }
+    }
+    // Shutdown (or disconnect) path: absorb everything still queued, then
+    // take the final coordinated cut and stop the shards.
+    while let Ok(cmd) = rx.try_recv() {
+        match cmd {
+            Command::Shutdown => {}
+            other => {
+                handle_command(other, &mut r);
+            }
+        }
+    }
+    r.cut();
+    r.handles.clear();
+    r.services
+        .drain(..)
+        .map(|svc| svc.shutdown())
+        .collect()
+}
+
+/// Apply one command. Returns `true` when the router must begin shutdown.
+fn handle_command(cmd: Command, r: &mut Router) -> bool {
+    match cmd {
+        Command::Insert(_) | Command::Delete(_) | Command::Batch(_) => r.route(cmd),
+        Command::Cut(ack) => {
+            let _ = ack.send(r.cut());
+        }
+        Command::Stats(reply) => {
+            // Flush residue first so the reply (and the shared counters it
+            // is read alongside) reflect everything accepted so far.
+            r.forward();
+            let _ = reply.send(r.services.iter().map(|s| s.metrics()).collect());
+        }
+        Command::Shutdown => return true,
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpma_core::multi::{EdgeGridPartition, HashVertexPartition, VertexPartition};
+    use gpma_sim::DeviceConfig;
+
+    fn spawn4(policy: Arc<dyn Partitioner>, initial: &[Edge]) -> GraphCluster {
+        GraphCluster::spawn(
+            ClusterConfig {
+                flush_threshold: 4,
+                router_batch: 8,
+                ..Default::default()
+            },
+            &DeviceConfig::deterministic(),
+            policy,
+            initial,
+        )
+    }
+
+    #[test]
+    fn roundtrip_and_cut_under_hash_policy() {
+        let part = Arc::new(HashVertexPartition {
+            num_vertices: 32,
+            num_shards: 4,
+        });
+        let c = spawn4(part, &[Edge::new(0, 1)]);
+        assert_eq!(c.num_shards(), 4);
+        assert_eq!(c.snapshot().cut(), 0);
+        let h = c.handle();
+        for i in 1..=16u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        let snap = c.epoch_cut().unwrap();
+        assert_eq!(snap.cut(), 1);
+        assert_eq!(snap.num_edges(), 17);
+        let report = c.shutdown();
+        assert_eq!(report.metrics.ingested(), 16);
+        assert_eq!(report.final_snapshot.num_edges(), 17);
+        assert!(report.final_snapshot.cut() > snap.cut());
+        assert_eq!(report.shard_reports.len(), 4);
+        // Every routed update was charged to a transfer ledger.
+        let total = report.metrics.total_transfer();
+        assert_eq!(report.metrics.routed.iter().sum::<u64>(), 16);
+        assert_eq!(total.bytes, 16 * BYTES_PER_UPDATE as u64);
+        assert!(total.time.secs() > 0.0);
+    }
+
+    #[test]
+    fn arrival_order_wins_across_shard_routing() {
+        let part = Arc::new(VertexPartition {
+            num_vertices: 16,
+            num_shards: 4,
+        });
+        let c = spawn4(part, &[]);
+        let h = c.handle();
+        // insert → delete ⇒ absent (cancelled in the router or the shard).
+        h.insert(Edge::new(1, 2)).unwrap();
+        h.delete(Edge::new(1, 2)).unwrap();
+        // delete → insert ⇒ present.
+        h.delete(Edge::new(9, 3)).unwrap();
+        h.insert(Edge::new(9, 3)).unwrap();
+        let snap = c.epoch_cut().unwrap();
+        assert!(!snap.contains(1, 2));
+        assert!(snap.contains(9, 3));
+        let report = c.shutdown();
+        assert_eq!(
+            report.metrics.cancelled_inserts
+                + report
+                    .shard_reports
+                    .iter()
+                    .map(|r| r.metrics.counters.cancelled_inserts)
+                    .sum::<u64>(),
+            1
+        );
+    }
+
+    #[test]
+    fn handles_fail_after_shutdown() {
+        let part = Arc::new(VertexPartition {
+            num_vertices: 8,
+            num_shards: 2,
+        });
+        let c = spawn4(part, &[]);
+        let h = c.handle();
+        drop(c.shutdown());
+        assert_eq!(h.insert(Edge::new(1, 2)), Err(ClusterClosed));
+        assert_eq!(h.delete(Edge::new(1, 2)), Err(ClusterClosed));
+    }
+
+    #[test]
+    fn grid_policy_splits_rows_yet_cut_sees_whole_graph() {
+        let part = Arc::new(EdgeGridPartition::new(16, 4));
+        let c = spawn4(part.clone(), &[]);
+        let h = c.handle();
+        // Vertex 0's out-row spans both column blocks of grid row 0.
+        for d in 1..16u32 {
+            h.insert(Edge::new(0, d)).unwrap();
+        }
+        let snap = c.epoch_cut().unwrap();
+        assert_eq!(snap.num_edges(), 15);
+        use gpma_analytics::HostGraph;
+        assert_eq!(HostGraph::out_degree(&*snap, 0), 15);
+        // The row genuinely lives on more than one shard.
+        let shards_with_row = snap
+            .shards()
+            .iter()
+            .filter(|s| s.out_degree(0) > 0)
+            .count();
+        assert!(shards_with_row > 1, "grid should split vertex 0's row");
+        let report = c.shutdown();
+        assert!(report.metrics.cut_edges > 0);
+    }
+
+    #[test]
+    fn metrics_round_trip_through_router() {
+        let part = Arc::new(VertexPartition {
+            num_vertices: 8,
+            num_shards: 2,
+        });
+        let c = spawn4(part, &[Edge::new(0, 1)]);
+        let h = c.handle();
+        for i in 0..6u32 {
+            h.insert(Edge::new(i % 8, (i + 3) % 8)).unwrap();
+        }
+        c.epoch_cut().unwrap();
+        let m = c.metrics().unwrap();
+        assert_eq!(m.num_shards, 2);
+        assert_eq!(m.shards.len(), 2);
+        assert_eq!(m.ingested(), 6);
+        assert_eq!(m.cuts, 1);
+        assert!(m.elapsed_secs > 0.0);
+        let line = m.to_string();
+        assert!(line.contains("cut"), "display: {line}");
+        drop(c);
+    }
+}

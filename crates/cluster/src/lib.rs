@@ -1,0 +1,154 @@
+//! # gpma-cluster — a sharded streaming service over per-device GPMA+ shards
+//!
+//! `gpma-service` (PR 2) made one simulated GPU a concurrent streaming
+//! service; this crate shards that service across *N* devices — the
+//! multi-GPU scenario of the paper's §6.6 (Figure 12) expressed as a
+//! production-shaped system. One ingest stream fans out through a router to
+//! per-shard [`StreamingService`](gpma_service::StreamingService) workers,
+//! placement is a pluggable [`Partitioner`] policy, cross-shard traffic is
+//! charged against modeled PCIe ledgers, and reads see *globally
+//! consistent* coordinated epoch cuts.
+//!
+//! ```text
+//!  producer threads        router thread                shard services
+//!  ───────────────         ─────────────                ──────────────
+//!  ClusterHandle ─┐  bounded ┌──────────────┐  IngestHandle ┌─────────────┐
+//!  ClusterHandle ─┼─► queue ─► Partitioner:  ├──────────────►│ shard 0     │
+//!  ClusterHandle ─┘          │  route + coalesce            │ (service +  │
+//!                            │  per-shard sub-batches  ...  │  GPMA+ dev) │
+//!                            │  → TransferLedger/shard ─────►│ shard N-1   │
+//!                            └──────┬───────┘  barrier  └──────┬──────┘
+//!                                   │ epoch cut: barrier all,  │ GraphSnapshot
+//!                                   ▼ merge, publish           ▼  (per shard)
+//!                            ┌────────────────────────────────────┐
+//!                            │ ClusterSnapshot (cut M, HostGraph) │──► query()
+//!                            └────────────────────────────────────┘    analytics
+//! ```
+//!
+//! * **Routing** — every edge has exactly one owner under any policy
+//!   ([`VertexPartition`] ranges, [`HashVertexPartition`] scatter,
+//!   [`EdgeGridPartition`] 2D grid), so updates never need inter-shard
+//!   communication; the router coalesces bursts and charges one modeled DMA
+//!   per forwarded sub-batch ([`TransferLedger`](gpma_sim::pcie::TransferLedger)).
+//! * **Consistency** — the router is a single FIFO stage: an
+//!   [`epoch_cut`](GraphCluster::epoch_cut) forwards all residue, barriers
+//!   every shard, and publishes one [`ClusterSnapshot`]; every update
+//!   accepted before the cut is in, none accepted after it leak in.
+//!   Arrival-order semantics survive sharding (insert-then-delete nets to
+//!   absent even when routed through coalesced sub-batches).
+//! * **Analytics** — [`ClusterSnapshot`] implements the host-graph contract
+//!   (merged view), and its [`shard_refs`](ClusterSnapshot::shard_refs)
+//!   feed the distributed supersteps of
+//!   [`gpma_analytics::bfs_sharded`] / [`gpma_analytics::pagerank_sharded`],
+//!   which charge explicit frontier / rank exchange traffic.
+//! * **Observability** — [`ClusterMetrics`] reports routing balance, cut
+//!   edges, modeled transfer totals and every shard's own
+//!   [`ServiceMetrics`](gpma_service::ServiceMetrics).
+//!
+//! ## Example: 4 shards, two policies
+//!
+//! ```
+//! use gpma_cluster::{ClusterConfig, GraphCluster, PartitionPolicy};
+//! use gpma_graph::Edge;
+//! use gpma_sim::DeviceConfig;
+//!
+//! let policy = PartitionPolicy::VertexHash.build(64, 4);
+//! let cluster = GraphCluster::spawn(
+//!     ClusterConfig::default(),
+//!     &DeviceConfig::deterministic(),
+//!     policy,
+//!     &[Edge::new(0, 1)],
+//! );
+//!
+//! let h = cluster.handle();
+//! for i in 1..32u32 {
+//!     h.insert(Edge::new(i, 0)).unwrap();
+//! }
+//!
+//! // A coordinated cut: all 32 updates visible, globally consistent.
+//! let snap = cluster.epoch_cut().unwrap();
+//! assert_eq!(snap.num_edges(), 32);
+//! assert_eq!(snap.cut(), 1);
+//!
+//! // The merged cut is a host graph: run any host analytic directly.
+//! let dist = gpma_analytics::bfs_host(&*snap, 1);
+//! assert_eq!(dist[0], 1);
+//!
+//! let report = cluster.shutdown();
+//! assert_eq!(report.metrics.ingested(), 31);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod metrics;
+mod snapshot;
+
+use std::sync::Arc;
+
+use gpma_core::multi::Partitioner;
+pub use gpma_core::multi::{EdgeGridPartition, HashVertexPartition, VertexPartition};
+
+pub use cluster::{
+    ClusterClosed, ClusterConfig, ClusterHandle, ClusterReport, GraphCluster,
+};
+pub use metrics::ClusterMetrics;
+pub use snapshot::ClusterSnapshot;
+
+/// Named constructor for the shipped partitioning policies — the CLI/bench
+/// surface (`repro -- cluster` loops over these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Contiguous vertex ranges ([`VertexPartition`]).
+    VertexRange,
+    /// Hashed vertex scatter ([`HashVertexPartition`]).
+    VertexHash,
+    /// 2D edge grid ([`EdgeGridPartition`]).
+    EdgeGrid,
+}
+
+impl PartitionPolicy {
+    /// Every shipped policy, in bench order.
+    pub const ALL: [PartitionPolicy; 3] = [
+        PartitionPolicy::VertexRange,
+        PartitionPolicy::VertexHash,
+        PartitionPolicy::EdgeGrid,
+    ];
+
+    /// Stable policy name (matches [`Partitioner::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionPolicy::VertexRange => "vertex-range",
+            PartitionPolicy::VertexHash => "vertex-hash",
+            PartitionPolicy::EdgeGrid => "edge-grid",
+        }
+    }
+
+    /// Instantiate the policy over `num_vertices` and `num_shards`.
+    pub fn build(&self, num_vertices: u32, num_shards: usize) -> Arc<dyn Partitioner> {
+        match self {
+            PartitionPolicy::VertexRange => Arc::new(VertexPartition {
+                num_vertices,
+                num_shards,
+            }),
+            PartitionPolicy::VertexHash => Arc::new(HashVertexPartition {
+                num_vertices,
+                num_shards,
+            }),
+            PartitionPolicy::EdgeGrid => Arc::new(EdgeGridPartition::new(num_vertices, num_shards)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_match_partitioners() {
+        for p in PartitionPolicy::ALL {
+            assert_eq!(p.name(), p.build(16, 4).name());
+            assert_eq!(p.build(16, 4).num_shards(), 4);
+        }
+    }
+}

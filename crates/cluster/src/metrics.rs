@@ -1,0 +1,161 @@
+//! Cluster-level observability: router accounting, modeled transfer
+//! ledgers, and the per-shard service metrics, in one report.
+
+use gpma_service::ServiceMetrics;
+use gpma_sim::pcie::TransferLedger;
+
+/// A point-in-time cluster metrics report (see
+/// [`GraphCluster::metrics`](crate::GraphCluster::metrics)).
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// Number of shards in the cluster.
+    pub num_shards: usize,
+    /// Partitioning policy name (`vertex-range`, `vertex-hash`,
+    /// `edge-grid`).
+    pub policy: String,
+    /// Coordinated epoch cuts taken so far.
+    pub cuts: u64,
+    /// Cut number of the latest published [`ClusterSnapshot`]
+    /// (`0` = initial bulk-built state).
+    ///
+    /// [`ClusterSnapshot`]: crate::ClusterSnapshot
+    pub latest_cut: u64,
+    /// Commands currently queued at the router (racy).
+    pub queue_depth: usize,
+    /// Insertions accepted by cluster handles.
+    pub ingested_inserts: u64,
+    /// Deletions accepted by cluster handles.
+    pub ingested_deletes: u64,
+    /// Snapshot reads served from published cuts.
+    pub queries: u64,
+    /// Cluster wall-clock age in seconds.
+    pub elapsed_secs: f64,
+    /// Updates the router shipped to each shard.
+    pub routed: Vec<u64>,
+    /// Modeled host→shard transfer ledger per shard.
+    pub transfer: Vec<TransferLedger>,
+    /// Routed insertions whose endpoints live on different home shards.
+    pub cut_edges: u64,
+    /// Pending insertions the router cancelled for arrival-order semantics.
+    pub cancelled_inserts: u64,
+    /// Each shard service's own metrics, index-aligned with shard ids.
+    pub shards: Vec<ServiceMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Total updates accepted (insertions + deletions).
+    pub fn ingested(&self) -> u64 {
+        self.ingested_inserts + self.ingested_deletes
+    }
+
+    /// All shard ledgers merged: cluster-wide modeled transfer totals.
+    pub fn total_transfer(&self) -> TransferLedger {
+        let mut total = TransferLedger::default();
+        for t in &self.transfer {
+            total.merge(t);
+        }
+        total
+    }
+
+    /// Fraction of routed insertions crossing home-shard boundaries
+    /// (`0.0` with no traffic).
+    pub fn cut_fraction(&self) -> f64 {
+        if self.ingested_inserts == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.ingested_inserts as f64
+        }
+    }
+
+    /// Load imbalance of the routing: max shard share over the ideal even
+    /// share (`1.0` = perfectly balanced; `0.0` with no traffic).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.routed.iter().sum();
+        if total == 0 || self.routed.is_empty() {
+            return 0.0;
+        }
+        let max = *self.routed.iter().max().unwrap_or(&0) as f64;
+        let even = total as f64 / self.routed.len() as f64;
+        max / even
+    }
+
+    /// Cluster-level ingest throughput in updates/second of wall-clock.
+    pub fn ingest_throughput(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.ingested() as f64 / self.elapsed_secs
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.total_transfer();
+        write!(
+            f,
+            "cluster[{} × {}] cut {} ({} cuts) | ingested {} (+{} -{}) | \
+             routed {:?} (imbalance {:.2}) | cut-edges {} ({:.1}%) | \
+             transfer {} B in {} DMAs ({:.3} ms) | queue {}",
+            self.num_shards,
+            self.policy,
+            self.latest_cut,
+            self.cuts,
+            self.ingested(),
+            self.ingested_inserts,
+            self.ingested_deletes,
+            self.routed,
+            self.imbalance(),
+            self.cut_edges,
+            self.cut_fraction() * 100.0,
+            t.bytes,
+            t.transfers,
+            t.time.millis(),
+            self.queue_depth,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpma_sim::pcie::Pcie;
+    use gpma_sim::PcieConfig;
+
+    fn metrics() -> ClusterMetrics {
+        let link = Pcie::new(PcieConfig::default());
+        let mut a = TransferLedger::default();
+        a.record(&link, 1000);
+        let mut b = TransferLedger::default();
+        b.record(&link, 3000);
+        ClusterMetrics {
+            num_shards: 2,
+            policy: "vertex-hash".into(),
+            cuts: 3,
+            latest_cut: 3,
+            queue_depth: 0,
+            ingested_inserts: 80,
+            ingested_deletes: 20,
+            queries: 5,
+            elapsed_secs: 2.0,
+            routed: vec![75, 25],
+            transfer: vec![a, b],
+            cut_edges: 40,
+            cancelled_inserts: 1,
+            shards: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = metrics();
+        assert_eq!(m.ingested(), 100);
+        assert_eq!(m.total_transfer().bytes, 4000);
+        assert_eq!(m.total_transfer().transfers, 2);
+        assert!((m.cut_fraction() - 0.5).abs() < 1e-12);
+        assert!((m.imbalance() - 1.5).abs() < 1e-12);
+        assert!((m.ingest_throughput() - 50.0).abs() < 1e-12);
+        let s = m.to_string();
+        assert!(s.contains("vertex-hash") && s.contains("cut 3"), "{s}");
+    }
+}

@@ -20,7 +20,8 @@ use gpma_sim::{primitives, Device, DeviceBuffer};
 
 use crate::storage::{GpmaStorage, EMPTY};
 use crate::update::{
-    merge_parallel, merge_window_serial, merged_count_serial, prepare_updates, DeviceUpdates,
+    merge_parallel, merge_window_serial_into, merged_count_serial, prepare_updates_parts,
+    with_merge_scratch, DeviceUpdates, UpdateScratch,
 };
 
 /// Windows with at most this many slots are merged by the warp/block tier
@@ -50,6 +51,9 @@ pub struct GpmaPlus {
     /// (serial-lane) merge; larger ones the device tier. Exposed for the
     /// tier ablation study; leave at [`SMALL_WINDOW_MAX`] normally.
     pub tier_max: usize,
+    /// Reusable host staging for batch uploads (amortizes the per-flush
+    /// `Vec` growth out of the streaming hot path).
+    scratch: UpdateScratch,
 }
 
 impl GpmaPlus {
@@ -58,6 +62,7 @@ impl GpmaPlus {
         GpmaPlus {
             storage: GpmaStorage::build(dev, num_vertices, edges),
             tier_max: SMALL_WINDOW_MAX,
+            scratch: UpdateScratch::default(),
         }
     }
 
@@ -71,19 +76,24 @@ impl GpmaPlus {
     /// Apply a batch with full merge semantics: deletions travel through the
     /// segment-oriented path as first-class updates (the "dual" operation).
     pub fn update_batch(&mut self, dev: &Device, batch: &UpdateBatch) -> PlusStats {
-        let u = prepare_updates(dev, self.storage.num_vertices(), batch);
+        let nv = self.storage.num_vertices();
+        let u = prepare_updates_parts(
+            dev,
+            nv,
+            &batch.deletions,
+            &batch.insertions,
+            &mut self.scratch,
+        );
         self.apply_sorted(dev, u, 0)
     }
 
     /// Sliding-window fast path (§6.1): deletions are lazily tombstoned
-    /// (recycled by later merges), insertions take the normal path.
+    /// (recycled by later merges), insertions take the normal path — passed
+    /// as a slice so the insert-only view costs no batch clone.
     pub fn update_batch_lazy(&mut self, dev: &Device, batch: &UpdateBatch) -> PlusStats {
         let lazy = self.storage.delete_lazy(dev, &batch.deletions);
-        let inserts = UpdateBatch {
-            insertions: batch.insertions.clone(),
-            deletions: Vec::new(),
-        };
-        let u = prepare_updates(dev, self.storage.num_vertices(), &inserts);
+        let nv = self.storage.num_vertices();
+        let u = prepare_updates_parts(dev, nv, &[], &batch.insertions, &mut self.scratch);
         self.apply_sorted(dev, u, lazy)
     }
 
@@ -244,26 +254,34 @@ impl GpmaPlus {
                 let c = counts.get(lane, j) as usize;
                 let window = g * window_slots..(g + 1) * window_slots;
                 let before = storage.count_window(lane, window.clone());
-                let merged = merge_window_serial(lane, storage, window.clone(), cur, s..s + c);
-                // Redispatch evenly across the window's leaves, left-packed.
-                let leaves = window_slots / seg_len;
-                let n = merged.len();
-                let base = n / leaves;
-                let extra = n % leaves;
-                let mut it = merged.into_iter();
-                for leaf in 0..leaves {
-                    let take = base + usize::from(leaf < extra);
-                    let start = window.start + leaf * seg_len;
-                    for i in 0..seg_len {
-                        if i < take {
-                            let (k, v) = it.next().expect("merge count mismatch");
-                            storage.keys.set(lane, start + i, k);
-                            storage.vals.set(lane, start + i, v);
-                        } else {
-                            storage.keys.set(lane, start + i, EMPTY);
+                // The merge stages through the worker's reusable scratch
+                // (modeled shared memory) instead of a fresh Vec per
+                // accepted segment — the merge-tier hot path stays
+                // allocation-free in steady state.
+                let n = with_merge_scratch(|merged| {
+                    merge_window_serial_into(lane, storage, window.clone(), cur, s..s + c, merged);
+                    // Redispatch evenly across the window's leaves,
+                    // left-packed.
+                    let leaves = window_slots / seg_len;
+                    let n = merged.len();
+                    let base = n / leaves;
+                    let extra = n % leaves;
+                    let mut it = merged.iter().copied();
+                    for leaf in 0..leaves {
+                        let take = base + usize::from(leaf < extra);
+                        let start = window.start + leaf * seg_len;
+                        for i in 0..seg_len {
+                            if i < take {
+                                let (k, v) = it.next().expect("merge count mismatch");
+                                storage.keys.set(lane, start + i, k);
+                                storage.vals.set(lane, start + i, v);
+                            } else {
+                                storage.keys.set(lane, start + i, EMPTY);
+                            }
                         }
                     }
-                }
+                    n
+                });
                 storage.add_len_delta(lane, n as i64 - before as i64);
                 merged_ctr.atomic_add(lane, 0, 1);
             });

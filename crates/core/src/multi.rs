@@ -1,18 +1,71 @@
-//! Multi-device GPMA+ (Section 6.4): the graph is evenly partitioned by
-//! vertex index across several simulated GPUs, updates are routed to the
-//! shard owning their source vertex, and analytics synchronize all devices
-//! after each iteration with a modeled peer-to-peer exchange.
+//! Multi-device GPMA+ (Section 6.4): the graph is partitioned across
+//! several simulated GPUs by a pluggable [`Partitioner`] policy, updates are
+//! routed to the shard owning each edge, and analytics synchronize all
+//! devices after each iteration with a modeled peer-to-peer exchange.
 //!
 //! Per-step time is the *makespan* (slowest device) plus communication —
 //! exactly the trade-off Figure 12 reports: update and PageRank scale with
 //! device count, while BFS/ConnectedComponent pay relatively more for
 //! synchronization.
+//!
+//! Three partitioning policies ship with the crate:
+//!
+//! * [`VertexPartition`] — contiguous vertex ranges (the paper's §6.4
+//!   setup); a vertex's whole out-row lives on one shard.
+//! * [`HashVertexPartition`] — vertices scattered by a multiplicative hash;
+//!   same row-locality as ranges but balanced under skewed vertex ids.
+//! * [`EdgeGridPartition`] — the 2D edge-grid decomposition used by
+//!   multi-GPU frameworks (Gunrock-style): shard `(r, c)` of an `R × C`
+//!   grid stores edges whose source falls in row-block `r` and destination
+//!   in column-block `c`. A vertex's out-row spans the `C` shards of its
+//!   row-block, which trades heavier frontier exchange for balanced edge
+//!   storage on power-law graphs.
+
+use std::sync::Arc;
 
 use gpma_graph::{Edge, UpdateBatch};
 use gpma_sim::pcie::Pcie;
 use gpma_sim::{Device, DeviceConfig, PcieConfig, SimTime};
 
 use crate::gpma_plus::GpmaPlus;
+
+/// A policy assigning edges and per-vertex state to shards.
+///
+/// One trait serves both layers that need placement decisions: the storage
+/// router ([`MultiGpma::update_batch`], the `gpma-cluster` ingest router)
+/// asks [`shard_of_edge`](Self::shard_of_edge), while distributed analytics
+/// ask [`stores_row`](Self::stores_row) (which shards must expand a frontier
+/// vertex) and [`home_of_vertex`](Self::home_of_vertex) (where a vertex's
+/// aggregate — distance, rank — is accounted when modeling exchange
+/// traffic).
+pub trait Partitioner: Send + Sync {
+    /// Short stable policy name (bench tables, reports).
+    fn name(&self) -> &str;
+
+    /// Number of shards this policy distributes over.
+    fn num_shards(&self) -> usize;
+
+    /// Total vertices being partitioned (vertex ids stay global).
+    fn num_vertices(&self) -> u32;
+
+    /// The shard storing edge `(src, dst)`.
+    fn shard_of_edge(&self, src: u32, dst: u32) -> usize;
+
+    /// The shard owning vertex `v`'s aggregation state.
+    fn home_of_vertex(&self, v: u32) -> usize;
+
+    /// True when `shard` may store out-edges of `v` — the shards a frontier
+    /// expansion of `v` must run on. Vertex policies return true for exactly
+    /// one shard; the edge grid for one grid row (`C` shards).
+    fn stores_row(&self, shard: usize, v: u32) -> bool;
+
+    /// Edges crossing shard state boundaries: true when the two endpoints
+    /// have different homes (each such edge implies inter-device traffic
+    /// when analytics propagate along it).
+    fn is_cut_edge(&self, src: u32, dst: u32) -> bool {
+        self.home_of_vertex(src) != self.home_of_vertex(dst)
+    }
+}
 
 /// Contiguous vertex-range partition over `num_shards` devices.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +93,145 @@ impl VertexPartition {
     }
 }
 
+impl Partitioner for VertexPartition {
+    fn name(&self) -> &str {
+        "vertex-range"
+    }
+    fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+    fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+    fn shard_of_edge(&self, src: u32, _dst: u32) -> usize {
+        self.shard_of(src)
+    }
+    fn home_of_vertex(&self, v: u32) -> usize {
+        self.shard_of(v)
+    }
+    fn stores_row(&self, shard: usize, v: u32) -> bool {
+        shard == self.shard_of(v)
+    }
+}
+
+/// Vertex partition by multiplicative hash: shard `h(src) mod S`.
+///
+/// Keeps whole out-rows on one shard like [`VertexPartition`], but scatters
+/// adjacent vertex ids so range-clustered graphs (e.g. crawl order) do not
+/// pile onto one device.
+#[derive(Debug, Clone, Copy)]
+pub struct HashVertexPartition {
+    /// Total vertices being partitioned.
+    pub num_vertices: u32,
+    /// Number of shards.
+    pub num_shards: usize,
+}
+
+impl HashVertexPartition {
+    /// Fibonacci-style multiplicative hash, then fold onto the shard count.
+    fn shard_of(&self, v: u32) -> usize {
+        let h = v.wrapping_mul(0x9E37_79B1).rotate_right(16);
+        (h as usize) % self.num_shards.max(1)
+    }
+}
+
+impl Partitioner for HashVertexPartition {
+    fn name(&self) -> &str {
+        "vertex-hash"
+    }
+    fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+    fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+    fn shard_of_edge(&self, src: u32, _dst: u32) -> usize {
+        self.shard_of(src)
+    }
+    fn home_of_vertex(&self, v: u32) -> usize {
+        self.shard_of(v)
+    }
+    fn stores_row(&self, shard: usize, v: u32) -> bool {
+        shard == self.shard_of(v)
+    }
+}
+
+/// 2D edge-grid partition: shard `(r, c)` of an `R × C` grid stores the
+/// edges whose source lies in contiguous row-block `r` and destination in
+/// column-block `c`.
+///
+/// Out-rows span the `C` shards of one grid row, so updates stay
+/// single-shard (each edge has one owner) while frontier analytics must
+/// broadcast a vertex to `C` shards — the storage-balance vs communication
+/// trade-off this policy exists to expose (Figure 12's second axis).
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeGridPartition {
+    /// Total vertices being partitioned.
+    pub num_vertices: u32,
+    /// Grid rows (source blocks).
+    pub rows: usize,
+    /// Grid columns (destination blocks).
+    pub cols: usize,
+}
+
+impl EdgeGridPartition {
+    /// Build the most square `R × C` grid with `R * C == num_shards`
+    /// (`R <= C`; a prime shard count degenerates to `1 × S`).
+    pub fn new(num_vertices: u32, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let mut rows = 1usize;
+        let mut r = 1usize;
+        while r * r <= num_shards {
+            if num_shards.is_multiple_of(r) {
+                rows = r;
+            }
+            r += 1;
+        }
+        EdgeGridPartition {
+            num_vertices,
+            rows,
+            cols: num_shards / rows,
+        }
+    }
+
+    fn block_of(&self, v: u32, blocks: usize) -> usize {
+        let per = self.num_vertices.div_ceil(blocks as u32).max(1);
+        ((v / per) as usize).min(blocks - 1)
+    }
+
+    /// Grid row-block of source vertex `v`.
+    pub fn row_of(&self, v: u32) -> usize {
+        self.block_of(v, self.rows)
+    }
+
+    /// Grid column-block of destination vertex `v`.
+    pub fn col_of(&self, v: u32) -> usize {
+        self.block_of(v, self.cols)
+    }
+}
+
+impl Partitioner for EdgeGridPartition {
+    fn name(&self) -> &str {
+        "edge-grid"
+    }
+    fn num_shards(&self) -> usize {
+        self.rows * self.cols
+    }
+    fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+    fn shard_of_edge(&self, src: u32, dst: u32) -> usize {
+        self.row_of(src) * self.cols + self.col_of(dst)
+    }
+    fn home_of_vertex(&self, v: u32) -> usize {
+        // Diagonal block: the shard holding `v`'s self-quadrant.
+        self.row_of(v) * self.cols + self.col_of(v)
+    }
+    fn stores_row(&self, shard: usize, v: u32) -> bool {
+        shard / self.cols == self.row_of(v)
+    }
+}
+
 /// Timing of one multi-device step.
 #[derive(Debug, Clone)]
 pub struct MultiStepTime {
@@ -62,30 +254,46 @@ impl MultiStepTime {
 pub struct MultiGpma {
     devices: Vec<Device>,
     shards: Vec<GpmaPlus>,
-    partition: VertexPartition,
+    partitioner: Arc<dyn Partitioner>,
     pcie: Pcie,
 }
 
 impl MultiGpma {
-    /// Build `num_devices` shards; each shard stores the out-edges of its
-    /// vertex range (guards exist on every shard so vertex ids stay global).
+    /// Build `num_devices` shards under the default contiguous
+    /// [`VertexPartition`]; each shard stores the out-edges of its vertex
+    /// range (guards exist on every shard so vertex ids stay global).
     pub fn build(
         cfg: &DeviceConfig,
         num_devices: usize,
         num_vertices: u32,
         edges: &[Edge],
     ) -> Self {
+        Self::build_with(
+            cfg,
+            Arc::new(VertexPartition {
+                num_vertices,
+                num_shards: num_devices.max(1),
+            }),
+            edges,
+        )
+    }
+
+    /// Build shards under an explicit partitioning policy; the shard count
+    /// and vertex-id space come from the policy.
+    pub fn build_with(
+        cfg: &DeviceConfig,
+        partitioner: Arc<dyn Partitioner>,
+        edges: &[Edge],
+    ) -> Self {
+        let num_devices = partitioner.num_shards();
         assert!(num_devices >= 1);
-        let partition = VertexPartition {
-            num_vertices,
-            num_shards: num_devices,
-        };
+        let num_vertices = partitioner.num_vertices();
         let devices: Vec<Device> = (0..num_devices)
             .map(|i| Device::named(cfg.clone(), format!("gpu{i}")))
             .collect();
         let mut per_shard: Vec<Vec<Edge>> = vec![Vec::new(); num_devices];
         for e in edges {
-            per_shard[partition.shard_of(e.src)].push(*e);
+            per_shard[partitioner.shard_of_edge(e.src, e.dst)].push(*e);
         }
         let shards: Vec<GpmaPlus> = per_shard
             .iter()
@@ -95,7 +303,7 @@ impl MultiGpma {
         MultiGpma {
             devices,
             shards,
-            partition,
+            partitioner,
             pcie: Pcie::new(PcieConfig::default()),
         }
     }
@@ -105,9 +313,14 @@ impl MultiGpma {
         self.devices.len()
     }
 
-    /// The vertex-range partition in force.
-    pub fn partition(&self) -> VertexPartition {
-        self.partition
+    /// Global vertex count of the partitioned graph.
+    pub fn num_vertices(&self) -> u32 {
+        self.partitioner.num_vertices()
+    }
+
+    /// The partitioning policy in force.
+    pub fn partitioner(&self) -> &Arc<dyn Partitioner> {
+        &self.partitioner
     }
 
     /// All shard devices, index-aligned with [`Self::shards`].
@@ -135,17 +348,21 @@ impl MultiGpma {
         self.shards.iter().map(|s| s.storage.num_edges()).sum()
     }
 
-    /// Route a batch by source vertex and apply each sub-batch on its shard
-    /// (lazy sliding-window mode). Updates need no inter-device
+    /// Route a batch through the partitioner and apply each sub-batch on its
+    /// shard (lazy sliding-window mode). Updates need no inter-device
     /// communication — the reason Figure 12 shows near-linear update
     /// scaling.
     pub fn update_batch(&mut self, batch: &UpdateBatch) -> MultiStepTime {
         let mut sub: Vec<UpdateBatch> = vec![UpdateBatch::default(); self.shards.len()];
         for e in &batch.insertions {
-            sub[self.partition.shard_of(e.src)].insertions.push(*e);
+            sub[self.partitioner.shard_of_edge(e.src, e.dst)]
+                .insertions
+                .push(*e);
         }
         for e in &batch.deletions {
-            sub[self.partition.shard_of(e.src)].deletions.push(*e);
+            sub[self.partitioner.shard_of_edge(e.src, e.dst)]
+                .deletions
+                .push(*e);
         }
         let per_device: Vec<SimTime> = self
             .shards
@@ -228,19 +445,101 @@ mod tests {
         for s in 0..3 {
             for v in p.range_of(s) {
                 assert_eq!(p.shard_of(v), s);
+                assert!(p.stores_row(s, v));
+                assert_eq!(p.home_of_vertex(v), s);
                 seen.push(v);
             }
         }
         assert_eq!(seen, (0..10).collect::<Vec<_>>());
     }
 
+    /// Every policy must give each edge exactly one owner, and `stores_row`
+    /// must cover that owner (else analytics would skip stored edges).
+    #[test]
+    fn policies_are_total_and_consistent() {
+        let nv = 37u32;
+        let policies: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(VertexPartition {
+                num_vertices: nv,
+                num_shards: 4,
+            }),
+            Box::new(HashVertexPartition {
+                num_vertices: nv,
+                num_shards: 4,
+            }),
+            Box::new(EdgeGridPartition::new(nv, 4)),
+            Box::new(EdgeGridPartition::new(nv, 6)),
+        ];
+        for p in &policies {
+            let s = p.num_shards();
+            for src in 0..nv {
+                assert!(p.home_of_vertex(src) < s, "{}", p.name());
+                let owners: Vec<usize> = (0..s).filter(|&i| p.stores_row(i, src)).collect();
+                assert!(!owners.is_empty(), "{}: vertex {src} has no row shard", p.name());
+                for dst in (0..nv).step_by(5) {
+                    let shard = p.shard_of_edge(src, dst);
+                    assert!(shard < s, "{}", p.name());
+                    assert!(
+                        p.stores_row(shard, src),
+                        "{}: edge ({src},{dst}) on shard {shard} outside row set",
+                        p.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_grid_picks_square_factorization() {
+        let g = EdgeGridPartition::new(100, 4);
+        assert_eq!((g.rows, g.cols), (2, 2));
+        let g = EdgeGridPartition::new(100, 8);
+        assert_eq!((g.rows, g.cols), (2, 4));
+        let g = EdgeGridPartition::new(100, 7);
+        assert_eq!((g.rows, g.cols), (1, 7));
+        assert_eq!(g.num_shards(), 7);
+    }
+
+    #[test]
+    fn hash_partition_balances_contiguous_ids() {
+        let p = HashVertexPartition {
+            num_vertices: 4096,
+            num_shards: 4,
+        };
+        let mut counts = [0usize; 4];
+        for v in 0..4096u32 {
+            counts[p.home_of_vertex(v)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..=1250).contains(&c), "skewed hash: {counts:?}");
+        }
+    }
+
     #[test]
     fn build_routes_edges_by_source() {
         let m = MultiGpma::build(&cfg(), 3, 9, &ring(9));
         assert_eq!(m.num_edges(), 9);
+        assert_eq!(m.num_vertices(), 9);
         for (i, shard) in m.shards().iter().enumerate() {
             for e in shard.storage.host_edges() {
-                assert_eq!(m.partition().shard_of(e.src), i, "edge on wrong shard");
+                assert_eq!(
+                    m.partitioner().shard_of_edge(e.src, e.dst),
+                    i,
+                    "edge on wrong shard"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_with_grid_routes_edges_by_cell() {
+        let part = Arc::new(EdgeGridPartition::new(8, 4));
+        let m = MultiGpma::build_with(&cfg(), part.clone(), &ring(8));
+        assert_eq!(m.num_devices(), 4);
+        assert_eq!(m.num_edges(), 8);
+        for (i, shard) in m.shards().iter().enumerate() {
+            for e in shard.storage.host_edges() {
+                assert_eq!(part.shard_of_edge(e.src, e.dst), i);
             }
         }
     }
@@ -266,6 +565,34 @@ mod tests {
     }
 
     #[test]
+    fn update_routes_under_every_policy() {
+        let nv = 16u32;
+        let policies: Vec<Arc<dyn Partitioner>> = vec![
+            Arc::new(HashVertexPartition {
+                num_vertices: nv,
+                num_shards: 4,
+            }),
+            Arc::new(EdgeGridPartition::new(nv, 4)),
+        ];
+        for part in policies {
+            let mut m = MultiGpma::build_with(&cfg(), part.clone(), &ring(nv));
+            m.update_batch(&UpdateBatch {
+                insertions: vec![Edge::new(3, 9), Edge::new(12, 1)],
+                deletions: vec![Edge::new(0, 1)],
+            });
+            assert_eq!(m.num_edges(), 16 + 2 - 1, "{}", part.name());
+            let all: BTreeSet<(u32, u32)> = m
+                .shards()
+                .iter()
+                .flat_map(|s| s.storage.host_edges())
+                .map(|e| (e.src, e.dst))
+                .collect();
+            assert!(all.contains(&(3, 9)) && all.contains(&(12, 1)));
+            assert!(!all.contains(&(0, 1)));
+        }
+    }
+
+    #[test]
     fn single_device_has_no_comm() {
         let m = MultiGpma::build(&cfg(), 1, 4, &ring(4));
         assert_eq!(m.allreduce_time(1 << 20).secs(), 0.0);
@@ -282,5 +609,15 @@ mod tests {
         });
         assert!(t.per_device[1].secs() > t.per_device[0].secs());
         assert_eq!(t.makespan.secs(), t.per_device[1].secs());
+    }
+
+    #[test]
+    fn cut_edges_follow_vertex_homes() {
+        let p = VertexPartition {
+            num_vertices: 8,
+            num_shards: 2,
+        };
+        assert!(!p.is_cut_edge(0, 1));
+        assert!(p.is_cut_edge(0, 5));
     }
 }

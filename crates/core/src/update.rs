@@ -3,7 +3,7 @@
 //! resize path use.
 
 use gpma_graph::edge::GUARD_DST;
-use gpma_graph::UpdateBatch;
+use gpma_graph::{Edge, UpdateBatch};
 use gpma_sim::{primitives, Device, DeviceBuffer, Lane};
 
 use crate::storage::{GpmaStorage, EMPTY};
@@ -33,34 +33,73 @@ impl DeviceUpdates {
     }
 }
 
+/// Reusable host staging for [`prepare_updates_parts`]: the key / value /
+/// op upload vectors (and the sort-index iota) are cleared and refilled per
+/// batch instead of reallocated, so a steady-state stream of flushes does no
+/// per-launch host allocation on the upload path (the ROADMAP profiling
+/// item). [`crate::GpmaPlus`] owns one and threads it through every batch.
+#[derive(Debug, Default)]
+pub struct UpdateScratch {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    ops: Vec<u32>,
+    idx: Vec<u64>,
+}
+
 /// Upload a batch and radix-sort it by key on the device. Deletions are
 /// placed *before* insertions so that a slide which deletes and re-inserts
 /// the same edge nets out to the edge being present (stable sort keeps the
 /// insert last).
 pub fn prepare_updates(dev: &Device, num_vertices: u32, batch: &UpdateBatch) -> DeviceUpdates {
-    let n = batch.len();
-    let mut keys = Vec::with_capacity(n);
-    let mut vals = Vec::with_capacity(n);
-    let mut ops = Vec::with_capacity(n);
-    for e in batch.deletions.iter() {
+    let mut scratch = UpdateScratch::default();
+    prepare_updates_parts(
+        dev,
+        num_vertices,
+        &batch.deletions,
+        &batch.insertions,
+        &mut scratch,
+    )
+}
+
+/// [`prepare_updates`] over raw slices with caller-owned staging: avoids
+/// both the per-batch `Vec` growth and the `UpdateBatch` clone the lazy
+/// deletion path would otherwise pay to strip deletions.
+pub fn prepare_updates_parts(
+    dev: &Device,
+    num_vertices: u32,
+    deletions: &[Edge],
+    insertions: &[Edge],
+    scratch: &mut UpdateScratch,
+) -> DeviceUpdates {
+    let n = deletions.len() + insertions.len();
+    let UpdateScratch { keys, vals, ops, idx } = scratch;
+    keys.clear();
+    vals.clear();
+    ops.clear();
+    keys.reserve(n);
+    vals.reserve(n);
+    ops.reserve(n);
+    for e in deletions {
         validate_edge(num_vertices, e.src, e.dst);
         keys.push(e.key());
         vals.push(0);
         ops.push(OP_DELETE);
     }
-    for e in batch.insertions.iter() {
+    for e in insertions {
         validate_edge(num_vertices, e.src, e.dst);
         keys.push(e.key());
         vals.push(e.weight);
         ops.push(OP_INSERT);
     }
-    let mut dkeys = DeviceBuffer::from_slice(&keys);
-    let mut idx = DeviceBuffer::from_slice(&(0..n as u64).collect::<Vec<_>>());
+    idx.clear();
+    idx.extend(0..n as u64);
+    let mut dkeys = DeviceBuffer::from_slice(keys);
+    let mut idx = DeviceBuffer::from_slice(idx);
     primitives::radix_sort_pairs_u64(dev, &mut dkeys, &mut idx);
 
     // Gather the payloads into sorted order.
-    let src_vals = DeviceBuffer::from_slice(&vals);
-    let src_ops = DeviceBuffer::from_slice(&ops);
+    let src_vals = DeviceBuffer::from_slice(vals.as_slice());
+    let src_ops = DeviceBuffer::from_slice(ops.as_slice());
     let out_vals = DeviceBuffer::<u64>::new(n);
     let out_ops = DeviceBuffer::<u32>::new(n);
     if n > 0 {
@@ -89,10 +128,32 @@ fn validate_edge(num_vertices: u32, src: u32, dst: u32) {
     );
 }
 
+thread_local! {
+    /// Per-worker staging for the warp/block merge tier — the simulated
+    /// shared-memory buffer one block fills during `TryInsert+`. Kernel
+    /// lanes run on the device's persistent host pool, so routing the merge
+    /// through a thread-local (instead of a fresh `Vec` per accepted
+    /// segment) makes the steady-state merge path allocation-free.
+    static MERGE_SCRATCH: std::cell::RefCell<Vec<(u64, u64)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with this worker thread's cleared merge scratch. Not reentrant
+/// (the merge kernels never nest).
+pub fn with_merge_scratch<R>(f: impl FnOnce(&mut Vec<(u64, u64)>) -> R) -> R {
+    MERGE_SCRATCH.with(|s| {
+        let mut buf = s.borrow_mut();
+        buf.clear();
+        f(&mut buf)
+    })
+}
+
 /// Serial (per-lane) merge of a slot window with a sorted update slice,
 /// returning the merged entries. This is the work one warp/block performs in
 /// GPMA+'s small-segment tiers; the local vector models shared memory
-/// (`lane.work` charges its traffic).
+/// (`lane.work` charges its traffic). Allocating callers use this wrapper;
+/// the hot path pairs [`merge_window_serial_into`] with
+/// [`with_merge_scratch`].
 ///
 /// Semantics per update run of equal keys (last wins): `INSERT` adds or
 /// overwrites; `DELETE` removes if present and is a no-op otherwise.
@@ -103,7 +164,22 @@ pub fn merge_window_serial(
     u: &DeviceUpdates,
     ur: std::ops::Range<usize>,
 ) -> Vec<(u64, u64)> {
-    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(window.len() + ur.len());
+    let mut merged = Vec::new();
+    merge_window_serial_into(lane, storage, window, u, ur, &mut merged);
+    merged
+}
+
+/// [`merge_window_serial`] into a caller-owned buffer (cleared first).
+pub fn merge_window_serial_into(
+    lane: &mut Lane,
+    storage: &GpmaStorage,
+    window: std::ops::Range<usize>,
+    u: &DeviceUpdates,
+    ur: std::ops::Range<usize>,
+    merged: &mut Vec<(u64, u64)>,
+) {
+    merged.clear();
+    merged.reserve(window.len() + ur.len());
     let mut ui = ur.start;
 
     // Emit all effective updates with keys strictly below `bound`.
@@ -152,7 +228,6 @@ pub fn merge_window_serial(
         lane.work(1);
     }
     drain_updates_below!(u64::MAX);
-    merged
 }
 
 /// Count-only version of [`merge_window_serial`] (Algorithm 4's

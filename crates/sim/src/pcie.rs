@@ -32,6 +32,41 @@ impl Pcie {
     }
 }
 
+/// Accumulated traffic over one modeled link: how many transfers, bytes and
+/// modeled seconds a routing layer (the `gpma-cluster` ingest router, the
+/// sharded-analytics exchanges) has charged against it.
+///
+/// Plain data by design — ledgers can be kept per shard, snapshotted into
+/// metrics reports, and merged for cluster totals.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TransferLedger {
+    /// DMA transfers recorded.
+    pub transfers: u64,
+    /// Total payload bytes shipped.
+    pub bytes: u64,
+    /// Modeled link time (latency floor + bandwidth term per transfer).
+    pub time: SimTime,
+}
+
+impl TransferLedger {
+    /// Charge one `bytes`-sized transfer against `link`; returns the
+    /// modeled time of this transfer.
+    pub fn record(&mut self, link: &Pcie, bytes: usize) -> SimTime {
+        let t = link.transfer_time(bytes);
+        self.transfers += 1;
+        self.bytes += bytes as u64;
+        self.time += t;
+        t
+    }
+
+    /// Fold another ledger into this one (cluster-wide totals).
+    pub fn merge(&mut self, other: &TransferLedger) {
+        self.transfers += other.transfers;
+        self.bytes += other.bytes;
+        self.time += other.time;
+    }
+}
+
 /// Durations of the four activities in one steady-state pipeline step
 /// (Figure 2): send the next update batch (H2D), apply the current batch on
 /// the device, run the analytic kernel, and fetch its result (D2H).
