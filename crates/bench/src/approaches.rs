@@ -66,7 +66,9 @@ pub enum Store {
     Stinger(StingerGraph),
     CuSparseCsr { dev: Device, csr: RebuildCsr },
     Gpma { dev: Device, g: Gpma },
-    GpmaPlus { dev: Device, g: GpmaPlus },
+    // Boxed: GPMA+ carries reusable upload/level scratch, making it much
+    // larger than the host-store variants.
+    GpmaPlus { dev: Device, g: Box<GpmaPlus> },
 }
 
 impl Store {
@@ -97,7 +99,7 @@ impl Store {
             }
             ApproachKind::GpmaPlus => {
                 let dev = Device::new(cfg);
-                let g = GpmaPlus::build(&dev, num_vertices, edges);
+                let g = Box::new(GpmaPlus::build(&dev, num_vertices, edges));
                 Store::GpmaPlus { dev, g }
             }
         }

@@ -4,7 +4,8 @@
 //! repro [EXPERIMENT ...] [--scale F] [--seed N] [--slides N] [--quick]
 //!
 //! EXPERIMENT: all | table1 | table2 | fig7 | fig8 | fig9 | fig10 | fig11 |
-//!             fig12 | sorted | explicit | ablation | service | cluster
+//!             fig12 | sorted | explicit | ablation | service | cluster |
+//!             incremental
 //! ```
 
 use gpma_bench::apps::App;
@@ -51,7 +52,7 @@ fn main() {
     if selected.iter().any(|s| s == "all") {
         selected = [
             "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sorted",
-            "explicit", "ablation", "service", "cluster",
+            "explicit", "ablation", "service", "cluster", "incremental",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -82,6 +83,7 @@ fn main() {
             "ablation" => exp::ablation(&cfg),
             "service" => exp::service(&cfg),
             "cluster" => exp::cluster(&cfg),
+            "incremental" => exp::incremental(&cfg),
             other => eprintln!("unknown experiment: {other} (see --help)"),
         }
         eprintln!("[{s} finished in {:.1}s]", t0.elapsed().as_secs_f64());
@@ -92,7 +94,7 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's evaluation\n\
          usage: repro [EXPERIMENT ...] [--scale F] [--seed N] [--slides N] [--quick]\n\
-         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation service cluster\n\
+         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation service cluster incremental\n\
          defaults: --scale 0.005 --seed 42 --slides 3\n\
          --quick: scale 0.001, 1 slide per configuration"
     );

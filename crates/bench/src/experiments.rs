@@ -715,6 +715,241 @@ pub fn cluster(cfg: &ExpConfig) {
     }
 }
 
+// ----------------------------------------------------------------------
+// Incremental — delta publication + incremental analytics vs full
+// republication / from-scratch recompute
+// ----------------------------------------------------------------------
+
+/// The `gpma-incremental` headline experiment: slide a Graph500 window for
+/// ~10k one-flush epochs and compare, per epoch,
+///
+/// * **bytes published**: the O(|Δ|) `SnapshotDelta` wire size against the
+///   O(E) full-snapshot copy the pre-delta read path shipped, and
+/// * **analytics work**: the incremental BFS / CC / PageRank maintainers'
+///   repair work against the from-scratch host oracles (sampled every few
+///   hundred epochs, extrapolated, and *checked for exact agreement*).
+///
+/// Also re-measures the single-device GPMA+ update hot path (this PR:
+/// the level-compaction chains in `apply_sorted` reuse device buffers and
+/// share one keep-mask scan). Saves `results/incremental.csv` and
+/// machine-readable `results/BENCH_incremental.json`.
+pub fn incremental(cfg: &ExpConfig) {
+    use gpma_analytics::{bfs_host, cc_host, pagerank_host};
+    use gpma_core::delta::BYTES_PER_EDGE;
+    use gpma_incremental::IncrementalEngine;
+
+    let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
+    let nv = stream.num_vertices;
+    let tail = stream.len() - stream.initial_size();
+    // ~10k epochs at the default scale; the quick smoke keeps a few
+    // hundred. Epochs are *delta-sized* by design (the paper's premise):
+    // cap the per-epoch slide at 0.02% of the stream so the comparison
+    // measures the small-batch steady state, not bulk reloads.
+    let target_epochs = if cfg.max_slides <= 1 { 300 } else { 10_000 };
+    let batch = (tail / target_epochs)
+        .clamp(1, stream.slide_batch_size(0.0002));
+    let epochs = (tail / batch).min(target_epochs);
+    let root = stream.initial_edges()[0].src;
+
+    let dev = Device::new(cfg.device_cfg.clone());
+    let mut sys = DynamicGraphSystem::new(dev, nv, stream.initial_edges(), batch);
+    let mut engine = IncrementalEngine::new()
+        .with_bfs(root)
+        .with_cc()
+        .with_pagerank(0.85, 1e-3);
+    engine.rebase(&sys.snapshot());
+    let rebase_work = engine.stats();
+
+    let sample_every = (epochs / 8).max(1);
+    let mut delta_bytes = 0u64;
+    let mut snapshot_bytes = 0u64;
+    let mut engine_wall = 0.0f64;
+    let mut samples = 0u64;
+    let mut oracle_wall = 0.0f64;
+    let (mut scratch_bfs, mut scratch_cc, mut scratch_pr) = (0u64, 0u64, 0u64);
+    let mut agreement = true;
+    for (i, b) in stream.sliding(batch).take(epochs).enumerate() {
+        sys.stream.offer_batch(&b);
+        let report = sys.flush();
+        delta_bytes += report.delta.wire_bytes() as u64;
+        snapshot_bytes += (8 + sys.graph.storage.num_edges() * BYTES_PER_EDGE) as u64;
+        let t0 = std::time::Instant::now();
+        engine.apply(&report.delta);
+        engine_wall += t0.elapsed().as_secs_f64();
+
+        if (i + 1) % sample_every == 0 {
+            // From-scratch oracles on the same graph state: timed for the
+            // work comparison, checked for agreement with the maintainers.
+            let live = nv as u64 + engine.graph().num_edges() as u64;
+            let t0 = std::time::Instant::now();
+            let dist = bfs_host(engine.graph(), root);
+            let labels = cc_host(engine.graph());
+            let pr = pagerank_host(engine.graph(), 0.85, 1e-3, 200);
+            oracle_wall += t0.elapsed().as_secs_f64();
+            samples += 1;
+            scratch_bfs += live;
+            scratch_cc += live;
+            scratch_pr += pr.iterations as u64 * live;
+            let bfs_ok = engine.bfs().unwrap().distances() == dist.as_slice();
+            let cc_ok = engine.cc_mut().unwrap().labels() == labels;
+            let pr_ok = engine
+                .pagerank()
+                .unwrap()
+                .ranks()
+                .iter()
+                .zip(&pr.ranks)
+                .all(|(a, b)| (a - b).abs() < 2e-2);
+            if !(bfs_ok && cc_ok && pr_ok) {
+                eprintln!(
+                    "incremental: oracle mismatch at epoch {} (bfs={bfs_ok} cc={cc_ok} pr={pr_ok})",
+                    i + 1
+                );
+            }
+            agreement &= bfs_ok && cc_ok && pr_ok;
+        }
+    }
+    let stats = engine.stats();
+    let extrapolate =
+        |sampled: u64| sampled.checked_div(samples).map_or(0, |per| per * epochs as u64);
+    let (sb, sc, sp) = (
+        extrapolate(scratch_bfs),
+        extrapolate(scratch_cc),
+        extrapolate(scratch_pr),
+    );
+    let ratio = |inc: u64, scratch: u64| {
+        if inc == 0 {
+            0.0
+        } else {
+            scratch as f64 / inc as f64
+        }
+    };
+    let inc_bfs = stats.bfs_work - rebase_work.bfs_work;
+    let inc_cc = stats.cc_work - rebase_work.cc_work;
+    let inc_pr = stats.pagerank_work - rebase_work.pagerank_work;
+
+    // Update hot path: the streaming flush loop the level-scratch reuse
+    // targets (same shape as the cluster experiment's block, so the wall
+    // numbers are comparable across BENCH_*.json files).
+    let hot = {
+        let dev = Device::new(cfg.device_cfg.clone());
+        let mut g = GpmaPlus::build(&dev, nv, stream.initial_edges());
+        let hot_batch = stream.slide_batch_size(0.01).max(1);
+        let cap = (hot_batch * 20 * cfg.max_slides.max(1)).min(tail);
+        let hot_tail = &stream.edges[stream.initial_size()..stream.initial_size() + cap];
+        let t0 = std::time::Instant::now();
+        let mut sim = 0.0f64;
+        let mut batches = 0usize;
+        for b in hot_tail.chunks(hot_batch) {
+            let ub = UpdateBatch {
+                insertions: b.to_vec(),
+                deletions: vec![],
+            };
+            let (_, t) = dev.timed(|d| {
+                g.update_batch_lazy(d, &ub);
+            });
+            sim += t.secs();
+            batches += 1;
+        }
+        (batches, hot_tail.len(), t0.elapsed().as_secs_f64(), sim)
+    };
+
+    let rows = vec![
+        vec![
+            "delta-publication".to_string(),
+            format!("{}", delta_bytes / epochs as u64),
+            format!("{}", snapshot_bytes / epochs as u64),
+            format!("{:.1}×", ratio(delta_bytes, snapshot_bytes)),
+            "bytes/epoch".to_string(),
+        ],
+        vec![
+            "incremental-bfs".to_string(),
+            format!("{}", inc_bfs / epochs as u64),
+            format!("{}", sb / epochs as u64),
+            format!("{:.1}×", ratio(inc_bfs, sb)),
+            "work/epoch".to_string(),
+        ],
+        vec![
+            "incremental-cc".to_string(),
+            format!("{}", inc_cc / epochs as u64),
+            format!("{}", sc / epochs as u64),
+            format!("{:.1}×", ratio(inc_cc, sc)),
+            "work/epoch".to_string(),
+        ],
+        vec![
+            "delta-pagerank".to_string(),
+            format!("{}", inc_pr / epochs as u64),
+            format!("{}", sp / epochs as u64),
+            format!("{:.1}×", ratio(inc_pr, sp)),
+            "work/epoch".to_string(),
+        ],
+    ];
+    emit(
+        "incremental",
+        &format!(
+            "Incremental engine vs full republication/recompute \
+             (Graph500, {epochs} epochs × {batch} updates, agreement={agreement})"
+        ),
+        &["Path", "Incremental", "FullPerEpoch", "Saving", "Unit"],
+        &rows,
+    );
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"incremental\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"scale\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"num_vertices\": {},\n",
+            "  \"epochs\": {},\n",
+            "  \"batch\": {},\n",
+            "  \"oracle_samples\": {},\n",
+            "  \"oracle_agreement\": {},\n",
+            "  \"publication\": {{\"delta_bytes_per_epoch\": {}, ",
+            "\"snapshot_bytes_per_epoch\": {}, \"bytes_saving\": {:.2}}},\n",
+            "  \"work_per_epoch\": {{\n",
+            "    \"bfs\": {{\"incremental\": {}, \"from_scratch\": {}, \"saving\": {:.2}}},\n",
+            "    \"cc\": {{\"incremental\": {}, \"from_scratch\": {}, \"saving\": {:.2}}},\n",
+            "    \"pagerank\": {{\"incremental\": {}, \"from_scratch\": {}, \"saving\": {:.2}}}\n",
+            "  }},\n",
+            "  \"engine_wall_secs\": {:.6},\n",
+            "  \"oracle_wall_secs_sampled\": {:.6},\n",
+            "  \"update_hot_path\": {{\"batches\": {}, \"updates\": {}, ",
+            "\"wall_secs\": {:.6}, \"sim_secs\": {:.6}}}\n",
+            "}}\n"
+        ),
+        crate::report::json_escape(&stream.name),
+        cfg.scale,
+        cfg.seed,
+        nv,
+        epochs,
+        batch,
+        samples,
+        agreement,
+        delta_bytes / epochs as u64,
+        snapshot_bytes / epochs as u64,
+        ratio(delta_bytes, snapshot_bytes),
+        inc_bfs / epochs as u64,
+        sb / epochs as u64,
+        ratio(inc_bfs, sb),
+        inc_cc / epochs as u64,
+        sc / epochs as u64,
+        ratio(inc_cc, sc),
+        inc_pr / epochs as u64,
+        sp / epochs as u64,
+        ratio(inc_pr, sp),
+        engine_wall,
+        oracle_wall,
+        hot.0,
+        hot.1,
+        hot.2,
+        hot.3,
+    );
+    if let Err(e) = crate::report::save_json("BENCH_incremental", &json) {
+        eprintln!("(json save failed for incremental: {e})");
+    }
+    assert!(agreement, "incremental maintainers diverged from the oracles");
+}
+
 pub fn ablation(cfg: &ExpConfig) {
     let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
     let batch = stream.slide_batch_size(0.01);

@@ -8,10 +8,11 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use gpma_core::delta::{DeltaCatchUp, DeltaLog, SnapshotDelta};
 use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot, BYTES_PER_UPDATE};
 use gpma_core::multi::Partitioner;
 use gpma_graph::{Edge, UpdateBatch};
-use gpma_service::{IngestHandle, ServiceConfig, ServiceReport, StreamingService};
+use gpma_service::{DeltaMonitor, IngestHandle, ServiceConfig, ServiceReport, StreamingService};
 use gpma_sim::pcie::{Pcie, TransferLedger};
 use gpma_sim::{Device, DeviceConfig, PcieConfig};
 use parking_lot::Mutex;
@@ -36,6 +37,13 @@ pub struct ClusterConfig {
     /// the per-transfer latency floor; smaller values cut snapshot
     /// staleness.
     pub router_batch: usize,
+    /// Cut-level deltas the cluster retains for reader catch-up
+    /// ([`GraphCluster::deltas_since`]).
+    pub delta_log_capacity: usize,
+    /// Epoch deltas each *shard* service retains. Must comfortably cover
+    /// the flushes a shard performs between two coordinated cuts, or the
+    /// cluster falls back to publishing the cut as a full snapshot.
+    pub shard_delta_log_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -45,6 +53,8 @@ impl Default for ClusterConfig {
             shard_queue_capacity: 1024,
             flush_threshold: 64,
             router_batch: 256,
+            delta_log_capacity: 256,
+            shard_delta_log_capacity: 4096,
         }
     }
 }
@@ -81,6 +91,9 @@ enum Command {
 pub(crate) struct RouterCounters {
     /// Updates routed to each shard.
     pub routed: Vec<u64>,
+    /// Non-empty sub-batches forwarded to each shard (one modeled DMA
+    /// each) — together with `routed`, the raw routing-skew observables.
+    pub sub_batches: Vec<u64>,
     /// Modeled host→shard transfer ledger per shard.
     pub transfer: Vec<TransferLedger>,
     /// Routed insertions whose endpoints have different home shards (the
@@ -96,6 +109,13 @@ struct Shared {
     /// Latest published cut; swapped whole so readers never block the
     /// router for longer than an `Arc` clone.
     snapshot: Mutex<Arc<ClusterSnapshot>>,
+    /// Cut-level deltas (epoch = cut number), assembled from the shard
+    /// delta logs at every coordinated cut.
+    delta_log: Mutex<DeltaLog>,
+    /// Cuts whose delta could not be assembled because a shard's ring had
+    /// already evicted part of the inter-cut chain (readers rebase on the
+    /// full cut instead).
+    delta_fallbacks: AtomicU64,
     router: Mutex<RouterCounters>,
     ingested_inserts: AtomicU64,
     ingested_deletes: AtomicU64,
@@ -160,6 +180,9 @@ pub struct ClusterReport {
     /// Each shard service's own report (system, final snapshot, metrics),
     /// index-aligned with shard ids.
     pub shard_reports: Vec<ServiceReport>,
+    /// The cluster-level [`DeltaMonitor`]s handed back after their thread
+    /// observed the final cut (empty when none were registered).
+    pub delta_monitors: Vec<Box<dyn DeltaMonitor>>,
 }
 
 /// The sharded streaming facade: one ingest stream fanned out across
@@ -170,6 +193,7 @@ pub struct ClusterReport {
 pub struct GraphCluster {
     tx: Sender<Command>,
     router: Option<JoinHandle<Vec<ServiceReport>>>,
+    delta_monitors: Option<JoinHandle<Vec<Box<dyn DeltaMonitor>>>>,
     shared: Arc<Shared>,
     partitioner: Arc<dyn Partitioner>,
 }
@@ -183,6 +207,20 @@ impl GraphCluster {
         device_cfg: &DeviceConfig,
         partitioner: Arc<dyn Partitioner>,
         initial_edges: &[Edge],
+    ) -> Self {
+        Self::spawn_with_delta_monitors(cfg, device_cfg, partitioner, initial_edges, Vec::new())
+    }
+
+    /// Spawn with cluster-level [`DeltaMonitor`]s: after every coordinated
+    /// cut they receive the cut's merged [`SnapshotDelta`] (or a full
+    /// rebase when a shard's ring was outrun) on a dedicated thread — the
+    /// incremental read path over globally consistent cuts.
+    pub fn spawn_with_delta_monitors(
+        cfg: ClusterConfig,
+        device_cfg: &DeviceConfig,
+        partitioner: Arc<dyn Partitioner>,
+        initial_edges: &[Edge],
+        delta_monitors: Vec<Box<dyn DeltaMonitor>>,
     ) -> Self {
         let num_shards = partitioner.num_shards();
         assert!(num_shards >= 1);
@@ -201,15 +239,21 @@ impl GraphCluster {
             services.push(StreamingService::spawn(
                 ServiceConfig {
                     queue_capacity: cfg.shard_queue_capacity,
+                    delta_log_capacity: cfg.shard_delta_log_capacity,
+                    ..Default::default()
                 },
                 sys,
             ));
         }
 
+        let initial = Arc::new(ClusterSnapshot::new(0, num_vertices, initial_snaps));
         let shared = Arc::new(Shared {
-            snapshot: Mutex::new(Arc::new(ClusterSnapshot::new(0, num_vertices, initial_snaps))),
+            snapshot: Mutex::new(initial.clone()),
+            delta_log: Mutex::new(DeltaLog::new(cfg.delta_log_capacity)),
+            delta_fallbacks: AtomicU64::new(0),
             router: Mutex::new(RouterCounters {
                 routed: vec![0; num_shards],
+                sub_batches: vec![0; num_shards],
                 transfer: vec![TransferLedger::default(); num_shards],
                 cut_edges: 0,
                 cancelled_inserts: 0,
@@ -221,17 +265,31 @@ impl GraphCluster {
             started: Instant::now(),
         });
 
+        let (monitor_handle, cut_tx) = if delta_monitors.is_empty() {
+            (None, None)
+        } else {
+            let (cut_tx, cut_rx) = crossbeam::channel::unbounded::<CutEvent>();
+            let handle = std::thread::Builder::new()
+                .name("gpma-cluster-deltas".into())
+                .spawn(move || run_cut_monitors(initial, cut_rx, delta_monitors))
+                .expect("spawn cluster delta-monitor thread");
+            (Some(handle), Some(cut_tx))
+        };
+
         let (tx, rx) = bounded(cfg.queue_capacity.max(1));
         let router_shared = shared.clone();
         let router_part = partitioner.clone();
         let router = std::thread::Builder::new()
             .name("gpma-cluster-router".into())
-            .spawn(move || run_router(rx, services, router_part, router_shared, cfg.router_batch))
+            .spawn(move || {
+                run_router(rx, services, router_part, router_shared, cfg.router_batch, cut_tx)
+            })
             .expect("spawn cluster router thread");
 
         GraphCluster {
             tx,
             router: Some(router),
+            delta_monitors: monitor_handle,
             shared,
             partitioner,
         }
@@ -266,6 +324,20 @@ impl GraphCluster {
     /// behind updates.
     pub fn query<R>(&self, f: impl FnOnce(&ClusterSnapshot) -> R) -> R {
         f(&self.snapshot())
+    }
+
+    /// Catch a delta reader up from cut number `cut`: the merged per-cut
+    /// [`SnapshotDelta`] chain when the cluster ring still covers it (one
+    /// delta per coordinated cut, epoch = cut number), or the latest full
+    /// cut to rebase on when the reader lagged past
+    /// [`ClusterConfig::delta_log_capacity`] cuts (or a shard ring was
+    /// outrun between cuts). Never blocks beyond the log lock.
+    pub fn deltas_since(&self, cut: u64) -> DeltaCatchUp<Arc<ClusterSnapshot>> {
+        let chain = self.shared.delta_log.lock().deltas_since(cut);
+        match chain {
+            Some(chain) => DeltaCatchUp::Deltas(chain),
+            None => DeltaCatchUp::Snapshot(self.shared.snapshot.lock().clone()),
+        }
     }
 
     /// Coordinate a globally consistent epoch cut: every update accepted by
@@ -305,9 +377,11 @@ impl GraphCluster {
             queries: self.shared.queries.load(Ordering::Relaxed),
             elapsed_secs: self.shared.started.elapsed().as_secs_f64(),
             routed: router.routed,
+            sub_batches: router.sub_batches,
             transfer: router.transfer,
             cut_edges: router.cut_edges,
             cancelled_inserts: router.cancelled_inserts,
+            delta_fallbacks: self.shared.delta_fallbacks.load(Ordering::Relaxed),
             shards,
         }
     }
@@ -322,12 +396,21 @@ impl GraphCluster {
             Ok(reports) => reports,
             Err(payload) => std::panic::resume_unwind(payload),
         };
+        let delta_monitors = match self.delta_monitors.take().map(|h| h.join()) {
+            Some(Ok(monitors)) => monitors,
+            Some(Err(_)) => {
+                eprintln!("gpma-cluster: delta-monitor thread panicked; results discarded");
+                Vec::new()
+            }
+            None => Vec::new(),
+        };
         let metrics =
             self.assemble_metrics(shard_reports.iter().map(|r| r.metrics.clone()).collect());
         ClusterReport {
             final_snapshot: self.shared.snapshot.lock().clone(),
             metrics,
             shard_reports,
+            delta_monitors,
         }
     }
 
@@ -344,7 +427,50 @@ impl Drop for GraphCluster {
         if let Some(Err(_)) = self.stop_router() {
             eprintln!("gpma-cluster: router thread panicked; state discarded");
         }
+        // The router's exit dropped the cut sender; the monitor thread (if
+        // still held) drains its queue and finishes.
+        if let Some(m) = self.delta_monitors.take() {
+            let _ = m.join();
+        }
     }
+}
+
+/// Events the router publishes to the cluster's delta-monitor thread.
+enum CutEvent {
+    /// A cut whose inter-cut delta chain was fully assembled.
+    Delta(Arc<SnapshotDelta>),
+    /// A cut that outran a shard's delta ring: monitors must rebase on the
+    /// full merged state.
+    Rebase(Arc<ClusterSnapshot>),
+}
+
+/// The cluster delta-monitor thread: rebase on the initial state, then feed
+/// each coordinated cut's merged delta (or a forced rebase) in cut order.
+fn run_cut_monitors(
+    initial: Arc<ClusterSnapshot>,
+    rx: Receiver<CutEvent>,
+    mut monitors: Vec<Box<dyn DeltaMonitor>>,
+) -> Vec<Box<dyn DeltaMonitor>> {
+    let flat = initial.to_graph_snapshot();
+    for m in monitors.iter_mut() {
+        m.on_rebase(&flat);
+    }
+    while let Ok(event) = rx.recv() {
+        match event {
+            CutEvent::Delta(delta) => {
+                for m in monitors.iter_mut() {
+                    m.on_delta(&delta);
+                }
+            }
+            CutEvent::Rebase(cut) => {
+                let flat = cut.to_graph_snapshot();
+                for m in monitors.iter_mut() {
+                    m.on_rebase(&flat);
+                }
+            }
+        }
+    }
+    monitors
 }
 
 /// Everything the router loop threads through its helpers.
@@ -364,6 +490,11 @@ struct Router {
     /// ingest hot path).
     local_cut_edges: u64,
     local_cancelled: u64,
+    /// Each shard's local epoch at the previous coordinated cut — the
+    /// resume points for assembling the next cut's delta chain.
+    last_cut_epochs: Vec<u64>,
+    /// Feed to the cluster delta-monitor thread, when one exists.
+    cut_tx: Option<Sender<CutEvent>>,
 }
 
 impl Router {
@@ -436,6 +567,7 @@ impl Router {
             c.cancelled_inserts += std::mem::take(&mut self.local_cancelled);
             for (i, b) in &outgoing {
                 c.routed[*i] += b.len() as u64;
+                c.sub_batches[*i] += 1;
                 c.transfer[*i].record(&self.link, b.len() * BYTES_PER_UPDATE);
             }
         }
@@ -448,7 +580,8 @@ impl Router {
     }
 
     /// Coordinated cut: forward residue, barrier every shard (each ack is
-    /// its epoch-stamped snapshot), assemble and publish the cluster cut.
+    /// its epoch-stamped snapshot), assemble and publish the cluster cut —
+    /// plus the cut's merged delta, stitched from the shard delta rings.
     fn cut(&mut self) -> Arc<ClusterSnapshot> {
         self.forward();
         let snaps: Vec<Arc<GraphSnapshot>> = self
@@ -459,7 +592,55 @@ impl Router {
         let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
         let snap = Arc::new(ClusterSnapshot::new(cut, self.part.num_vertices(), snaps));
         *self.shared.snapshot.lock() = snap.clone();
+        self.publish_cut_delta(cut, &snap);
         snap
+    }
+
+    /// Assemble the delta between the previous cut and this one: each
+    /// shard's inter-cut epoch chain folds into one per-shard delta, and
+    /// shards own disjoint edge sets, so their union is the cut's exact net
+    /// effect. A shard whose ring already evicted part of its chain forces
+    /// a full-snapshot fallback (counted, and pushed as a ring reset so
+    /// readers rebase too).
+    fn publish_cut_delta(&mut self, cut: u64, snap: &Arc<ClusterSnapshot>) {
+        let mut inserted: Vec<Edge> = Vec::new();
+        let mut deleted: Vec<u64> = Vec::new();
+        let mut lagged = false;
+        for (i, svc) in self.services.iter().enumerate() {
+            match svc.deltas_since(self.last_cut_epochs[i]) {
+                DeltaCatchUp::Deltas(chain) => {
+                    let mut folded = SnapshotDelta::default();
+                    for d in &chain {
+                        folded.merge(d);
+                    }
+                    inserted.extend_from_slice(folded.inserted());
+                    deleted.extend_from_slice(folded.deleted_keys());
+                }
+                DeltaCatchUp::Snapshot(_) => lagged = true,
+            }
+            self.last_cut_epochs[i] = snap.shards()[i].epoch();
+        }
+        if lagged {
+            // Readers of the cluster ring must rebase: clear it so
+            // `deltas_since` reports the lag, and tell the monitors.
+            {
+                let mut log = self.shared.delta_log.lock();
+                let capacity = log.capacity();
+                *log = DeltaLog::new(capacity);
+            }
+            self.shared.delta_fallbacks.fetch_add(1, Ordering::Relaxed);
+            if let Some(tx) = &self.cut_tx {
+                let _ = tx.send(CutEvent::Rebase(snap.clone()));
+            }
+            return;
+        }
+        inserted.sort_by_key(Edge::key);
+        deleted.sort_unstable();
+        let delta = Arc::new(SnapshotDelta::from_parts(cut, inserted, deleted));
+        self.shared.delta_log.lock().push(delta.clone());
+        if let Some(tx) = &self.cut_tx {
+            let _ = tx.send(CutEvent::Delta(delta));
+        }
     }
 }
 
@@ -472,6 +653,7 @@ fn run_router(
     part: Arc<dyn Partitioner>,
     shared: Arc<Shared>,
     router_batch: usize,
+    cut_tx: Option<Sender<CutEvent>>,
 ) -> Vec<ServiceReport> {
     let num_shards = services.len();
     let mut r = Router {
@@ -484,6 +666,8 @@ fn run_router(
         pending_len: 0,
         local_cut_edges: 0,
         local_cancelled: 0,
+        last_cut_epochs: vec![0; num_shards],
+        cut_tx,
     };
     let router_batch = router_batch.max(1);
     'serve: loop {
@@ -656,6 +840,96 @@ mod tests {
         assert!(shards_with_row > 1, "grid should split vertex 0's row");
         let report = c.shutdown();
         assert!(report.metrics.cut_edges > 0);
+    }
+
+    #[test]
+    fn cut_deltas_replay_to_the_merged_cut() {
+        use gpma_core::delta::apply_delta;
+        let part = Arc::new(HashVertexPartition {
+            num_vertices: 32,
+            num_shards: 4,
+        });
+        let c = spawn4(part, &[Edge::new(0, 1), Edge::new(1, 2)]);
+        let cut0 = c.snapshot().to_graph_snapshot();
+        let h = c.handle();
+        for i in 2..=9u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        h.delete(Edge::new(0, 1)).unwrap();
+        c.epoch_cut().unwrap();
+        for i in 10..=13u32 {
+            h.insert(Edge::new(i, 1)).unwrap();
+        }
+        let cut2 = c.epoch_cut().unwrap();
+        let chain = match c.deltas_since(0) {
+            DeltaCatchUp::Deltas(chain) => chain,
+            DeltaCatchUp::Snapshot(_) => panic!("ring covers both cuts"),
+        };
+        assert_eq!(
+            chain.iter().map(|d| d.epoch()).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        let mut replayed = cut0;
+        for d in &chain {
+            replayed = apply_delta(&replayed, d);
+        }
+        let flat = cut2.to_graph_snapshot();
+        assert_eq!(replayed.edges(), flat.edges());
+        assert_eq!(replayed.epoch(), cut2.cut());
+        // Delta bytes are O(|Δ|): the second cut changed 4 edges.
+        assert_eq!(chain[1].len(), 4);
+        let report = c.shutdown();
+        assert_eq!(report.metrics.delta_fallbacks, 0);
+    }
+
+    #[test]
+    fn cluster_delta_monitors_track_cuts() {
+        use gpma_core::delta::SnapshotDelta;
+        use gpma_core::framework::GraphSnapshot;
+        type Log = Arc<parking_lot::Mutex<Vec<(bool, u64)>>>;
+        struct Recorder(Log);
+        impl gpma_service::DeltaMonitor for Recorder {
+            fn name(&self) -> &str {
+                "cut-recorder"
+            }
+            fn on_rebase(&mut self, snapshot: &GraphSnapshot) {
+                self.0.lock().push((true, snapshot.epoch()));
+            }
+            fn on_delta(&mut self, delta: &SnapshotDelta) {
+                self.0.lock().push((false, delta.epoch()));
+            }
+        }
+        let log: Log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let part = Arc::new(VertexPartition {
+            num_vertices: 16,
+            num_shards: 4,
+        });
+        let c = GraphCluster::spawn_with_delta_monitors(
+            ClusterConfig {
+                flush_threshold: 2,
+                router_batch: 4,
+                ..Default::default()
+            },
+            &DeviceConfig::deterministic(),
+            part,
+            &[Edge::new(0, 1)],
+            vec![Box::new(Recorder(log.clone()))],
+        );
+        let h = c.handle();
+        for i in 1..=6u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        c.epoch_cut().unwrap();
+        let report = c.shutdown();
+        assert_eq!(report.delta_monitors.len(), 1);
+        let events = log.lock().clone();
+        // Initial rebase at cut 0, then one delta per cut (incl. the final
+        // shutdown cut), in order.
+        assert_eq!(events[0], (true, 0));
+        let cuts: Vec<u64> = events[1..].iter().map(|&(_, c)| c).collect();
+        assert!(events[1..].iter().all(|&(rebase, _)| !rebase));
+        let expect: Vec<u64> = (1..=report.final_snapshot.cut()).collect();
+        assert_eq!(cuts, expect);
     }
 
     #[test]

@@ -41,8 +41,16 @@
 //!   feed the distributed supersteps of
 //!   [`gpma_analytics::bfs_sharded`] / [`gpma_analytics::pagerank_sharded`],
 //!   which charge explicit frontier / rank exchange traffic.
-//! * **Observability** — [`ClusterMetrics`] reports routing balance, cut
-//!   edges, modeled transfer totals and every shard's own
+//! * **Delta cuts** — each coordinated cut also publishes its net effect
+//!   as one merged [`SnapshotDelta`] (stitched from the shard delta
+//!   rings; shards own disjoint edge sets). Readers catch up with
+//!   [`GraphCluster::deltas_since`]; cluster-level [`DeltaMonitor`]s —
+//!   e.g. the `gpma-incremental` engine — consume one delta per cut on a
+//!   dedicated thread, rebasing on a full snapshot only when a shard ring
+//!   was outrun.
+//! * **Observability** — [`ClusterMetrics`] reports routing balance and
+//!   per-shard skew ([`RoutingSkew`]), cut edges, modeled transfer totals,
+//!   delta fallbacks and every shard's own
 //!   [`ServiceMetrics`](gpma_service::ServiceMetrics).
 //!
 //! ## Example: 4 shards, two policies
@@ -92,7 +100,9 @@ pub use gpma_core::multi::{EdgeGridPartition, HashVertexPartition, VertexPartiti
 pub use cluster::{
     ClusterClosed, ClusterConfig, ClusterHandle, ClusterReport, GraphCluster,
 };
-pub use metrics::ClusterMetrics;
+pub use gpma_core::delta::{DeltaCatchUp, SnapshotDelta};
+pub use gpma_service::DeltaMonitor;
+pub use metrics::{ClusterMetrics, RoutingSkew};
 pub use snapshot::ClusterSnapshot;
 
 /// Named constructor for the shipped partitioning policies — the CLI/bench

@@ -32,14 +32,45 @@ pub struct ClusterMetrics {
     pub elapsed_secs: f64,
     /// Updates the router shipped to each shard.
     pub routed: Vec<u64>,
+    /// Non-empty sub-batches (modeled DMAs) forwarded to each shard.
+    pub sub_batches: Vec<u64>,
     /// Modeled host→shard transfer ledger per shard.
     pub transfer: Vec<TransferLedger>,
     /// Routed insertions whose endpoints live on different home shards.
     pub cut_edges: u64,
     /// Pending insertions the router cancelled for arrival-order semantics.
     pub cancelled_inserts: u64,
+    /// Coordinated cuts whose delta chain could not be assembled (a shard
+    /// ring was outrun); those cuts published as full-snapshot rebases.
+    pub delta_fallbacks: u64,
     /// Each shard service's own metrics, index-aligned with shard ids.
     pub shards: Vec<ServiceMetrics>,
+}
+
+/// Per-shard routing-skew summary derived from the router's sub-batch and
+/// edge counters — the observable behind the edge grid's known ~2×
+/// power-law imbalance, and the signal a future elasticity policy (shard
+/// splits/merges) will act on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingSkew {
+    /// Updates routed to each shard (edge counts, index = shard id).
+    pub updates: Vec<u64>,
+    /// Sub-batches (modeled DMAs) forwarded to each shard.
+    pub sub_batches: Vec<u64>,
+    /// Busiest shard's update count over the per-shard mean
+    /// (`1.0` = perfectly balanced; `0.0` with no traffic).
+    pub max_mean_updates: f64,
+    /// Busiest shard's sub-batch count over the per-shard mean.
+    pub max_mean_sub_batches: f64,
+}
+
+fn max_over_mean(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || counts.is_empty() {
+        return 0.0;
+    }
+    let max = *counts.iter().max().unwrap_or(&0) as f64;
+    max / (total as f64 / counts.len() as f64)
 }
 
 impl ClusterMetrics {
@@ -70,13 +101,18 @@ impl ClusterMetrics {
     /// Load imbalance of the routing: max shard share over the ideal even
     /// share (`1.0` = perfectly balanced; `0.0` with no traffic).
     pub fn imbalance(&self) -> f64 {
-        let total: u64 = self.routed.iter().sum();
-        if total == 0 || self.routed.is_empty() {
-            return 0.0;
+        max_over_mean(&self.routed)
+    }
+
+    /// The full per-shard routing-skew report (sub-batch and edge counts
+    /// plus max/mean ratios).
+    pub fn routing_skew(&self) -> RoutingSkew {
+        RoutingSkew {
+            updates: self.routed.clone(),
+            sub_batches: self.sub_batches.clone(),
+            max_mean_updates: max_over_mean(&self.routed),
+            max_mean_sub_batches: max_over_mean(&self.sub_batches),
         }
-        let max = *self.routed.iter().max().unwrap_or(&0) as f64;
-        let even = total as f64 / self.routed.len() as f64;
-        max / even
     }
 
     /// Cluster-level ingest throughput in updates/second of wall-clock.
@@ -94,17 +130,21 @@ impl std::fmt::Display for ClusterMetrics {
         let t = self.total_transfer();
         write!(
             f,
-            "cluster[{} × {}] cut {} ({} cuts) | ingested {} (+{} -{}) | \
-             routed {:?} (imbalance {:.2}) | cut-edges {} ({:.1}%) | \
+            "cluster[{} × {}] cut {} ({} cuts, {} delta fallbacks) | \
+             ingested {} (+{} -{}) | \
+             routed {:?} in {:?} sub-batches (imbalance {:.2}) | \
+             cut-edges {} ({:.1}%) | \
              transfer {} B in {} DMAs ({:.3} ms) | queue {}",
             self.num_shards,
             self.policy,
             self.latest_cut,
             self.cuts,
+            self.delta_fallbacks,
             self.ingested(),
             self.ingested_inserts,
             self.ingested_deletes,
             self.routed,
+            self.sub_batches,
             self.imbalance(),
             self.cut_edges,
             self.cut_fraction() * 100.0,
@@ -139,9 +179,11 @@ mod tests {
             queries: 5,
             elapsed_secs: 2.0,
             routed: vec![75, 25],
+            sub_batches: vec![10, 6],
             transfer: vec![a, b],
             cut_edges: 40,
             cancelled_inserts: 1,
+            delta_fallbacks: 0,
             shards: Vec::new(),
         }
     }
@@ -157,5 +199,23 @@ mod tests {
         assert!((m.ingest_throughput() - 50.0).abs() < 1e-12);
         let s = m.to_string();
         assert!(s.contains("vertex-hash") && s.contains("cut 3"), "{s}");
+    }
+
+    #[test]
+    fn routing_skew_reports_both_observables() {
+        let m = metrics();
+        let skew = m.routing_skew();
+        assert_eq!(skew.updates, vec![75, 25]);
+        assert_eq!(skew.sub_batches, vec![10, 6]);
+        assert!((skew.max_mean_updates - 1.5).abs() < 1e-12);
+        assert!((skew.max_mean_sub_batches - 10.0 / 8.0).abs() < 1e-12);
+        // No traffic → no skew, no division by zero.
+        let empty = ClusterMetrics {
+            routed: vec![0, 0],
+            sub_batches: vec![0, 0],
+            ..metrics()
+        };
+        assert_eq!(empty.routing_skew().max_mean_updates, 0.0);
+        assert_eq!(empty.routing_skew().max_mean_sub_batches, 0.0);
     }
 }

@@ -1,0 +1,429 @@
+//! Epoch delta publication: the read-path seam that replaces O(E) full
+//! snapshot republication with O(|Δ|) per-epoch deltas.
+//!
+//! Every flush of a [`DynamicGraphSystem`](crate::framework::DynamicGraphSystem)
+//! advances the epoch by one and has a well-defined *net effect* on the live
+//! edge set: a set of upserted edges (inserted or weight-modified, last write
+//! wins) and a set of deleted keys. [`SnapshotDelta`] captures that effect so
+//! that a reader holding the epoch-`k` state can reconstruct the epoch-`k+1`
+//! state without ever copying the full edge list — the delta consumption model
+//! of Meerkat/GraphVine-style incremental analytics (`gpma-incremental`
+//! builds its maintainers on exactly this contract).
+//!
+//! [`DeltaLog`] is the bounded publication ring: the producer pushes one
+//! delta per epoch, readers catch up with [`DeltaLog::deltas_since`], and a
+//! reader that lags past the ring's tail falls back to a full snapshot
+//! ([`DeltaCatchUp::Snapshot`]) and resumes delta consumption from there.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use gpma_graph::{Edge, UpdateBatch};
+
+use crate::framework::GraphSnapshot;
+
+/// Bytes a snapshot edge occupies on the modeled wire (key + weight).
+pub const BYTES_PER_EDGE: usize = 8 + 8;
+
+/// Bytes a deleted-key record occupies on the modeled wire.
+pub const BYTES_PER_DELETED_KEY: usize = 8;
+
+/// The net effect of one epoch (one applied flush) on the live edge set.
+///
+/// *Replay contract*: applying the delta to the exact epoch-`k-1` edge set —
+/// remove every key in [`Self::deleted_keys`], then upsert every edge in
+/// [`Self::inserted`] — reproduces the epoch-`k` edge set exactly. The two
+/// key sets are disjoint and each is sorted and duplicate-free, so replay is
+/// order-independent within a delta. Arrival-order (sequential) semantics
+/// are preserved because the delta is computed from the *flushed* batch,
+/// after any producer-side cancellation has already shaped it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotDelta {
+    epoch: u64,
+    /// Net upserts this epoch, sorted by storage key, one entry per key.
+    inserted: Vec<Edge>,
+    /// Keys whose edges this epoch removes, sorted, disjoint from `inserted`.
+    deleted: Vec<u64>,
+}
+
+impl SnapshotDelta {
+    /// Compute the net effect of `batch` applied at `epoch`, normalizing the
+    /// framework's batch convention: deletions apply before insertions, and
+    /// for repeated insertion keys the last write wins. A key both deleted
+    /// and (re)inserted in one batch nets to *inserted*.
+    pub fn from_batch(epoch: u64, batch: &UpdateBatch) -> Self {
+        // Last-write-wins upsert set (stable sort keeps arrival order within
+        // equal keys, mirroring GraphSnapshot::from_edges).
+        let mut inserted = batch.insertions.clone();
+        inserted.sort_by_key(Edge::key);
+        inserted.reverse();
+        inserted.dedup_by_key(|e| e.key());
+        inserted.reverse();
+        let mut deleted: Vec<u64> = batch
+            .deletions
+            .iter()
+            .map(Edge::key)
+            .filter(|k| inserted.binary_search_by_key(k, Edge::key).is_err())
+            .collect();
+        deleted.sort_unstable();
+        deleted.dedup();
+        SnapshotDelta {
+            epoch,
+            inserted,
+            deleted,
+        }
+    }
+
+    /// Build a delta from already-normalized parts (sorted, deduplicated,
+    /// disjoint). Used by the cluster when merging shard chains; asserts the
+    /// invariants in debug builds.
+    pub fn from_parts(epoch: u64, inserted: Vec<Edge>, deleted: Vec<u64>) -> Self {
+        debug_assert!(inserted.windows(2).all(|w| w[0].key() < w[1].key()));
+        debug_assert!(deleted.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(deleted
+            .iter()
+            .all(|k| inserted.binary_search_by_key(k, Edge::key).is_err()));
+        SnapshotDelta {
+            epoch,
+            inserted,
+            deleted,
+        }
+    }
+
+    /// Epoch this delta produces (replaying it on epoch `k-1` state yields
+    /// epoch `k`).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Net upserted edges, sorted by key, one entry per key.
+    pub fn inserted(&self) -> &[Edge] {
+        &self.inserted
+    }
+
+    /// Keys removed this epoch, sorted, disjoint from the upsert keys.
+    pub fn deleted_keys(&self) -> &[u64] {
+        &self.deleted
+    }
+
+    /// Total changed keys (upserts + deletions).
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    /// True when the epoch changed nothing (an empty forced flush).
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Bytes this delta occupies on the modeled publication wire — the
+    /// O(|Δ|) cost the delta path ships instead of an O(E) snapshot copy.
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.inserted.len() * BYTES_PER_EDGE + self.deleted.len() * BYTES_PER_DELETED_KEY
+    }
+
+    /// Fold `later` into `self`, producing the net effect of both epochs in
+    /// sequence (`self` first). The merged delta is stamped with `later`'s
+    /// epoch. Associative, so a whole chain folds into one delta.
+    pub fn merge(&mut self, later: &SnapshotDelta) {
+        self.epoch = later.epoch;
+        if later.is_empty() {
+            return;
+        }
+        // Deletions in `later` override earlier upserts of the same key.
+        if !later.deleted.is_empty() {
+            self.inserted
+                .retain(|e| later.deleted.binary_search(&e.key()).is_err());
+            let mut deleted = std::mem::take(&mut self.deleted);
+            deleted.extend_from_slice(&later.deleted);
+            deleted.sort_unstable();
+            deleted.dedup();
+            self.deleted = deleted;
+        }
+        // Upserts in `later` override earlier deletions and earlier upserts.
+        if !later.inserted.is_empty() {
+            self.deleted
+                .retain(|k| later.inserted.binary_search_by_key(k, Edge::key).is_err());
+            let mut inserted = std::mem::take(&mut self.inserted);
+            inserted.retain(|e| {
+                later
+                    .inserted
+                    .binary_search_by_key(&e.key(), Edge::key)
+                    .is_err()
+            });
+            inserted.extend_from_slice(&later.inserted);
+            inserted.sort_by_key(Edge::key);
+            self.inserted = inserted;
+        }
+    }
+}
+
+/// Replay one delta on an epoch-stamped snapshot, producing the next epoch's
+/// snapshot — the reader-side half of the delta contract.
+///
+/// Exactness: if `snap` is the true epoch-`k` state and `delta` the epoch
+/// `k+1` net effect, the result equals the true epoch-`k+1` snapshot
+/// (same edges, same weights, same order).
+pub fn apply_delta(snap: &GraphSnapshot, delta: &SnapshotDelta) -> GraphSnapshot {
+    let mut edges: Vec<Edge> = Vec::with_capacity(snap.num_edges() + delta.inserted.len());
+    // Both inputs are key-sorted: a linear merge keeps the result sorted,
+    // dropping deleted and superseded keys as it goes.
+    let mut ins = delta.inserted.iter().peekable();
+    for e in snap.edges() {
+        let k = e.key();
+        while let Some(n) = ins.peek() {
+            if n.key() < k {
+                edges.push(**n);
+                ins.next();
+            } else {
+                break;
+            }
+        }
+        if let Some(n) = ins.peek() {
+            if n.key() == k {
+                continue; // superseded by the delta's upsert
+            }
+        }
+        if delta.deleted.binary_search(&k).is_ok() {
+            continue;
+        }
+        edges.push(*e);
+    }
+    edges.extend(ins.copied());
+    GraphSnapshot::from_edges(delta.epoch, snap.num_vertices(), edges)
+}
+
+/// How a delta reader catches up after falling behind: either the missing
+/// delta chain, or — when the reader lagged past the publication ring — a
+/// full snapshot to rebase on (generic so the cluster can hand back a
+/// `ClusterSnapshot`-shaped fallback).
+#[derive(Debug, Clone)]
+pub enum DeltaCatchUp<S> {
+    /// The deltas for every missed epoch, oldest first. Empty when the
+    /// reader was already current.
+    Deltas(Vec<Arc<SnapshotDelta>>),
+    /// The reader lagged past the ring: rebase on this full state, then
+    /// resume delta consumption from its epoch.
+    Snapshot(S),
+}
+
+/// A bounded ring of published epoch deltas supporting reader catch-up.
+///
+/// The producer pushes exactly one delta per epoch; the ring retains the
+/// most recent `capacity` of them. [`Self::deltas_since`] answers "give me
+/// everything after epoch `k`" when the ring still covers epoch `k+1`, and
+/// `None` when the reader must fall back to a full snapshot.
+#[derive(Debug, Clone)]
+pub struct DeltaLog {
+    deltas: VecDeque<Arc<SnapshotDelta>>,
+    capacity: usize,
+}
+
+impl DeltaLog {
+    /// An empty log retaining at most `capacity` deltas (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        DeltaLog {
+            deltas: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum deltas retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of deltas currently retained.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// True when no delta has been published yet (or the log was reset).
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Epoch of the newest retained delta.
+    pub fn head_epoch(&self) -> Option<u64> {
+        self.deltas.back().map(|d| d.epoch())
+    }
+
+    /// Epoch of the oldest retained delta.
+    pub fn oldest_epoch(&self) -> Option<u64> {
+        self.deltas.front().map(|d| d.epoch())
+    }
+
+    /// Publish the next epoch's delta, evicting the oldest past capacity.
+    /// A non-contiguous epoch (producer restart, missed window) resets the
+    /// ring first so `deltas_since` never hands out a chain with holes.
+    pub fn push(&mut self, delta: Arc<SnapshotDelta>) {
+        if let Some(head) = self.head_epoch() {
+            if delta.epoch() != head + 1 {
+                self.deltas.clear();
+            }
+        }
+        if self.deltas.len() == self.capacity {
+            self.deltas.pop_front();
+        }
+        self.deltas.push_back(delta);
+    }
+
+    /// The chain of deltas for every epoch after `epoch`, oldest first.
+    /// `None` when the ring no longer reaches back to epoch `epoch + 1` —
+    /// the caller must rebase on a full snapshot.
+    pub fn deltas_since(&self, epoch: u64) -> Option<Vec<Arc<SnapshotDelta>>> {
+        let head = match self.head_epoch() {
+            // Nothing published yet: a reader at epoch 0 (the bulk-built
+            // state) is current; anyone else must rebase.
+            None => return if epoch == 0 { Some(Vec::new()) } else { None },
+            Some(h) => h,
+        };
+        if epoch >= head {
+            return if epoch == head { Some(Vec::new()) } else { None };
+        }
+        let oldest = self.oldest_epoch().expect("non-empty log");
+        if epoch + 1 < oldest {
+            return None;
+        }
+        let skip = (epoch + 1 - oldest) as usize;
+        Some(self.deltas.iter().skip(skip).cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(s: u32, d: u32, w: u64) -> Edge {
+        Edge::weighted(s, d, w)
+    }
+
+    #[test]
+    fn from_batch_normalizes_net_effect() {
+        let d = SnapshotDelta::from_batch(
+            3,
+            &UpdateBatch {
+                insertions: vec![e(0, 1, 1), e(0, 1, 9), e(2, 3, 4), e(5, 6, 2)],
+                deletions: vec![Edge::new(2, 3), Edge::new(7, 8), Edge::new(7, 8)],
+            },
+        );
+        assert_eq!(d.epoch(), 3);
+        // (2,3) is deleted *and* re-inserted: nets to inserted.
+        assert_eq!(d.inserted(), &[e(0, 1, 9), e(2, 3, 4), e(5, 6, 2)]);
+        assert_eq!(d.deleted_keys(), &[Edge::new(7, 8).key()]);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.wire_bytes(), 8 + 3 * 16 + 8);
+    }
+
+    #[test]
+    fn apply_delta_replays_exactly() {
+        let snap = GraphSnapshot::from_edges(1, 8, vec![e(0, 1, 1), e(2, 3, 2), e(4, 5, 3)]);
+        let d = SnapshotDelta::from_batch(
+            2,
+            &UpdateBatch {
+                insertions: vec![e(2, 3, 9), e(6, 7, 1), e(0, 0, 5)],
+                deletions: vec![Edge::new(4, 5), Edge::new(9, 9)],
+            },
+        );
+        let next = apply_delta(&snap, &d);
+        assert_eq!(next.epoch(), 2);
+        assert_eq!(next.num_edges(), 4);
+        assert_eq!(next.weight(2, 3), Some(9), "upsert overwrote");
+        assert_eq!(next.weight(0, 0), Some(5));
+        assert!(next.contains(6, 7));
+        assert!(!next.contains(4, 5));
+        assert!(next.contains(0, 1), "untouched edge survives");
+        // Keys stay sorted and unique after replay.
+        let keys: Vec<u64> = next.edges().iter().map(Edge::key).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn merge_folds_chains_like_sequential_replay() {
+        let snap = GraphSnapshot::from_edges(0, 8, vec![e(0, 1, 1), e(1, 2, 2)]);
+        let d1 = SnapshotDelta::from_batch(
+            1,
+            &UpdateBatch {
+                insertions: vec![e(3, 4, 7)],
+                deletions: vec![Edge::new(0, 1)],
+            },
+        );
+        let d2 = SnapshotDelta::from_batch(
+            2,
+            &UpdateBatch {
+                insertions: vec![e(0, 1, 5), e(3, 4, 8)],
+                deletions: vec![Edge::new(1, 2)],
+            },
+        );
+        let sequential = apply_delta(&apply_delta(&snap, &d1), &d2);
+        let mut folded = d1.clone();
+        folded.merge(&d2);
+        assert_eq!(folded.epoch(), 2);
+        let at_once = apply_delta(&snap, &folded);
+        assert_eq!(sequential, at_once);
+        // Insert-then-delete across the chain nets to deleted.
+        let d3 = SnapshotDelta::from_batch(
+            3,
+            &UpdateBatch {
+                insertions: vec![],
+                deletions: vec![Edge::new(3, 4)],
+            },
+        );
+        folded.merge(&d3);
+        assert!(folded
+            .inserted()
+            .binary_search_by_key(&Edge::new(3, 4).key(), Edge::key)
+            .is_err());
+        assert!(folded.deleted_keys().contains(&Edge::new(3, 4).key()));
+    }
+
+    #[test]
+    fn delta_log_catch_up_and_lag_fallback() {
+        let mut log = DeltaLog::new(3);
+        assert_eq!(log.capacity(), 3);
+        assert!(log.is_empty());
+        assert_eq!(log.deltas_since(0), Some(vec![]), "epoch 0 is current");
+        assert!(log.deltas_since(5).is_none());
+        for epoch in 1..=5u64 {
+            log.push(Arc::new(SnapshotDelta::from_batch(
+                epoch,
+                &UpdateBatch {
+                    insertions: vec![e(epoch as u32, 0, epoch)],
+                    deletions: vec![],
+                },
+            )));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.oldest_epoch(), Some(3));
+        assert_eq!(log.head_epoch(), Some(5));
+        // Reader at epoch 3 catches up with epochs 4 and 5.
+        let chain = log.deltas_since(3).expect("covered");
+        assert_eq!(
+            chain.iter().map(|d| d.epoch()).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert_eq!(log.deltas_since(5), Some(vec![]));
+        // Reader at epoch 1 lagged past the ring: full-snapshot fallback.
+        assert!(log.deltas_since(1).is_none());
+        assert!(log.deltas_since(2).is_some(), "epoch 3 is the oldest held");
+        assert!(log.deltas_since(9).is_none(), "future epochs are unknown");
+    }
+
+    #[test]
+    fn delta_log_resets_on_epoch_gap() {
+        let mut log = DeltaLog::new(8);
+        let mk = |epoch| {
+            Arc::new(SnapshotDelta::from_batch(
+                epoch,
+                &UpdateBatch::default(),
+            ))
+        };
+        log.push(mk(1));
+        log.push(mk(2));
+        log.push(mk(7)); // gap: ring resets to avoid a chain with holes
+        assert_eq!(log.oldest_epoch(), Some(7));
+        assert!(log.deltas_since(2).is_none());
+        assert_eq!(log.deltas_since(6).expect("covered").len(), 1);
+    }
+}

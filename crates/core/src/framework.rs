@@ -7,10 +7,13 @@
 //! scheduled through the asynchronous-stream pipeline of Figure 2 so that
 //! PCIe transfers overlap device compute — the effect measured in Figure 11.
 
+use std::sync::Arc;
+
 use gpma_graph::{Edge, UpdateBatch};
 use gpma_sim::pcie::{Pcie, Pipeline, StepSchedule};
 use gpma_sim::{Device, PcieConfig, SimTime};
 
+use crate::delta::SnapshotDelta;
 use crate::gpma_plus::GpmaPlus;
 
 /// Bytes shipped over PCIe per streamed update (key + weight + op tag).
@@ -156,6 +159,11 @@ pub struct StepReport {
     /// modification semantics). Service layers surface this as the
     /// duplicate-edge counter.
     pub duplicate_inserts: usize,
+    /// The net effect of this step on the live edge set — the O(|Δ|) record
+    /// service layers publish instead of (or alongside) an O(E) snapshot
+    /// copy. Shared, because the same delta typically fans out to a delta
+    /// log, monitor threads, and cluster-level chains.
+    pub delta: Arc<SnapshotDelta>,
     /// Simulated device time of the GPMA+ batch apply.
     pub update_time: SimTime,
     /// `(monitor name, simulated compute time, result bytes)`.
@@ -348,6 +356,7 @@ impl DynamicGraphSystem {
         let batch = self.stream.take_batch();
         let batch_size = batch.len();
         let duplicate_inserts = count_duplicate_inserts(&batch);
+        let delta = Arc::new(SnapshotDelta::from_batch(self.epoch + 1, &batch));
         let lazy = self.lazy_deletes;
         let graph = &mut self.graph;
         let (_, update_time) = self.device.timed(|d| {
@@ -380,6 +389,7 @@ impl DynamicGraphSystem {
             epoch: self.epoch,
             batch_size,
             duplicate_inserts,
+            delta,
             update_time,
             analytics,
             schedule,
@@ -628,6 +638,28 @@ mod tests {
         assert_eq!(sys.graph.storage.num_edges(), 2);
         let snap = sys.snapshot();
         assert_eq!(snap.weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn flush_reports_replayable_delta() {
+        use crate::delta::apply_delta;
+        let dev = Device::new(DeviceConfig::deterministic());
+        let mut sys = DynamicGraphSystem::new(dev, 8, &edges(&[(0, 1), (1, 2)]), 100);
+        let before = sys.snapshot();
+        sys.ingest(&UpdateBatch {
+            insertions: vec![Edge::weighted(2, 3, 7), Edge::weighted(2, 3, 9)],
+            deletions: edges(&[(0, 1), (6, 7)]),
+        });
+        let report = sys.flush();
+        assert_eq!(report.delta.epoch(), report.epoch);
+        assert_eq!(report.delta.inserted(), &[Edge::weighted(2, 3, 9)]);
+        // Deleting the absent (6,7) still rides in the delta (a no-op on
+        // replay, exactly as it was on the store).
+        assert_eq!(
+            report.delta.deleted_keys(),
+            &[Edge::new(0, 1).key(), Edge::new(6, 7).key()]
+        );
+        assert_eq!(apply_delta(&before, &report.delta), sys.snapshot());
     }
 
     #[test]

@@ -54,6 +54,54 @@ pub struct GpmaPlus {
     /// Reusable host staging for batch uploads (amortizes the per-flush
     /// `Vec` growth out of the streaming hot path).
     scratch: UpdateScratch,
+    /// Reusable device buffers for the per-level survivor compaction in
+    /// [`Self::apply_sorted`] (the ROADMAP `compact_flagged`-chain churn).
+    level_scratch: LevelScratch,
+}
+
+/// Device-buffer set the level loop ping-pongs survivors through instead
+/// of allocating four fresh buffers (plus a scan buffer each) per level.
+/// Capacities only grow, so a steady-state stream of equally sized batches
+/// allocates nothing after the first.
+struct LevelScratch {
+    keep: DeviceBuffer<u32>,
+    positions: DeviceBuffer<u32>,
+    keys: DeviceBuffer<u64>,
+    vals: DeviceBuffer<u64>,
+    ops: DeviceBuffer<u32>,
+    segs: DeviceBuffer<u32>,
+}
+
+impl Default for LevelScratch {
+    fn default() -> Self {
+        LevelScratch {
+            keep: DeviceBuffer::new(0),
+            positions: DeviceBuffer::new(0),
+            keys: DeviceBuffer::new(0),
+            vals: DeviceBuffer::new(0),
+            ops: DeviceBuffer::new(0),
+            segs: DeviceBuffer::new(0),
+        }
+    }
+}
+
+impl LevelScratch {
+    /// Grow any buffer below `n` slots. Checked per buffer: the ping-pong
+    /// swaps hand the key/val/op/seg slots back buffers of *earlier batch*
+    /// sizes, so their capacities evolve independently of the mask pair.
+    fn ensure(&mut self, n: usize) {
+        fn grow<T: gpma_sim::DevicePod>(buf: &mut DeviceBuffer<T>, n: usize) {
+            if buf.len() < n {
+                *buf = DeviceBuffer::new(n);
+            }
+        }
+        grow(&mut self.keep, n);
+        grow(&mut self.positions, n);
+        grow(&mut self.keys, n);
+        grow(&mut self.vals, n);
+        grow(&mut self.ops, n);
+        grow(&mut self.segs, n);
+    }
 }
 
 impl GpmaPlus {
@@ -63,6 +111,7 @@ impl GpmaPlus {
             storage: GpmaStorage::build(dev, num_vertices, edges),
             tier_max: SMALL_WINDOW_MAX,
             scratch: UpdateScratch::default(),
+            level_scratch: LevelScratch::default(),
         }
     }
 
@@ -137,37 +186,53 @@ impl GpmaPlus {
             stats.levels = level + 1;
             let consumed = self.process_level(dev, &cur, &seg_ids, level, &mut stats);
 
-            // Lines 12-15: drop consumed updates, promote the rest.
-            let keep = DeviceBuffer::<u32>::new(cur.len);
+            // Lines 12-15: drop consumed updates, promote the rest. The
+            // four survivor streams share one keep-mask scan and scatter
+            // through reusable ping-pong buffers (capacities only grow),
+            // so the steady-state level loop allocates nothing and runs
+            // one fused kernel instead of four scans + five scatters.
+            let nupd = cur.len;
+            self.level_scratch.ensure(nupd);
+            let scratch = &mut self.level_scratch;
             {
                 let c = &consumed;
-                let k = &keep;
-                dev.launch("invert_flags", cur.len, |lane| {
+                let k = &scratch.keep;
+                dev.launch("invert_flags", nupd, |lane| {
                     let v = c.get(lane, lane.tid);
                     k.set(lane, lane.tid, 1 - v);
                 });
             }
-            let new_keys = primitives::compact_flagged(dev, &cur.keys, &keep);
-            let new_vals = primitives::compact_flagged(dev, &cur.vals, &keep);
-            let new_ops = primitives::compact_flagged(dev, &cur.ops, &keep);
-            let new_segs = primitives::compact_flagged(dev, &seg_ids, &keep);
-            let remaining = new_keys.len();
-            {
-                let s = &new_segs;
-                if remaining > 0 {
-                    dev.launch("promote_parents", remaining, |lane| {
-                        let g = s.get(lane, lane.tid);
-                        s.set(lane, lane.tid, g >> 1);
-                    });
-                }
+            let remaining =
+                primitives::exclusive_scan_u32_into(dev, &scratch.keep, nupd, &scratch.positions)
+                    as usize;
+            if remaining > 0 {
+                let k = &scratch.keep;
+                let pos = &scratch.positions;
+                let (sk, sv, so, sg) =
+                    (&scratch.keys, &scratch.vals, &scratch.ops, &scratch.segs);
+                let (ck, cv, co) = (&cur.keys, &cur.vals, &cur.ops);
+                let sid = &seg_ids;
+                dev.launch("compact_promote", nupd, |lane| {
+                    let i = lane.tid;
+                    if k.get(lane, i) != 0 {
+                        let p = pos.get(lane, i) as usize;
+                        let key = ck.get(lane, i);
+                        sk.set(lane, p, key);
+                        let val = cv.get(lane, i);
+                        sv.set(lane, p, val);
+                        let op = co.get(lane, i);
+                        so.set(lane, p, op);
+                        // Line 15 fused in: promote to the parent segment.
+                        let seg = sid.get(lane, i);
+                        sg.set(lane, p, seg >> 1);
+                    }
+                });
             }
-            cur = DeviceUpdates {
-                keys: new_keys,
-                vals: new_vals,
-                ops: new_ops,
-                len: remaining,
-            };
-            seg_ids = new_segs;
+            std::mem::swap(&mut cur.keys, &mut scratch.keys);
+            std::mem::swap(&mut cur.vals, &mut scratch.vals);
+            std::mem::swap(&mut cur.ops, &mut scratch.ops);
+            std::mem::swap(&mut seg_ids, &mut scratch.segs);
+            cur.len = remaining;
             level += 1;
         }
 
@@ -209,7 +274,8 @@ impl GpmaPlus {
         let max_entries = (tau * window_slots as f64).floor() as usize;
 
         // Line 7: UniqueSegments via RunLengthEncoding + ExclusiveScan.
-        let rle = primitives::run_length_encode_u32(dev, seg_ids);
+        // Length-bounded: seg_ids may be an over-sized reused buffer.
+        let rle = primitives::run_length_encode_u32_n(dev, seg_ids, cur.len);
         let nseg = rle.num_runs;
         let accept = DeviceBuffer::<u32>::new(nseg);
         let nupd = cur.len;

@@ -13,6 +13,9 @@
 //!   algorithms run unmodified up to an `IsEntryExist` check (§4.2).
 //! * [`framework`] — the dynamic graph analytic framework of §3 (Figure 1):
 //!   stream/query buffers and the PCIe-overlapping pipeline (Figure 2).
+//! * [`delta`] — per-epoch [`SnapshotDelta`] capture and the bounded
+//!   [`DeltaLog`] publication ring, the O(|Δ|) read-path seam the
+//!   `gpma-incremental` engine consumes.
 //! * [`multi`] — vertex-partitioned GPMA+ across multiple devices (§6.4).
 //!
 //! ## Quick example
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod csr;
+pub mod delta;
 pub mod framework;
 pub mod gpma;
 pub mod gpma_plus;
@@ -44,6 +48,7 @@ pub mod storage;
 pub mod update;
 
 pub use csr::CsrView;
+pub use delta::{apply_delta, DeltaCatchUp, DeltaLog, SnapshotDelta};
 pub use gpma::{Gpma, LockStats};
 pub use gpma_plus::{GpmaPlus, PlusStats};
 pub use storage::{GpmaStorage, EMPTY};

@@ -1,0 +1,316 @@
+//! The host-side adjacency every incremental maintainer shares: built once
+//! from a full snapshot, then kept current by applying epoch deltas.
+//!
+//! [`DeltaGraph::apply`] also *classifies* each delta record against the
+//! actual pre-state — an upsert of an already-identical edge is a no-op, an
+//! upsert of a present edge with a new weight is a reweight, a deletion of
+//! an absent key is dropped — so maintainers only ever repair around edges
+//! that really changed ([`AppliedDelta`]).
+
+use std::collections::BTreeMap;
+
+use gpma_analytics::HostGraph;
+use gpma_core::delta::SnapshotDelta;
+use gpma_core::framework::GraphSnapshot;
+use gpma_graph::{decode_key, Edge};
+
+/// The *actual* topology changes one applied delta caused, after filtering
+/// no-ops against the pre-state. `added` and `removed` drive the repair
+/// logic of the maintainers; `reweighted` matters only to weight-sensitive
+/// consumers (the shipped analytics are unweighted).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AppliedDelta {
+    /// Epoch the graph reached by applying this delta.
+    pub epoch: u64,
+    /// Edges absent before and present after, with their new weights.
+    pub added: Vec<Edge>,
+    /// Edges present before and absent after, with their old weights.
+    pub removed: Vec<Edge>,
+    /// Edges present before and after whose weight changed:
+    /// `(src, dst, old_weight, new_weight)`.
+    pub reweighted: Vec<(u32, u32, u64, u64)>,
+}
+
+impl AppliedDelta {
+    /// True when the delta changed neither topology nor weights.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.reweighted.is_empty()
+    }
+
+    /// Topology changes (added + removed edges) — the |Δ| incremental
+    /// repair work scales with.
+    pub fn topology_changes(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// A forward+reverse host adjacency kept exactly in sync with the epoch
+/// delta stream.
+///
+/// Out-rows are ordered maps `dst → weight` (deterministic iteration); the
+/// reverse rows hold in-neighbor sets, which the decremental repairs (BFS
+/// parent checks, CC component walks) need. Implements the
+/// [`HostGraph`] contract, so every from-scratch oracle
+/// (`bfs_host`/`cc_host`/`pagerank_host`) runs directly on it — the
+/// validation path the proptests use.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaGraph {
+    epoch: u64,
+    num_vertices: u32,
+    out: Vec<BTreeMap<u32, u64>>,
+    incoming: Vec<BTreeMap<u32, ()>>,
+    num_edges: usize,
+}
+
+impl DeltaGraph {
+    /// An empty graph over `num_vertices` vertices at epoch 0.
+    pub fn new(num_vertices: u32) -> Self {
+        DeltaGraph {
+            epoch: 0,
+            num_vertices,
+            out: vec![BTreeMap::new(); num_vertices as usize],
+            incoming: vec![BTreeMap::new(); num_vertices as usize],
+            num_edges: 0,
+        }
+    }
+
+    /// Rebase on a full snapshot (initial spawn, or a reader that lagged
+    /// past the delta ring).
+    pub fn from_snapshot(snap: &GraphSnapshot) -> Self {
+        let mut g = DeltaGraph::new(snap.num_vertices());
+        g.epoch = snap.epoch();
+        for e in snap.edges() {
+            g.insert_edge(e.src, e.dst, e.weight);
+        }
+        g
+    }
+
+    /// Epoch of the last applied delta (or the rebase snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Vertex count (fixed at construction; vertex ids are dense `0..n`).
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Live edge count.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Weight of `(src, dst)` if the edge is live.
+    pub fn weight(&self, src: u32, dst: u32) -> Option<u64> {
+        self.out.get(src as usize).and_then(|row| row.get(&dst)).copied()
+    }
+
+    /// True when `(src, dst)` is live.
+    pub fn contains(&self, src: u32, dst: u32) -> bool {
+        self.weight(src, dst).is_some()
+    }
+
+    /// Out-neighbors of `v` in ascending dst order.
+    pub fn out_neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.out[v as usize].iter().map(|(&d, &w)| (d, w))
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.out[v as usize].len()
+    }
+
+    /// In-neighbors of `v` in ascending src order.
+    pub fn in_neighbors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.incoming[v as usize].keys().copied()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: u32) -> usize {
+        self.incoming[v as usize].len()
+    }
+
+    /// Visit each *undirected* neighbor of `v` exactly once (the union of
+    /// out- and in-neighbors) — the adjacency the CC maintainer walks.
+    pub fn for_each_undirected_neighbor(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        let mut outs = self.out[v as usize].keys().copied().peekable();
+        let mut ins = self.incoming[v as usize].keys().copied().peekable();
+        loop {
+            match (outs.peek().copied(), ins.peek().copied()) {
+                (Some(a), Some(b)) if a == b => {
+                    f(a);
+                    outs.next();
+                    ins.next();
+                }
+                (Some(a), Some(b)) if a < b => {
+                    f(a);
+                    outs.next();
+                }
+                (Some(_), Some(b)) => {
+                    f(b);
+                    ins.next();
+                }
+                (Some(a), None) => {
+                    f(a);
+                    outs.next();
+                }
+                (None, Some(b)) => {
+                    f(b);
+                    ins.next();
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    /// Apply one epoch delta, returning the classified actual changes.
+    pub fn apply(&mut self, delta: &SnapshotDelta) -> AppliedDelta {
+        let mut applied = AppliedDelta {
+            epoch: delta.epoch(),
+            ..Default::default()
+        };
+        for &key in delta.deleted_keys() {
+            let (s, d) = decode_key(key);
+            if let Some(w) = self.remove_edge(s, d) {
+                applied.removed.push(Edge::weighted(s, d, w));
+            }
+        }
+        for e in delta.inserted() {
+            match self.weight(e.src, e.dst) {
+                Some(w) if w == e.weight => {} // exact re-insert: no-op
+                Some(w) => {
+                    self.out[e.src as usize].insert(e.dst, e.weight);
+                    applied.reweighted.push((e.src, e.dst, w, e.weight));
+                }
+                None => {
+                    self.insert_edge(e.src, e.dst, e.weight);
+                    applied.added.push(*e);
+                }
+            }
+        }
+        self.epoch = delta.epoch();
+        applied
+    }
+
+    fn insert_edge(&mut self, src: u32, dst: u32, weight: u64) {
+        let prev = self.out[src as usize].insert(dst, weight);
+        debug_assert!(prev.is_none(), "insert_edge requires absence");
+        self.incoming[dst as usize].insert(src, ());
+        self.num_edges += 1;
+    }
+
+    fn remove_edge(&mut self, src: u32, dst: u32) -> Option<u64> {
+        let w = self.out.get_mut(src as usize)?.remove(&dst)?;
+        self.incoming[dst as usize].remove(&src);
+        self.num_edges -= 1;
+        Some(w)
+    }
+}
+
+impl HostGraph for DeltaGraph {
+    fn num_vertices(&self) -> u32 {
+        DeltaGraph::num_vertices(self)
+    }
+
+    fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32, u64)) {
+        for (&d, &w) in self.out[v as usize].iter() {
+            f(d, w);
+        }
+    }
+
+    fn out_degree(&self, v: u32) -> usize {
+        DeltaGraph::out_degree(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpma_graph::UpdateBatch;
+
+    fn delta(epoch: u64, ins: &[(u32, u32, u64)], del: &[(u32, u32)]) -> SnapshotDelta {
+        SnapshotDelta::from_batch(
+            epoch,
+            &UpdateBatch {
+                insertions: ins.iter().map(|&(s, d, w)| Edge::weighted(s, d, w)).collect(),
+                deletions: del.iter().map(|&(s, d)| Edge::new(s, d)).collect(),
+            },
+        )
+    }
+
+    #[test]
+    fn apply_classifies_real_changes() {
+        let snap = GraphSnapshot::from_edges(
+            1,
+            8,
+            vec![Edge::weighted(0, 1, 5), Edge::weighted(1, 2, 1)],
+        );
+        let mut g = DeltaGraph::from_snapshot(&snap);
+        assert_eq!(g.epoch(), 1);
+        assert_eq!(g.num_edges(), 2);
+        let applied = g.apply(&delta(
+            2,
+            &[(0, 1, 5), (1, 2, 9), (3, 4, 2)],
+            &[(1, 2), (6, 6)],
+        ));
+        assert_eq!(applied.epoch, 2);
+        // (0,1,5) is an exact re-insert: dropped. (1,2) was deleted and
+        // re-inserted with a new weight in the same delta, so it nets to an
+        // upsert at the core layer — here it classifies as removed+added? No:
+        // the delta normalized it to inserted-only, and the pre-state weight
+        // differs, so it is a reweight.
+        assert_eq!(applied.added, vec![Edge::weighted(3, 4, 2)]);
+        assert!(applied.removed.is_empty(), "{:?}", applied.removed);
+        assert_eq!(applied.reweighted, vec![(1, 2, 1, 9)]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.weight(1, 2), Some(9));
+        assert_eq!(g.epoch(), 2);
+        // Real deletion now.
+        let applied = g.apply(&delta(3, &[], &[(1, 2)]));
+        assert_eq!(applied.removed, vec![Edge::weighted(1, 2, 9)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.contains(1, 2));
+    }
+
+    #[test]
+    fn reverse_adjacency_tracks_edges() {
+        let mut g = DeltaGraph::new(6);
+        g.apply(&delta(1, &[(0, 3, 1), (1, 3, 1), (3, 2, 1)], &[]));
+        assert_eq!(g.in_neighbors(3).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(g.in_degree(2), 1);
+        let mut und = Vec::new();
+        g.for_each_undirected_neighbor(3, &mut |v| und.push(v));
+        assert_eq!(und, vec![0, 1, 2]);
+        g.apply(&delta(2, &[], &[(1, 3)]));
+        assert_eq!(g.in_neighbors(3).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn undirected_neighbors_dedup_mutual_edges() {
+        let mut g = DeltaGraph::new(4);
+        g.apply(&delta(1, &[(0, 1, 1), (1, 0, 1), (1, 2, 1)], &[]));
+        let mut und = Vec::new();
+        g.for_each_undirected_neighbor(1, &mut |v| und.push(v));
+        assert_eq!(und, vec![0, 2], "mutual edge (0,1)/(1,0) visits 0 once");
+    }
+
+    #[test]
+    fn host_graph_contract_matches_snapshot() {
+        let edges = vec![
+            Edge::weighted(0, 1, 3),
+            Edge::weighted(1, 2, 1),
+            Edge::weighted(2, 0, 7),
+        ];
+        let snap = GraphSnapshot::from_edges(4, 3, edges);
+        let g = DeltaGraph::from_snapshot(&snap);
+        for v in 0..3u32 {
+            let collect = |h: &dyn HostGraph| {
+                let mut out = Vec::new();
+                h.for_each_neighbor(v, &mut |d, w| out.push((d, w)));
+                out
+            };
+            assert_eq!(collect(&g), collect(&snap), "row {v}");
+            assert_eq!(HostGraph::out_degree(&g, v), HostGraph::out_degree(&snap, v));
+        }
+    }
+}

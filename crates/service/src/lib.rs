@@ -27,9 +27,19 @@
 //!   immutable, epoch-stamped [`GraphSnapshot`]. Queries and continuous
 //!   analytics ([`SnapshotMonitor`]s on their own thread) always see a
 //!   consistent graph while updates keep flowing.
+//! * **Delta publication** — every flush also publishes its O(|Δ|) net
+//!   effect as a [`SnapshotDelta`] into a bounded ring
+//!   ([`StreamingService::deltas_since`] catches readers up, falling back
+//!   to a full snapshot past the ring); [`DeltaMonitor`]s consume every
+//!   epoch in order on their own thread, and
+//!   [`ServiceConfig::snapshot_interval`] makes deltas the steady-state
+//!   read path (full snapshots at a sparse cadence; barriers always
+//!   fresh). The `gpma-incremental` crate builds live incremental
+//!   BFS / CC / PageRank on this seam.
 //! * **Observability** — [`ServiceMetrics`] reports ingest throughput, flush
-//!   latency, queue depth and dropped/duplicate edge counts, built on
-//!   [`gpma_sim::ServiceCounters`].
+//!   latency, queue depth, dropped/duplicate edge counts and the
+//!   delta-vs-snapshot publication byte split ([`PublicationStats`]),
+//!   built on [`gpma_sim::ServiceCounters`].
 //!
 //! ## Paper-section mapping
 //!
@@ -88,8 +98,10 @@
 mod metrics;
 mod service;
 
+pub use gpma_core::delta::{DeltaCatchUp, SnapshotDelta};
 pub use gpma_core::framework::GraphSnapshot;
-pub use metrics::ServiceMetrics;
+pub use metrics::{PublicationStats, ServiceMetrics};
 pub use service::{
-    IngestHandle, ServiceClosed, ServiceConfig, ServiceReport, SnapshotMonitor, StreamingService,
+    DeltaMonitor, IngestHandle, ServiceClosed, ServiceConfig, ServiceReport, SnapshotMonitor,
+    StreamingService,
 };

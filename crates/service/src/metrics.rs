@@ -3,6 +3,49 @@
 
 use gpma_sim::ServiceCounters;
 
+/// Cumulative read-path publication accounting: what the worker shipped as
+/// O(|Δ|) epoch deltas versus O(E) full snapshot copies. The modeled-byte
+/// ratio is the headline number of the `repro -- incremental` experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublicationStats {
+    /// Epoch deltas published (one per flush).
+    pub deltas: u64,
+    /// Modeled bytes shipped by delta publication.
+    pub delta_bytes: u64,
+    /// Full snapshots published (cadence flushes + barrier/shutdown forces).
+    pub snapshots: u64,
+    /// Modeled bytes copied by full-snapshot publication.
+    pub snapshot_bytes: u64,
+}
+
+impl PublicationStats {
+    /// Mean modeled bytes per published delta (0 before the first flush).
+    pub fn avg_delta_bytes(&self) -> f64 {
+        if self.deltas == 0 {
+            0.0
+        } else {
+            self.delta_bytes as f64 / self.deltas as f64
+        }
+    }
+
+    /// Mean modeled bytes per published full snapshot (0 before the first).
+    pub fn avg_snapshot_bytes(&self) -> f64 {
+        if self.snapshots == 0 {
+            0.0
+        } else {
+            self.snapshot_bytes as f64 / self.snapshots as f64
+        }
+    }
+
+    /// Fold another report into this one (cluster-level aggregation).
+    pub fn merge(&mut self, other: &PublicationStats) {
+        self.deltas += other.deltas;
+        self.delta_bytes += other.delta_bytes;
+        self.snapshots += other.snapshots;
+        self.snapshot_bytes += other.snapshot_bytes;
+    }
+}
+
 /// A point-in-time metrics report from a running
 /// [`StreamingService`](crate::StreamingService).
 ///
@@ -20,6 +63,8 @@ pub struct ServiceMetrics {
     pub latest_epoch: u64,
     /// Host wall-clock seconds since the service was spawned.
     pub elapsed_secs: f64,
+    /// Delta-vs-snapshot publication accounting.
+    pub publication: PublicationStats,
 }
 
 impl ServiceMetrics {
@@ -68,6 +113,14 @@ impl std::fmt::Display for ServiceMetrics {
             self.counters.dropped_updates,
             self.counters.duplicate_edges,
             self.counters.queries,
+        )?;
+        write!(
+            f,
+            ", published {} deltas ({} B) / {} snapshots ({} B)",
+            self.publication.deltas,
+            self.publication.delta_bytes,
+            self.publication.snapshots,
+            self.publication.snapshot_bytes,
         )
     }
 }
@@ -90,6 +143,12 @@ mod tests {
             queue_depth: 7,
             latest_epoch: 1,
             elapsed_secs: 50.0,
+            publication: PublicationStats {
+                deltas: 4,
+                delta_bytes: 200,
+                snapshots: 2,
+                snapshot_bytes: 1000,
+            },
         }
     }
 
@@ -113,9 +172,26 @@ mod tests {
             queue_depth: 0,
             latest_epoch: 0,
             elapsed_secs: 0.0,
+            publication: PublicationStats::default(),
         };
         assert_eq!(m.ingest_throughput(), 0.0);
         assert_eq!(m.drop_rate(), 0.0);
         assert_eq!(m.avg_flush_latency_secs(), 0.0);
+        assert_eq!(m.publication.avg_delta_bytes(), 0.0);
+        assert_eq!(m.publication.avg_snapshot_bytes(), 0.0);
+    }
+
+    #[test]
+    fn publication_stats_rates_and_merge() {
+        let m = sample();
+        assert_eq!(m.publication.avg_delta_bytes(), 50.0);
+        assert_eq!(m.publication.avg_snapshot_bytes(), 500.0);
+        let mut total = PublicationStats::default();
+        total.merge(&m.publication);
+        total.merge(&m.publication);
+        assert_eq!(total.deltas, 8);
+        assert_eq!(total.snapshot_bytes, 2000);
+        let line = m.to_string();
+        assert!(line.contains("4 deltas"), "{line}");
     }
 }

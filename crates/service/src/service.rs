@@ -1,6 +1,6 @@
 //! The service runtime: ingest handles, the worker thread that drains the
-//! queue into the framework's [`GraphStreamBuffer`], snapshot publication
-//! and the shutdown protocol.
+//! queue into the framework's [`GraphStreamBuffer`], snapshot + delta
+//! publication and the shutdown protocol.
 //!
 //! [`GraphStreamBuffer`]: gpma_core::framework::GraphStreamBuffer
 
@@ -10,12 +10,13 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use gpma_core::delta::{DeltaCatchUp, DeltaLog, SnapshotDelta, BYTES_PER_EDGE};
 use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot};
 use gpma_graph::{Edge, UpdateBatch};
 use gpma_sim::ServiceCounters;
 use parking_lot::Mutex;
 
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{PublicationStats, ServiceMetrics};
 
 /// Tuning knobs for a [`StreamingService`].
 #[derive(Debug, Clone)]
@@ -25,12 +26,26 @@ pub struct ServiceConfig {
     /// that is the backpressure policy; the non-blocking `offer_*` path
     /// drops instead and counts the drop.
     pub queue_capacity: usize,
+    /// Epoch deltas retained for reader catch-up
+    /// ([`StreamingService::deltas_since`]). A reader that lags past the
+    /// ring falls back to a full snapshot. Clamped to at least 1.
+    pub delta_log_capacity: usize,
+    /// Publish a full O(E) snapshot every this-many flushes; O(|Δ|) deltas
+    /// publish on *every* flush. `1` (the default) preserves the classic
+    /// snapshot-per-flush behavior; larger values make delta publication
+    /// the steady-state read path ([`StreamingService::barrier`] and
+    /// shutdown still force a fresh snapshot). Clamped to
+    /// `[1, delta_log_capacity]` so the snapshot fallback always reconnects
+    /// to the delta ring.
+    pub snapshot_interval: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             queue_capacity: 1024,
+            delta_log_capacity: 1024,
+            snapshot_interval: 1,
         }
     }
 }
@@ -61,6 +76,29 @@ pub trait SnapshotMonitor: Send {
     /// may skip epochs: while an analytic runs, newer snapshots supersede
     /// queued ones so monitors always work on the freshest state.
     fn on_snapshot(&mut self, snapshot: &GraphSnapshot);
+}
+
+/// A continuous analytic fed with the per-epoch [`SnapshotDelta`] stream
+/// instead of full snapshots — the incremental read path. Unlike
+/// [`SnapshotMonitor`]s, delta monitors see *every* epoch in order (deltas
+/// compose; skipping one would corrupt the maintained state), so they run on
+/// their own thread behind an unbounded in-order queue.
+///
+/// `gpma-incremental` implements this trait for its incremental BFS / CC /
+/// PageRank maintainers; the same trait plugs into
+/// `gpma-cluster`'s coordinated cuts.
+pub trait DeltaMonitor: Send {
+    /// Short stable name (used in logs and reports).
+    fn name(&self) -> &str;
+
+    /// (Re)base on a full snapshot: called once with the initial state
+    /// before any delta arrives, and again if the consumer ever has to fall
+    /// back past the delta ring.
+    fn on_rebase(&mut self, snapshot: &GraphSnapshot);
+
+    /// Observe one epoch's net effect. Deltas arrive strictly in epoch
+    /// order with no gaps.
+    fn on_delta(&mut self, delta: &SnapshotDelta);
 }
 
 /// Commands flowing through the bounded ingest queue to the worker.
@@ -100,12 +138,32 @@ struct Shared {
     /// Latest published snapshot; swapped whole so readers never block the
     /// worker for longer than an `Arc` clone.
     snapshot: Mutex<Arc<GraphSnapshot>>,
+    /// Published epoch deltas retained for reader catch-up.
+    delta_log: Mutex<DeltaLog>,
+    /// Deltas published (one per flush).
+    published_deltas: AtomicU64,
+    /// Modeled bytes shipped by delta publication (O(|Δ|) per epoch).
+    delta_bytes: AtomicU64,
+    /// Full snapshots published (every `snapshot_interval`-th flush, plus
+    /// barrier/shutdown forces).
+    published_snapshots: AtomicU64,
+    /// Modeled bytes copied by full-snapshot publication (O(E) per copy).
+    snapshot_bytes: AtomicU64,
     started: Instant,
 }
 
 impl Shared {
     fn latest(&self) -> Arc<GraphSnapshot> {
         self.snapshot.lock().clone()
+    }
+
+    fn publication_stats(&self) -> PublicationStats {
+        PublicationStats {
+            deltas: self.published_deltas.load(Ordering::Relaxed),
+            delta_bytes: self.delta_bytes.load(Ordering::Relaxed),
+            snapshots: self.published_snapshots.load(Ordering::Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// Merge the lock-free producer/reader counters into a counters copy.
@@ -225,6 +283,9 @@ pub struct ServiceReport {
     pub final_snapshot: Arc<GraphSnapshot>,
     /// Metrics frozen at shutdown.
     pub metrics: ServiceMetrics,
+    /// The [`DeltaMonitor`]s handed back after their thread drained every
+    /// published delta (empty when none were registered).
+    pub delta_monitors: Vec<Box<dyn DeltaMonitor>>,
 }
 
 /// The concurrent streaming facade over [`DynamicGraphSystem`].
@@ -238,6 +299,7 @@ pub struct StreamingService {
     tx: Sender<Command>,
     worker: Option<JoinHandle<DynamicGraphSystem>>,
     monitors: Option<JoinHandle<Vec<Box<dyn SnapshotMonitor>>>>,
+    delta_monitors: Option<JoinHandle<Vec<Box<dyn DeltaMonitor>>>>,
     shared: Arc<Shared>,
 }
 
@@ -259,7 +321,22 @@ impl StreamingService {
         system: DynamicGraphSystem,
         monitors: Vec<Box<dyn SnapshotMonitor>>,
     ) -> Self {
+        Self::spawn_with_delta_monitors(cfg, system, monitors, Vec::new())
+    }
+
+    /// Spawn with both snapshot monitors and [`DeltaMonitor`]s. Delta
+    /// monitors run on their own thread: they are rebased on the initial
+    /// snapshot, then fed *every* epoch delta in order — the incremental
+    /// read path (`gpma-incremental` maintainers plug in here).
+    pub fn spawn_with_delta_monitors(
+        cfg: ServiceConfig,
+        system: DynamicGraphSystem,
+        monitors: Vec<Box<dyn SnapshotMonitor>>,
+        delta_monitors: Vec<Box<dyn DeltaMonitor>>,
+    ) -> Self {
         let (tx, rx) = bounded(cfg.queue_capacity.max(1));
+        let initial = Arc::new(system.snapshot());
+        let delta_log_capacity = cfg.delta_log_capacity.max(1);
         let shared = Arc::new(Shared {
             counters: Mutex::new(ServiceCounters::default()),
             ingested_inserts: AtomicU64::new(0),
@@ -267,7 +344,12 @@ impl StreamingService {
             dropped_updates: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
-            snapshot: Mutex::new(Arc::new(system.snapshot())),
+            snapshot: Mutex::new(initial.clone()),
+            delta_log: Mutex::new(DeltaLog::new(delta_log_capacity)),
+            published_deltas: AtomicU64::new(0),
+            delta_bytes: AtomicU64::new(0),
+            published_snapshots: AtomicU64::new(0),
+            snapshot_bytes: AtomicU64::new(0),
             started: Instant::now(),
         });
 
@@ -282,16 +364,33 @@ impl StreamingService {
             (Some(handle), Some(snap_tx))
         };
 
-        let worker_shared = shared.clone();
+        let (delta_handle, delta_tx) = if delta_monitors.is_empty() {
+            (None, None)
+        } else {
+            let (delta_tx, delta_rx) = crossbeam::channel::unbounded::<Arc<SnapshotDelta>>();
+            let handle = std::thread::Builder::new()
+                .name("gpma-service-deltas".into())
+                .spawn(move || run_delta_monitors(initial, delta_rx, delta_monitors))
+                .expect("spawn service delta-monitor thread");
+            (Some(handle), Some(delta_tx))
+        };
+
+        let ctx = WorkerCtx {
+            shared: shared.clone(),
+            snap_tx,
+            delta_tx,
+            snapshot_interval: cfg.snapshot_interval.clamp(1, delta_log_capacity) as u64,
+        };
         let worker = std::thread::Builder::new()
             .name("gpma-service-worker".into())
-            .spawn(move || run_worker(rx, system, worker_shared, snap_tx))
+            .spawn(move || run_worker(rx, system, ctx))
             .expect("spawn service worker thread");
 
         StreamingService {
             tx,
             worker: Some(worker),
             monitors: monitor_handle,
+            delta_monitors: delta_handle,
             shared,
         }
     }
@@ -305,10 +404,26 @@ impl StreamingService {
     }
 
     /// The latest published snapshot (epoch-stamped, immutable, cheap to
-    /// clone). Never blocks on the worker beyond an `Arc` swap.
+    /// clone). Never blocks on the worker beyond an `Arc` swap. With
+    /// [`ServiceConfig::snapshot_interval`] above 1 this can trail the live
+    /// epoch by up to `interval - 1` flushes — delta consumers stay exactly
+    /// current via [`Self::deltas_since`], and [`Self::barrier`] always
+    /// returns a fresh snapshot.
     pub fn snapshot(&self) -> Arc<GraphSnapshot> {
         self.shared.queries.fetch_add(1, Ordering::Relaxed);
         self.shared.latest()
+    }
+
+    /// Catch a delta reader up from `epoch`: the missing delta chain when
+    /// the ring still covers it, or a full-snapshot rebase when the reader
+    /// lagged past [`ServiceConfig::delta_log_capacity`] epochs. Never
+    /// blocks on the worker beyond the log lock.
+    pub fn deltas_since(&self, epoch: u64) -> DeltaCatchUp<Arc<GraphSnapshot>> {
+        let chain = self.shared.delta_log.lock().deltas_since(epoch);
+        match chain {
+            Some(chain) => DeltaCatchUp::Deltas(chain),
+            None => DeltaCatchUp::Snapshot(self.shared.latest()),
+        }
     }
 
     /// Run an ad-hoc read against the latest snapshot — the concurrent
@@ -361,11 +476,12 @@ impl StreamingService {
             queue_depth: self.tx.len(),
             latest_epoch: self.shared.latest().epoch(),
             elapsed_secs: self.shared.started.elapsed().as_secs_f64(),
+            publication: self.shared.publication_stats(),
         }
     }
 
     /// Stop the service: drain the queue, final-flush all residue, publish
-    /// the final snapshot, join both threads and hand everything back.
+    /// the final snapshot, join every thread and hand everything back.
     /// Outstanding [`IngestHandle`]s get [`ServiceClosed`] afterwards.
     ///
     /// Exactness contract: join (or otherwise quiesce) producer threads
@@ -375,7 +491,9 @@ impl StreamingService {
     /// never applied — the same way a request can slip into any server's
     /// accept queue at the instant it stops.
     pub fn shutdown(mut self) -> ServiceReport {
-        let system = match self.stop_worker().expect("service worker already stopped") {
+        let (worker_result, delta_monitors) =
+            self.stop_worker().expect("service worker already stopped");
+        let system = match worker_result {
             Ok(system) => system,
             // Re-raise the worker's own panic with its original payload.
             Err(payload) => std::panic::resume_unwind(payload),
@@ -387,22 +505,41 @@ impl StreamingService {
                 queue_depth: 0,
                 latest_epoch: self.shared.latest().epoch(),
                 elapsed_secs: self.shared.started.elapsed().as_secs_f64(),
+                publication: self.shared.publication_stats(),
             },
             system,
+            delta_monitors,
         }
     }
 
     /// Send `Shutdown`, join the worker (recovering the system or its panic
-    /// payload), then join the monitor thread (which exits once the worker
-    /// drops its snapshot sender). Used by both `shutdown` and `Drop`.
-    fn stop_worker(&mut self) -> Option<std::thread::Result<DynamicGraphSystem>> {
+    /// payload), then join the monitor threads (which exit once the worker
+    /// drops its publication senders). Used by both `shutdown` and `Drop`.
+    #[allow(clippy::type_complexity)]
+    fn stop_worker(
+        &mut self,
+    ) -> Option<(
+        std::thread::Result<DynamicGraphSystem>,
+        Vec<Box<dyn DeltaMonitor>>,
+    )> {
         let worker = self.worker.take()?;
         let _ = self.tx.send(Command::Shutdown);
         let result = worker.join();
         if let Some(m) = self.monitors.take() {
             let _ = m.join();
         }
-        Some(result)
+        let delta_monitors = match self.delta_monitors.take().map(|h| h.join()) {
+            Some(Ok(monitors)) => monitors,
+            Some(Err(_)) => {
+                // Unlike the worker (whose panic is re-raised), monitors
+                // are advisory — but a silent empty vec would read as "no
+                // monitors were registered", so say what happened.
+                eprintln!("gpma-service: delta-monitor thread panicked; results discarded");
+                Vec::new()
+            }
+            None => Vec::new(),
+        };
+        Some((result, delta_monitors))
     }
 }
 
@@ -411,35 +548,42 @@ impl Drop for StreamingService {
         // Never panic out of Drop: re-raising a worker panic here would
         // double-panic (abort) when the service is dropped during an
         // unwind, hiding the original failure. Surface it on stderr only.
-        if let Some(Err(_)) = self.stop_worker() {
+        if let Some((Err(_), _)) = self.stop_worker() {
             eprintln!("gpma-service: worker thread panicked; state discarded");
         }
     }
 }
 
-/// The worker loop: block on the queue, buffer updates into the system's
-/// stream buffer, flush threshold-sized steps, publish snapshots.
-fn run_worker(
-    rx: Receiver<Command>,
-    mut sys: DynamicGraphSystem,
+/// Everything the worker loop threads through its helpers besides the
+/// system itself: shared state, the two publication channels and the
+/// snapshot cadence.
+struct WorkerCtx {
     shared: Arc<Shared>,
     snap_tx: Option<Sender<Arc<GraphSnapshot>>>,
-) -> DynamicGraphSystem {
+    delta_tx: Option<Sender<Arc<SnapshotDelta>>>,
+    /// Publish a full snapshot every this-many epochs (≥ 1).
+    snapshot_interval: u64,
+}
+
+/// The worker loop: block on the queue, buffer updates into the system's
+/// stream buffer, flush threshold-sized steps, publish deltas (every epoch)
+/// and snapshots (at the configured cadence).
+fn run_worker(rx: Receiver<Command>, mut sys: DynamicGraphSystem, ctx: WorkerCtx) -> DynamicGraphSystem {
     loop {
         let cmd = match rx.recv() {
             Ok(cmd) => cmd,
             // Every producer (and the front object) is gone: final flush.
             Err(_) => break,
         };
-        shared.observe_queue_depth(rx.len() + 1);
-        if handle_command(cmd, &rx, &mut sys, &shared, &snap_tx) {
+        ctx.shared.observe_queue_depth(rx.len() + 1);
+        if handle_command(cmd, &rx, &mut sys, &ctx) {
             return sys;
         }
         // Opportunistically absorb whatever else is already queued before
         // flushing, so bursts coalesce into threshold-sized device steps.
         loop {
             if sys.stream.ready() {
-                flush_once(&mut sys, &shared, &snap_tx);
+                flush_once(&mut sys, &ctx);
                 continue;
             }
             match rx.try_recv() {
@@ -447,8 +591,8 @@ fn run_worker(
                     // Producers refill the queue while we flush; sample here
                     // too or the high-water mark misses exactly the bursts
                     // it exists to measure.
-                    shared.observe_queue_depth(rx.len() + 1);
-                    if handle_command(cmd, &rx, &mut sys, &shared, &snap_tx) {
+                    ctx.shared.observe_queue_depth(rx.len() + 1);
+                    if handle_command(cmd, &rx, &mut sys, &ctx) {
                         return sys;
                     }
                 }
@@ -456,7 +600,7 @@ fn run_worker(
             }
         }
     }
-    drain_and_stop(&rx, &mut sys, &shared, &snap_tx);
+    drain_and_stop(&rx, &mut sys, &ctx);
     sys
 }
 
@@ -466,25 +610,25 @@ fn handle_command(
     cmd: Command,
     rx: &Receiver<Command>,
     sys: &mut DynamicGraphSystem,
-    shared: &Shared,
-    snap_tx: &Option<Sender<Arc<GraphSnapshot>>>,
+    ctx: &WorkerCtx,
 ) -> bool {
     match cmd {
         Command::Insert(_) | Command::Delete(_) | Command::Batch(_) => {
-            buffer_update(cmd, sys, shared);
+            buffer_update(cmd, sys, &ctx.shared);
         }
         Command::Barrier(ack) => {
             while !sys.stream.is_empty() {
-                flush_once(sys, shared, snap_tx);
+                flush_once(sys, ctx);
             }
-            // flush_once published; with nothing buffered the latest
-            // snapshot is already current (nothing else mutates the graph),
-            // so re-publishing would only repeat an O(E) copy.
-            let _ = ack.send(shared.latest());
+            // With an every-flush cadence the latest snapshot is already
+            // current; a sparser cadence forces one fresh publish here so
+            // the barrier contract (everything accepted is visible) holds.
+            ensure_snapshot_current(sys, ctx);
+            let _ = ack.send(ctx.shared.latest());
         }
         Command::AdHoc(f) => f(sys),
         Command::Shutdown => {
-            drain_and_stop(rx, sys, shared, snap_tx);
+            drain_and_stop(rx, sys, ctx);
             return true;
         }
     }
@@ -528,67 +672,102 @@ fn buffer_update(cmd: Command, sys: &mut DynamicGraphSystem, shared: &Shared) {
 /// flush, so updates accepted while the final flushes ran are still
 /// applied; only a send racing the very last empty-check can be discarded
 /// (see [`StreamingService::shutdown`] for the producer contract).
-fn drain_and_stop(
-    rx: &Receiver<Command>,
-    sys: &mut DynamicGraphSystem,
-    shared: &Shared,
-    snap_tx: &Option<Sender<Arc<GraphSnapshot>>>,
-) {
+fn drain_and_stop(rx: &Receiver<Command>, sys: &mut DynamicGraphSystem, ctx: &WorkerCtx) {
     loop {
         while let Ok(cmd) = rx.try_recv() {
             match cmd {
                 Command::Insert(_) | Command::Delete(_) | Command::Batch(_) => {
-                    buffer_update(cmd, sys, shared);
+                    buffer_update(cmd, sys, &ctx.shared);
                 }
                 Command::Barrier(ack) => {
                     while !sys.stream.is_empty() {
-                        flush_once(sys, shared, snap_tx);
+                        flush_once(sys, ctx);
                     }
-                    let _ = ack.send(shared.latest());
+                    ensure_snapshot_current(sys, ctx);
+                    let _ = ack.send(ctx.shared.latest());
                 }
                 Command::AdHoc(f) => f(sys),
                 Command::Shutdown => {}
             }
         }
         while !sys.stream.is_empty() {
-            flush_once(sys, shared, snap_tx);
+            flush_once(sys, ctx);
         }
         if rx.is_empty() {
             break;
         }
     }
+    // The final snapshot must reflect every applied epoch even under a
+    // sparse snapshot cadence.
+    ensure_snapshot_current(sys, ctx);
 }
 
-/// One threshold-sized device step + metrics + snapshot publication.
-fn flush_once(
-    sys: &mut DynamicGraphSystem,
-    shared: &Shared,
-    snap_tx: &Option<Sender<Arc<GraphSnapshot>>>,
-) {
+/// One threshold-sized device step + metrics + publication: the epoch's
+/// delta always (O(|Δ|)), a full snapshot only at the configured cadence
+/// (O(E)).
+fn flush_once(sys: &mut DynamicGraphSystem, ctx: &WorkerCtx) {
     let t0 = Instant::now();
     let report = sys.flush();
     let wall = t0.elapsed().as_secs_f64();
-    shared.counters.lock().record_flush(
+    ctx.shared.counters.lock().record_flush(
         wall,
         report.duplicate_inserts as u64,
         report.update_time,
         report.analytics_time(),
     );
-    publish(sys, shared, snap_tx);
+    ctx.shared.delta_log.lock().push(report.delta.clone());
+    ctx.shared.published_deltas.fetch_add(1, Ordering::Relaxed);
+    ctx.shared
+        .delta_bytes
+        .fetch_add(report.delta.wire_bytes() as u64, Ordering::Relaxed);
+    if let Some(tx) = &ctx.delta_tx {
+        let _ = tx.send(report.delta.clone());
+    }
+    if sys.epoch().is_multiple_of(ctx.snapshot_interval) {
+        publish(sys, ctx);
+    }
+}
+
+/// Publish a fresh snapshot unless the latest published one is already the
+/// live epoch (the every-flush cadence, or a barrier right after a flush).
+fn ensure_snapshot_current(sys: &DynamicGraphSystem, ctx: &WorkerCtx) {
+    if ctx.shared.latest().epoch() != sys.epoch() {
+        publish(sys, ctx);
+    }
 }
 
 /// Copy the live graph into a fresh epoch-stamped snapshot and make it the
 /// one readers see; also feed the analytics thread when one exists.
-fn publish(
-    sys: &DynamicGraphSystem,
-    shared: &Shared,
-    snap_tx: &Option<Sender<Arc<GraphSnapshot>>>,
-) {
+fn publish(sys: &DynamicGraphSystem, ctx: &WorkerCtx) {
     let snap = Arc::new(sys.snapshot());
-    *shared.snapshot.lock() = snap.clone();
-    if let Some(tx) = snap_tx {
+    ctx.shared.published_snapshots.fetch_add(1, Ordering::Relaxed);
+    ctx.shared.snapshot_bytes.fetch_add(
+        (8 + snap.num_edges() * BYTES_PER_EDGE) as u64,
+        Ordering::Relaxed,
+    );
+    *ctx.shared.snapshot.lock() = snap.clone();
+    if let Some(tx) = &ctx.snap_tx {
         let _ = tx.send(snap);
     }
+}
+
+/// The delta-monitor thread: rebase every monitor on the initial snapshot,
+/// then feed each published epoch delta in order (no skipping — deltas
+/// compose).
+fn run_delta_monitors(
+    initial: Arc<GraphSnapshot>,
+    rx: Receiver<Arc<SnapshotDelta>>,
+    mut monitors: Vec<Box<dyn DeltaMonitor>>,
+) -> Vec<Box<dyn DeltaMonitor>> {
+    for m in monitors.iter_mut() {
+        m.on_rebase(&initial);
+    }
+    while let Ok(delta) = rx.recv() {
+        for m in monitors.iter_mut() {
+            m.on_delta(&delta);
+        }
+    }
+    monitors
 }
 
 /// The analytics thread: run every monitor on each published snapshot,
@@ -649,7 +828,13 @@ mod tests {
     fn offer_drops_when_queue_full_and_counts_it() {
         // Stall the worker inside an ad-hoc closure so the capacity-1 queue
         // deterministically fills: first offer accepted, the rest shed.
-        let svc = StreamingService::spawn(ServiceConfig { queue_capacity: 1 }, system(1_000_000));
+        let svc = StreamingService::spawn(
+            ServiceConfig {
+                queue_capacity: 1,
+                ..Default::default()
+            },
+            system(1_000_000),
+        );
         let h = svc.handle();
         let (gate_tx, gate_rx) = bounded::<()>(1);
         let (entered_tx, entered_rx) = bounded::<()>(1);
@@ -745,6 +930,136 @@ mod tests {
         assert!(!snap.contains(9, 10));
         let report = svc.shutdown();
         assert_eq!(report.metrics.counters.cancelled_inserts, 2);
+    }
+
+    #[test]
+    fn delta_chain_replays_to_barrier_snapshot() {
+        use gpma_core::delta::apply_delta;
+        let svc = StreamingService::spawn(ServiceConfig::default(), system(3));
+        let epoch0 = svc.snapshot();
+        let h = svc.handle();
+        for i in 1..=7u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        h.delete(Edge::new(0, 1)).unwrap();
+        let snap = svc.barrier().unwrap();
+        let chain = match svc.deltas_since(0) {
+            DeltaCatchUp::Deltas(chain) => chain,
+            DeltaCatchUp::Snapshot(_) => panic!("ring holds every epoch"),
+        };
+        assert_eq!(chain.last().unwrap().epoch(), snap.epoch());
+        let mut replayed = (*epoch0).clone();
+        for d in &chain {
+            replayed = apply_delta(&replayed, d);
+        }
+        assert_eq!(replayed, *snap);
+        // A current reader gets an empty chain; a future epoch falls back.
+        assert!(matches!(
+            svc.deltas_since(snap.epoch()),
+            DeltaCatchUp::Deltas(ref c) if c.is_empty()
+        ));
+        drop(svc.shutdown());
+    }
+
+    #[test]
+    fn lagged_reader_falls_back_to_snapshot() {
+        let svc = StreamingService::spawn(
+            ServiceConfig {
+                delta_log_capacity: 2,
+                ..Default::default()
+            },
+            system(1),
+        );
+        let h = svc.handle();
+        for i in 1..=6u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        let snap = svc.barrier().unwrap();
+        assert!(snap.epoch() >= 6);
+        // Epoch 0 lagged past the 2-deep ring.
+        match svc.deltas_since(0) {
+            DeltaCatchUp::Snapshot(s) => {
+                assert_eq!(s.epoch(), snap.epoch());
+                // The fallback reconnects to the ring.
+                assert!(matches!(
+                    svc.deltas_since(s.epoch()),
+                    DeltaCatchUp::Deltas(_)
+                ));
+            }
+            DeltaCatchUp::Deltas(_) => panic!("must fall back past the ring"),
+        }
+        drop(svc.shutdown());
+    }
+
+    #[test]
+    fn sparse_snapshot_cadence_still_honors_barrier_and_shutdown() {
+        let svc = StreamingService::spawn(
+            ServiceConfig {
+                snapshot_interval: 64,
+                ..Default::default()
+            },
+            system(1),
+        );
+        let h = svc.handle();
+        for i in 1..=5u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        let snap = svc.barrier().unwrap();
+        assert_eq!(snap.epoch(), 5, "barrier forces a fresh snapshot");
+        assert_eq!(snap.num_edges(), 6);
+        for i in 6..=8u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.final_snapshot.epoch(), 8);
+        assert_eq!(report.final_snapshot.num_edges(), 9);
+        let p = &report.metrics.publication;
+        assert_eq!(p.deltas, 8, "every epoch published a delta");
+        assert!(
+            p.snapshots < p.deltas,
+            "sparse cadence: {} snapshots for {} deltas",
+            p.snapshots,
+            p.deltas
+        );
+        assert!(p.delta_bytes > 0 && p.snapshot_bytes > 0);
+    }
+
+    #[test]
+    fn delta_monitors_see_every_epoch_in_order() {
+        type Log = Arc<parking_lot::Mutex<(u64, Vec<u64>)>>;
+        struct Recorder(Log);
+        impl DeltaMonitor for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn on_rebase(&mut self, snapshot: &GraphSnapshot) {
+                self.0.lock().0 = snapshot.num_edges() as u64;
+            }
+            fn on_delta(&mut self, delta: &SnapshotDelta) {
+                self.0.lock().1.push(delta.epoch());
+            }
+        }
+        let log: Log = Arc::new(parking_lot::Mutex::new((u64::MAX, Vec::new())));
+        let svc = StreamingService::spawn_with_delta_monitors(
+            ServiceConfig::default(),
+            system(2),
+            Vec::new(),
+            vec![Box::new(Recorder(log.clone()))],
+        );
+        let h = svc.handle();
+        for i in 1..=6u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.delta_monitors.len(), 1);
+        assert_eq!(report.delta_monitors[0].name(), "recorder");
+        // Shutdown joined the delta thread: every epoch was observed, in
+        // order, with no gaps — unlike snapshot monitors, which may skip.
+        let (rebased_edges, epochs) = log.lock().clone();
+        assert_eq!(rebased_edges, 1, "rebased on the initial snapshot");
+        let expect: Vec<u64> = (1..=report.final_snapshot.epoch()).collect();
+        assert_eq!(epochs, expect);
+        assert_eq!(report.final_snapshot.num_edges(), 7);
     }
 
     #[test]

@@ -23,10 +23,24 @@ pub const BLOCK: usize = 256;
 /// Three-phase blocked scan (partial sums, recursive scan of block sums,
 /// offset add), the standard GPU formulation.
 pub fn exclusive_scan_u32(dev: &Device, input: &DeviceBuffer<u32>) -> (DeviceBuffer<u32>, u32) {
-    let n = input.len();
-    let out = DeviceBuffer::<u32>::new(n);
+    let out = DeviceBuffer::<u32>::new(input.len());
+    let total = exclusive_scan_u32_into(dev, input, input.len(), &out);
+    (out, total)
+}
+
+/// [`exclusive_scan_u32`] over the first `n` elements, writing into a
+/// caller-owned output buffer (which may be larger than `n`) — the
+/// allocation-free variant hot loops reuse across launches. Returns the
+/// grand total.
+pub fn exclusive_scan_u32_into(
+    dev: &Device,
+    input: &DeviceBuffer<u32>,
+    n: usize,
+    out: &DeviceBuffer<u32>,
+) -> u32 {
+    assert!(input.len() >= n && out.len() >= n);
     if n == 0 {
-        return (out, 0);
+        return 0;
     }
     if n <= BLOCK {
         let total = DeviceBuffer::<u32>::new(1);
@@ -39,8 +53,7 @@ pub fn exclusive_scan_u32(dev: &Device, input: &DeviceBuffer<u32>) -> (DeviceBuf
             }
             total.set(lane, 0, acc);
         });
-        let t = total.host_read(0);
-        return (out, t);
+        return total.host_read(0);
     }
 
     let nb = n.div_ceil(BLOCK);
@@ -70,7 +83,7 @@ pub fn exclusive_scan_u32(dev: &Device, input: &DeviceBuffer<u32>) -> (DeviceBuf
         }
     });
 
-    (out, total)
+    total
 }
 
 // ----------------------------------------------------------------------
@@ -125,7 +138,13 @@ pub struct Rle {
 
 /// Run-length encode a buffer (CUB `DeviceRunLengthEncode::Encode`).
 pub fn run_length_encode_u32(dev: &Device, input: &DeviceBuffer<u32>) -> Rle {
-    let n = input.len();
+    run_length_encode_u32_n(dev, input, input.len())
+}
+
+/// [`run_length_encode_u32`] over the first `n` elements — for callers
+/// whose input buffer is a reused over-sized scratch.
+pub fn run_length_encode_u32_n(dev: &Device, input: &DeviceBuffer<u32>, n: usize) -> Rle {
+    assert!(input.len() >= n);
     if n == 0 {
         return Rle {
             unique: DeviceBuffer::new(0),
@@ -197,16 +216,36 @@ pub fn compact_flagged<T: DevicePod>(
     let (positions, kept) = exclusive_scan_u32(dev, flags);
     let out = DeviceBuffer::<T>::new(kept as usize);
     if n > 0 {
-        dev.launch("compact_scatter", n, |lane| {
-            let i = lane.tid;
-            if flags.get(lane, i) != 0 {
-                let p = positions.get(lane, i) as usize;
-                let v = data.get(lane, i);
-                out.set(lane, p, v);
-            }
-        });
+        compact_flagged_into(dev, data, flags, n, &positions, &out);
     }
     out
+}
+
+/// The scatter half of [`compact_flagged`] with caller-owned scan results
+/// and output: `positions` must be the exclusive scan of `flags[..n]` and
+/// `out` must have room for every kept element. Several streams flagged by
+/// the same mask can reuse one scan — the allocation-free (and
+/// scan-sharing) shape the GPMA+ level loop uses.
+pub fn compact_flagged_into<T: DevicePod>(
+    dev: &Device,
+    data: &DeviceBuffer<T>,
+    flags: &DeviceBuffer<u32>,
+    n: usize,
+    positions: &DeviceBuffer<u32>,
+    out: &DeviceBuffer<T>,
+) {
+    assert!(data.len() >= n && flags.len() >= n && positions.len() >= n);
+    if n == 0 {
+        return;
+    }
+    dev.launch("compact_scatter", n, |lane| {
+        let i = lane.tid;
+        if flags.get(lane, i) != 0 {
+            let p = positions.get(lane, i) as usize;
+            let v = data.get(lane, i);
+            out.set(lane, p, v);
+        }
+    });
 }
 
 // ----------------------------------------------------------------------
@@ -394,6 +433,34 @@ mod tests {
         let flags = DeviceBuffer::from_slice(&[1u32, 0, 1, 0, 1]);
         let out = compact_flagged(&d, &data, &flags);
         assert_eq!(out.to_vec(), vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn length_bounded_variants_ignore_scratch_tails() {
+        let d = dev();
+        // Oversized buffers with garbage tails; only the first n count.
+        let data = DeviceBuffer::from_slice(&[10u64, 11, 12, 13, 99, 99]);
+        let flags = DeviceBuffer::from_slice(&[0u32, 1, 1, 0, 1, 1]);
+        let positions = DeviceBuffer::<u32>::new(6);
+        let n = 4;
+        let kept = exclusive_scan_u32_into(&d, &flags, n, &positions);
+        assert_eq!(kept, 2);
+        assert_eq!(&positions.to_vec()[..n], &[0, 0, 1, 2]);
+        let out = DeviceBuffer::<u64>::new(6);
+        compact_flagged_into(&d, &data, &flags, n, &positions, &out);
+        assert_eq!(&out.to_vec()[..kept as usize], &[11, 12]);
+        // Reuse the same scan for a second stream under the same mask.
+        let data2 = DeviceBuffer::from_slice(&[5u32, 6, 7, 8, 9, 9]);
+        let out2 = DeviceBuffer::<u32>::new(6);
+        compact_flagged_into(&d, &data2, &flags, n, &positions, &out2);
+        assert_eq!(&out2.to_vec()[..kept as usize], &[6, 7]);
+        // Bounded RLE stops at n.
+        let runs = DeviceBuffer::from_slice(&[3u32, 3, 4, 4, 7, 7]);
+        let rle = run_length_encode_u32_n(&d, &runs, 4);
+        assert_eq!(rle.num_runs, 2);
+        assert_eq!(rle.unique.to_vec(), vec![3, 4]);
+        assert_eq!(rle.counts.to_vec(), vec![2, 2]);
+        assert_eq!(run_length_encode_u32_n(&d, &runs, 0).num_runs, 0);
     }
 
     #[test]
