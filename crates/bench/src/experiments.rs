@@ -950,6 +950,229 @@ pub fn incremental(cfg: &ExpConfig) {
     assert!(agreement, "incremental maintainers diverged from the oracles");
 }
 
+// ----------------------------------------------------------------------
+// Elastic — live resharding with skew-driven degree-aware rebalancing
+// ----------------------------------------------------------------------
+
+/// The cluster-elasticity experiment: stream the first half of a power-law
+/// (Graph500) stream into a static cluster, read the accumulated
+/// `routing_skew`, then live-`rebalance` onto the degree-aware plan built
+/// from the router's observations and stream the second half. Reports, per
+/// policy × shard count,
+///
+/// * **skew before/after**: max/mean routed updates under the spawn policy
+///   vs under the degree-aware plan (the edge grid's ~2× power-law
+///   imbalance should drop below 1.2×),
+/// * **migration cost**: edges moved and modeled bytes shipped vs the
+///   bytes a from-scratch repartition would ship, and
+/// * **pause**: wall-clock ingest pause of the live reshard vs the wall
+///   cost of bulk-building a fresh cluster from the same state.
+///
+/// Saves `results/elastic.csv` and machine-readable
+/// `results/BENCH_elastic.json`.
+pub fn elastic(cfg: &ExpConfig) {
+    use gpma_cluster::{ClusterConfig, GraphCluster, PartitionPolicy};
+
+    const PRODUCERS: usize = 4;
+    let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
+    let nv = stream.num_vertices;
+    let batch = stream.slide_batch_size(0.01).max(1);
+    let cap = (batch * 40 * cfg.max_slides.max(1)).min(stream.len() - stream.initial_size());
+    let tail = &stream.edges[stream.initial_size()..stream.initial_size() + cap];
+    let (first_half, second_half) = tail.split_at(tail.len() / 2);
+
+    let link = Pcie::new(PcieConfig::default());
+    let mut rows = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    for policy in [PartitionPolicy::VertexHash, PartitionPolicy::EdgeGrid] {
+        for shards in [4usize, 8] {
+            let cluster = GraphCluster::spawn(
+                ClusterConfig {
+                    flush_threshold: batch,
+                    ..Default::default()
+                },
+                &cfg.device_cfg,
+                policy.build(nv, shards),
+                stream.initial_edges(),
+            );
+            crate::feed_cluster_concurrently(&cluster, first_half, PRODUCERS);
+            let before = cluster
+                .metrics()
+                .expect("cluster alive")
+                .routing_skew()
+                .max_mean_updates;
+
+            let report = cluster
+                .rebalance(None)
+                .expect("degree-aware rebalance succeeds");
+            crate::feed_cluster_concurrently(&cluster, second_half, PRODUCERS);
+            let metrics = cluster.metrics().expect("cluster alive");
+            let after = metrics.routing_skew().max_mean_updates;
+            let stats = metrics.migration_stats();
+            let final_snap = cluster.snapshot();
+            let final_edges = final_snap.num_edges();
+            drop(cluster.shutdown());
+
+            // The alternative the live path is measured against: stop the
+            // world and bulk-rebuild a fresh cluster from the full state
+            // under the new plan.
+            let rebuild_wall = {
+                let edges = final_snap.merged_edges();
+                let plan = gpma_cluster::DegreePartition::from_edges(nv, &edges, shards);
+                let t0 = std::time::Instant::now();
+                let fresh = GraphCluster::spawn(
+                    ClusterConfig {
+                        flush_threshold: batch,
+                        ..Default::default()
+                    },
+                    &cfg.device_cfg,
+                    std::sync::Arc::new(plan),
+                    &edges,
+                );
+                let wall = t0.elapsed().as_secs_f64();
+                drop(fresh.shutdown());
+                wall
+            };
+
+            assert!(
+                report.migration_bytes < report.full_rebuild_bytes,
+                "{} × {shards}: migration must ship less than a rebuild",
+                policy.name()
+            );
+            rows.push(vec![
+                policy.name().to_string(),
+                format!("{shards}"),
+                format!("{:.3}", before),
+                format!("{:.3}", after),
+                format!("{}", report.migrated_edges),
+                format!("{}", report.resident_edges),
+                format!("{}", report.migration_bytes / 1024),
+                format!("{}", report.full_rebuild_bytes / 1024),
+                fmt_ms(report.pause_secs),
+                fmt_ms(rebuild_wall),
+            ]);
+            // The modeled-wire comparison (the wall pause is bound by host
+            // execution of the simulated merge kernels; on the modeled
+            // PCIe the byte advantage is what transfers).
+            let migration_modeled = link.transfer_time(report.migration_bytes as usize).secs();
+            let rebuild_modeled = link.transfer_time(report.full_rebuild_bytes as usize).secs();
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"policy\": \"{}\", \"shards\": {}, ",
+                    "\"skew_before\": {:.4}, \"skew_after\": {:.4}, ",
+                    "\"migrated_edges\": {}, \"resident_edges\": {}, ",
+                    "\"migration_bytes\": {}, \"full_rebuild_bytes\": {}, ",
+                    "\"migration_modeled_secs\": {:.6}, ",
+                    "\"rebuild_modeled_secs\": {:.6}, ",
+                    "\"pause_secs\": {:.6}, \"rebuild_wall_secs\": {:.6}, ",
+                    "\"pause_total_secs\": {:.6}, \"final_edges\": {}}}"
+                ),
+                policy.name(),
+                shards,
+                before,
+                after,
+                report.migrated_edges,
+                report.resident_edges,
+                report.migration_bytes,
+                report.full_rebuild_bytes,
+                migration_modeled,
+                rebuild_modeled,
+                report.pause_secs,
+                rebuild_wall,
+                stats.pause_secs,
+                final_edges,
+            ));
+            eprintln!(
+                "elastic: {} × {shards} done (skew {before:.2} → {after:.2})",
+                policy.name()
+            );
+        }
+    }
+
+    // Shard-count elasticity on the same stream: 4 → 2 → 8 mid-stream with
+    // every update preserved (the integration proptest checks exactness;
+    // here we record the migration economics of scale-in/scale-out).
+    let resize_json = {
+        let cluster = GraphCluster::spawn(
+            ClusterConfig {
+                flush_threshold: batch,
+                ..Default::default()
+            },
+            &cfg.device_cfg,
+            PartitionPolicy::VertexHash.build(nv, 4),
+            stream.initial_edges(),
+        );
+        crate::feed_cluster_concurrently(&cluster, first_half, PRODUCERS);
+        let shrink = cluster.rebalance(Some(2)).expect("shrink to 2");
+        crate::feed_cluster_concurrently(&cluster, second_half, PRODUCERS);
+        let grow = cluster.rebalance(Some(8)).expect("grow to 8");
+        let edges = cluster.snapshot().num_edges();
+        drop(cluster.shutdown());
+        rows.push(vec![
+            "resize 4→2→8".to_string(),
+            "2,8".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            format!("{}", shrink.migrated_edges + grow.migrated_edges),
+            format!("{}", grow.resident_edges),
+            format!("{}", (shrink.migration_bytes + grow.migration_bytes) / 1024),
+            format!("{}", grow.full_rebuild_bytes / 1024),
+            fmt_ms(shrink.pause_secs + grow.pause_secs),
+            "-".to_string(),
+        ]);
+        format!(
+            concat!(
+                "  \"resize\": {{\"path\": [4, 2, 8], \"shrink_moved\": {}, ",
+                "\"grow_moved\": {}, \"final_edges\": {}, ",
+                "\"pause_secs\": {:.6}}}"
+            ),
+            shrink.migrated_edges,
+            grow.migrated_edges,
+            edges,
+            shrink.pause_secs + grow.pause_secs,
+        )
+    };
+
+    emit(
+        "elastic",
+        "Elastic cluster: live degree-aware rebalance vs accumulated routing skew \
+         (Graph500, 4 producers, 1% flush batches)",
+        &[
+            "Policy", "Shards", "SkewBefore", "SkewAfter", "Moved", "Resident", "MoveKB",
+            "RebuildKB", "PauseMs", "RebuildMs",
+        ],
+        &rows,
+    );
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"elastic\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"scale\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"num_vertices\": {},\n",
+            "  \"streamed_updates\": {},\n",
+            "  \"producers\": {},\n",
+            "  \"flush_batch\": {},\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "{}\n",
+            "}}\n"
+        ),
+        crate::report::json_escape(&stream.name),
+        cfg.scale,
+        cfg.seed,
+        nv,
+        tail.len(),
+        PRODUCERS,
+        batch,
+        json_rows.join(",\n"),
+        resize_json,
+    );
+    if let Err(e) = crate::report::save_json("BENCH_elastic", &json) {
+        eprintln!("(json save failed for elastic: {e})");
+    }
+}
+
 pub fn ablation(cfg: &ExpConfig) {
     let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
     let batch = stream.slide_batch_size(0.01);

@@ -8,7 +8,9 @@
 //! Experiment index (DESIGN.md §5): `table1`, `table2`, `fig7` (updates vs
 //! batch size), `fig8`/`fig9`/`fig10` (streaming BFS / CC / PageRank),
 //! `fig11` (PCIe overlap), `fig12` (multi-GPU), `sorted`, `explicit`,
-//! `ablation`, `service` (the concurrent streaming facade).
+//! `ablation`, `service` (the concurrent streaming facade), `cluster`
+//! (sharded scaling), `incremental` (delta-fed analytics), `elastic`
+//! (live resharding + skew-driven rebalance).
 //!
 //! ## Quick example
 //!

@@ -10,7 +10,8 @@ use std::time::Instant;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use gpma_core::delta::{DeltaCatchUp, DeltaLog, SnapshotDelta};
 use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot, BYTES_PER_UPDATE};
-use gpma_core::multi::Partitioner;
+use gpma_core::migration::MigrationPlan;
+use gpma_core::multi::{DegreePartition, PartitionEpoch, Partitioner};
 use gpma_graph::{Edge, UpdateBatch};
 use gpma_service::{DeltaMonitor, IngestHandle, ServiceConfig, ServiceReport, StreamingService};
 use gpma_sim::pcie::{Pcie, TransferLedger};
@@ -44,6 +45,11 @@ pub struct ClusterConfig {
     /// the flushes a shard performs between two coordinated cuts, or the
     /// cluster falls back to publishing the cut as a full snapshot.
     pub shard_delta_log_capacity: usize,
+    /// Skew-driven automatic resharding. `None` (the default) keeps the
+    /// cluster static; `Some` makes the router watch
+    /// [`routing_skew`](crate::ClusterMetrics::routing_skew) and migrate
+    /// onto a degree-aware plan when the threshold is crossed.
+    pub rebalance: Option<RebalancePolicy>,
 }
 
 impl Default for ClusterConfig {
@@ -55,8 +61,111 @@ impl Default for ClusterConfig {
             router_batch: 256,
             delta_log_capacity: 256,
             shard_delta_log_capacity: 4096,
+            rebalance: None,
         }
     }
+}
+
+/// When (and toward what) the router reshards on its own: after at least
+/// [`min_updates`](Self::min_updates) routed updates under the current
+/// plan, a max/mean update skew above
+/// [`skew_threshold`](Self::skew_threshold) triggers a live reshard onto a
+/// [`DegreePartition`] built from the per-vertex update counts the router
+/// has observed. The per-shard window counters reset at every reshard, so
+/// the policy re-arms only after another `min_updates` observations — the
+/// cooldown that keeps a persistently hot single vertex from thrashing the
+/// cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct RebalancePolicy {
+    /// Trigger when the busiest shard's routed-update count exceeds this
+    /// multiple of the per-shard mean (`1.0` = perfect balance; the edge
+    /// grid sits near `2.0` on power-law rows).
+    pub skew_threshold: f64,
+    /// Minimum routed updates under the current plan before the skew is
+    /// trusted (and, after a reshard, before the next one may fire).
+    pub min_updates: u64,
+    /// Shard count of the rebalance target (`None` keeps the current
+    /// count — rebalance in place; `Some(n)` also grows or shrinks).
+    pub target_shards: Option<usize>,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            skew_threshold: 1.5,
+            min_updates: 4096,
+            target_shards: None,
+        }
+    }
+}
+
+/// Why a [`GraphCluster::reshard`] request was rejected (the cluster keeps
+/// running under its current plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReshardError {
+    /// The new plan partitions a different vertex-id space. Vertex ids are
+    /// global; a reshard moves edges, it does not renumber them.
+    VertexMismatch {
+        /// The cluster's vertex-id space.
+        expected: u32,
+        /// The rejected plan's vertex-id space.
+        got: u32,
+    },
+    /// The cluster router has already shut down.
+    Closed,
+}
+
+impl std::fmt::Display for ReshardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReshardError::VertexMismatch { expected, got } => write!(
+                f,
+                "reshard rejected: plan covers {got} vertices, cluster has {expected}"
+            ),
+            ReshardError::Closed => write!(f, "the graph cluster has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ReshardError {}
+
+impl From<ClusterClosed> for ReshardError {
+    fn from(_: ClusterClosed) -> Self {
+        ReshardError::Closed
+    }
+}
+
+/// What one live reshard did, returned by [`GraphCluster::reshard`] /
+/// [`GraphCluster::rebalance`] and kept in
+/// [`GraphCluster::reshard_history`].
+#[derive(Debug, Clone)]
+pub struct ReshardReport {
+    /// Partition-epoch version the reshard produced (1 = first reshard).
+    pub version: u64,
+    /// Policy name routed under before the reshard.
+    pub from_policy: String,
+    /// Policy name in force after the reshard.
+    pub to_policy: String,
+    /// Shard count before.
+    pub from_shards: usize,
+    /// Shard count after.
+    pub to_shards: usize,
+    /// Edges whose owner changed (extracted and re-ingested).
+    pub migrated_edges: usize,
+    /// Edges left in place on their current shard.
+    pub resident_edges: usize,
+    /// Modeled bytes the migration shipped as device-to-device DMAs.
+    pub migration_bytes: u64,
+    /// Modeled bytes a from-scratch repartition would have shipped
+    /// (every live edge re-uploaded).
+    pub full_rebuild_bytes: u64,
+    /// Wall-clock seconds ingest was paused (quiesce → migrate → resume).
+    pub pause_secs: f64,
+    /// Cut number of the snapshot-style epoch marker the reshard published.
+    pub cut: u64,
+    /// True when the reshard was fired by the [`RebalancePolicy`] rather
+    /// than an explicit call.
+    pub auto: bool,
 }
 
 /// Error returned by every handle operation once the cluster router has
@@ -79,6 +188,12 @@ enum Command {
     Batch(UpdateBatch),
     /// Forward all residue, barrier every shard, publish a cut, ack it.
     Cut(Sender<Arc<ClusterSnapshot>>),
+    /// Live reshard onto an explicit new plan; ack with the migration
+    /// accounting (or why it was rejected).
+    Reshard(Arc<dyn Partitioner>, Sender<Result<ReshardReport, ReshardError>>),
+    /// Reshard onto a degree-aware plan built from the router's observed
+    /// per-vertex load, optionally changing the shard count.
+    Rebalance(Option<usize>, Sender<Result<ReshardReport, ReshardError>>),
     /// Reply with each shard service's live metrics.
     Stats(Sender<Vec<gpma_service::ServiceMetrics>>),
     /// Drain everything queued, final-cut, stop the shard services, exit.
@@ -89,23 +204,42 @@ enum Command {
 /// and read whole by [`GraphCluster::metrics`].
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RouterCounters {
-    /// Updates routed to each shard.
+    /// Updates routed to each shard *under the current partition plan*
+    /// (reset by every reshard — the skew window the rebalance policy
+    /// evaluates).
     pub routed: Vec<u64>,
     /// Non-empty sub-batches forwarded to each shard (one modeled DMA
     /// each) — together with `routed`, the raw routing-skew observables.
+    /// Reset with `routed` at every reshard.
     pub sub_batches: Vec<u64>,
-    /// Modeled host→shard transfer ledger per shard.
+    /// Modeled host→shard transfer ledger per shard (current plan).
     pub transfer: Vec<TransferLedger>,
+    /// Ledgers of shards retired (or reset) by reshards, merged — keeps
+    /// cluster-lifetime transfer totals monotone across plan changes.
+    pub retired_transfer: TransferLedger,
     /// Routed insertions whose endpoints have different home shards (the
     /// traffic analytics must pay along partition boundaries).
     pub cut_edges: u64,
     /// Pending insertions cancelled in the router by a later same-key
     /// deletion (arrival-order semantics, before the shard even sees them).
     pub cancelled_inserts: u64,
+    /// Live reshards performed (explicit + policy-triggered).
+    pub reshard_count: u64,
+    /// Edges migrated between shards across all reshards.
+    pub migrated_edges: u64,
+    /// Modeled migration bytes shipped as device-to-device DMAs.
+    pub migration_bytes: u64,
+    /// Total wall-clock seconds ingest was paused by reshards.
+    pub migration_pause_secs: f64,
 }
 
 /// State shared between producers, the router, and the front object.
 struct Shared {
+    /// The versioned partition plan in force (the router swaps it whole at
+    /// every reshard; readers see plan changes atomically).
+    partition: Mutex<PartitionEpoch>,
+    /// Every reshard performed, in order (explicit and policy-triggered).
+    reshards: Mutex<Vec<ReshardReport>>,
     /// Latest published cut; swapped whole so readers never block the
     /// router for longer than an `Arc` clone.
     snapshot: Mutex<Arc<ClusterSnapshot>>,
@@ -195,7 +329,6 @@ pub struct GraphCluster {
     router: Option<JoinHandle<Vec<ServiceReport>>>,
     delta_monitors: Option<JoinHandle<Vec<Box<dyn DeltaMonitor>>>>,
     shared: Arc<Shared>,
-    partitioner: Arc<dyn Partitioner>,
 }
 
 impl GraphCluster {
@@ -233,21 +366,15 @@ impl GraphCluster {
         let mut services = Vec::with_capacity(num_shards);
         let mut initial_snaps = Vec::with_capacity(num_shards);
         for (i, edges) in per_shard.iter().enumerate() {
-            let dev = Device::named(device_cfg.clone(), format!("shard{i}"));
-            let sys = DynamicGraphSystem::new(dev, num_vertices, edges, cfg.flush_threshold);
-            initial_snaps.push(Arc::new(sys.snapshot()));
-            services.push(StreamingService::spawn(
-                ServiceConfig {
-                    queue_capacity: cfg.shard_queue_capacity,
-                    delta_log_capacity: cfg.shard_delta_log_capacity,
-                    ..Default::default()
-                },
-                sys,
-            ));
+            let (svc, initial) = spawn_shard_service(i, &cfg, device_cfg, num_vertices, edges);
+            initial_snaps.push(initial);
+            services.push(svc);
         }
 
         let initial = Arc::new(ClusterSnapshot::new(0, num_vertices, initial_snaps));
         let shared = Arc::new(Shared {
+            partition: Mutex::new(PartitionEpoch::new(partitioner.clone())),
+            reshards: Mutex::new(Vec::new()),
             snapshot: Mutex::new(initial.clone()),
             delta_log: Mutex::new(DeltaLog::new(cfg.delta_log_capacity)),
             delta_fallbacks: AtomicU64::new(0),
@@ -255,8 +382,7 @@ impl GraphCluster {
                 routed: vec![0; num_shards],
                 sub_batches: vec![0; num_shards],
                 transfer: vec![TransferLedger::default(); num_shards],
-                cut_edges: 0,
-                cancelled_inserts: 0,
+                ..Default::default()
             }),
             ingested_inserts: AtomicU64::new(0),
             ingested_deletes: AtomicU64::new(0),
@@ -279,10 +405,19 @@ impl GraphCluster {
         let (tx, rx) = bounded(cfg.queue_capacity.max(1));
         let router_shared = shared.clone();
         let router_part = partitioner.clone();
+        let router_device_cfg = device_cfg.clone();
         let router = std::thread::Builder::new()
             .name("gpma-cluster-router".into())
             .spawn(move || {
-                run_router(rx, services, router_part, router_shared, cfg.router_batch, cut_tx)
+                run_router(
+                    rx,
+                    services,
+                    router_part,
+                    router_shared,
+                    cfg,
+                    router_device_cfg,
+                    cut_tx,
+                )
             })
             .expect("spawn cluster router thread");
 
@@ -291,7 +426,6 @@ impl GraphCluster {
             router: Some(router),
             delta_monitors: monitor_handle,
             shared,
-            partitioner,
         }
     }
 
@@ -303,14 +437,58 @@ impl GraphCluster {
         }
     }
 
-    /// The partitioning policy the router applies.
-    pub fn partitioner(&self) -> &Arc<dyn Partitioner> {
-        &self.partitioner
+    /// The partitioning policy the router currently applies (swapped whole
+    /// by [`Self::reshard`] / the [`RebalancePolicy`]).
+    pub fn partitioner(&self) -> Arc<dyn Partitioner> {
+        self.shared.partition.lock().plan().clone()
     }
 
-    /// Number of shards (and shard services / simulated devices).
+    /// Version of the partition plan in force (0 = the spawn-time plan;
+    /// each reshard increments it).
+    pub fn partition_version(&self) -> u64 {
+        self.shared.partition.lock().version()
+    }
+
+    /// Number of shards (and shard services / simulated devices) under the
+    /// current plan.
     pub fn num_shards(&self) -> usize {
-        self.partitioner.num_shards()
+        self.shared.partition.lock().plan().num_shards()
+    }
+
+    /// Every reshard performed so far, in order (explicit and
+    /// policy-triggered).
+    pub fn reshard_history(&self) -> Vec<ReshardReport> {
+        self.shared.reshards.lock().clone()
+    }
+
+    /// Live reshard onto an explicit new plan: quiesce ingest, migrate the
+    /// minimal edge-move set between the plans (device-to-device DMAs,
+    /// charged to the transfer ledgers), resume routing under the new plan,
+    /// and publish a snapshot-style epoch marker (readers of
+    /// [`Self::deltas_since`] at older cuts rebase on the marker cut;
+    /// [`DeltaMonitor`]s receive an `on_rebase`). The shard count may grow
+    /// or shrink; edges whose owner is unchanged never move. Arrival-order
+    /// semantics hold across the boundary: updates accepted before this
+    /// call land under the old plan, updates accepted after it route under
+    /// the new plan, and a queued insert-then-delete still nets to absent.
+    pub fn reshard(&self, new: Arc<dyn Partitioner>) -> Result<ReshardReport, ReshardError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Command::Reshard(new, ack_tx))
+            .map_err(|_| ReshardError::Closed)?;
+        ack_rx.recv().map_err(|_| ReshardError::Closed)?
+    }
+
+    /// Reshard onto a [`DegreePartition`] built from the per-vertex update
+    /// load the router has observed — the same plan the automatic
+    /// [`RebalancePolicy`] targets, fired on demand. `target_shards`
+    /// `None` keeps the current shard count.
+    pub fn rebalance(&self, target_shards: Option<usize>) -> Result<ReshardReport, ReshardError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Command::Rebalance(target_shards, ack_tx))
+            .map_err(|_| ReshardError::Closed)?;
+        ack_rx.recv().map_err(|_| ReshardError::Closed)?
     }
 
     /// The latest published coordinated cut (cut 0 until the first
@@ -366,9 +544,18 @@ impl GraphCluster {
 
     fn assemble_metrics(&self, shards: Vec<gpma_service::ServiceMetrics>) -> ClusterMetrics {
         let router = self.shared.router.lock().clone();
+        let (policy, num_shards, partition_version) = {
+            let p = self.shared.partition.lock();
+            (
+                p.plan().name().to_string(),
+                p.plan().num_shards(),
+                p.version(),
+            )
+        };
         ClusterMetrics {
-            num_shards: self.num_shards(),
-            policy: self.partitioner.name().to_string(),
+            num_shards,
+            policy,
+            partition_version,
             cuts: self.shared.cuts.load(Ordering::Relaxed),
             latest_cut: self.shared.snapshot.lock().cut(),
             queue_depth: self.tx.len(),
@@ -379,9 +566,14 @@ impl GraphCluster {
             routed: router.routed,
             sub_batches: router.sub_batches,
             transfer: router.transfer,
+            retired_transfer: router.retired_transfer,
             cut_edges: router.cut_edges,
             cancelled_inserts: router.cancelled_inserts,
             delta_fallbacks: self.shared.delta_fallbacks.load(Ordering::Relaxed),
+            reshard_count: router.reshard_count,
+            migrated_edges: router.migrated_edges,
+            migration_bytes: router.migration_bytes,
+            migration_pause_secs: router.migration_pause_secs,
             shards,
         }
     }
@@ -435,6 +627,31 @@ impl Drop for GraphCluster {
     }
 }
 
+/// Build one shard's service: simulated device, GPMA+ system, streaming
+/// facade — the single recipe both the spawn path and the reshard
+/// scale-out path use, so reshard-created shards can never silently
+/// diverge from spawn-created ones.
+fn spawn_shard_service(
+    shard: usize,
+    cfg: &ClusterConfig,
+    device_cfg: &DeviceConfig,
+    num_vertices: u32,
+    edges: &[Edge],
+) -> (StreamingService, Arc<GraphSnapshot>) {
+    let dev = Device::named(device_cfg.clone(), format!("shard{shard}"));
+    let sys = DynamicGraphSystem::new(dev, num_vertices, edges, cfg.flush_threshold);
+    let initial = Arc::new(sys.snapshot());
+    let svc = StreamingService::spawn(
+        ServiceConfig {
+            queue_capacity: cfg.shard_queue_capacity,
+            delta_log_capacity: cfg.shard_delta_log_capacity,
+            ..Default::default()
+        },
+        sys,
+    );
+    (svc, initial)
+}
+
 /// Events the router publishes to the cluster's delta-monitor thread.
 enum CutEvent {
     /// A cut whose inter-cut delta chain was fully assembled.
@@ -477,8 +694,10 @@ fn run_cut_monitors(
 struct Router {
     handles: Vec<IngestHandle>,
     services: Vec<StreamingService>,
-    part: Arc<dyn Partitioner>,
+    part: PartitionEpoch,
     shared: Arc<Shared>,
+    cfg: ClusterConfig,
+    device_cfg: DeviceConfig,
     link: Pcie,
     /// Per-shard sub-batches under assembly (deletions before insertions,
     /// the framework batch convention).
@@ -490,6 +709,10 @@ struct Router {
     /// ingest hot path).
     local_cut_edges: u64,
     local_cancelled: u64,
+    /// Per-source-vertex routed update counts — the observed degrees a
+    /// [`DegreePartition`] rebalance target is built from. Cumulative
+    /// across reshards (the estimate only sharpens).
+    observed: Vec<u64>,
     /// Each shard's local epoch at the previous coordinated cut — the
     /// resume points for assembling the next cut's delta chain.
     last_cut_epochs: Vec<u64>,
@@ -523,22 +746,28 @@ impl Router {
                     self.route_insert(e);
                 }
             }
-            Command::Cut(_) | Command::Stats(_) | Command::Shutdown => {
+            Command::Cut(_)
+            | Command::Reshard(..)
+            | Command::Rebalance(..)
+            | Command::Stats(_)
+            | Command::Shutdown => {
                 unreachable!("route only receives update commands")
             }
         }
     }
 
     fn route_insert(&mut self, e: Edge) {
-        let s = self.part.shard_of_edge(e.src, e.dst);
-        if self.part.is_cut_edge(e.src, e.dst) {
+        let s = self.part.plan().shard_of_edge(e.src, e.dst);
+        if self.part.plan().is_cut_edge(e.src, e.dst) {
             self.local_cut_edges += 1;
         }
+        self.observed[e.src as usize] += 1;
         self.pending[s].insertions.push(e);
     }
 
     fn route_delete(&mut self, e: Edge) {
-        let s = self.part.shard_of_edge(e.src, e.dst);
+        let s = self.part.plan().shard_of_edge(e.src, e.dst);
+        self.observed[e.src as usize] += 1;
         let key = e.key();
         let before = self.pending[s].insertions.len();
         self.pending[s].insertions.retain(|p| p.key() != key);
@@ -590,10 +819,226 @@ impl Router {
             .map(|svc| svc.barrier().expect("shard service alive"))
             .collect();
         let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
-        let snap = Arc::new(ClusterSnapshot::new(cut, self.part.num_vertices(), snaps));
+        let snap = Arc::new(ClusterSnapshot::new(
+            cut,
+            self.part.plan().num_vertices(),
+            snaps,
+        ));
         *self.shared.snapshot.lock() = snap.clone();
         self.publish_cut_delta(cut, &snap);
         snap
+    }
+
+    /// The live reshard protocol: cut → quiesce → migrate → resume.
+    ///
+    /// 1. Forward all residue and barrier every shard (quiesce): the
+    ///    per-shard snapshots are a consistent global state containing
+    ///    every update accepted before the reshard command.
+    /// 2. Compute the [`MigrationPlan`] — the minimal move set between the
+    ///    plans — then grow fresh shard services (scale-out) or mark the
+    ///    retiring ones (scale-in).
+    /// 3. Ship each `(from, to)` move set: a deletion batch extracts the
+    ///    edges from surviving sources, an insertion batch re-ingests them
+    ///    at their new owners; each arrival is charged to the destination
+    ///    shard's [`TransferLedger`] as one device-to-device DMA. Retiring
+    ///    shards skip the extraction — their stores are dropped whole.
+    /// 4. Barrier again and publish the post-reshard state as a
+    ///    snapshot-style epoch marker: the cluster delta ring is reset to
+    ///    the marker cut ([`DeltaLog::reset_to`]), delta monitors get an
+    ///    `on_rebase`, and later updates route under the advanced
+    ///    [`PartitionEpoch`].
+    ///
+    /// Updates queued behind the reshard command are untouched throughout —
+    /// the router is a single FIFO stage, so arrival-order semantics hold
+    /// across the boundary.
+    fn reshard(&mut self, new: Arc<dyn Partitioner>, auto: bool) -> Result<ReshardReport, ReshardError> {
+        let nv = self.part.plan().num_vertices();
+        if new.num_vertices() != nv {
+            return Err(ReshardError::VertexMismatch {
+                expected: nv,
+                got: new.num_vertices(),
+            });
+        }
+        let from_policy = self.part.plan().name().to_string();
+        let new_n = new.num_shards().max(1);
+        let old_n = self.services.len();
+
+        // (1) Quiesce under the old plan.
+        self.forward();
+        let t0 = Instant::now();
+        let snaps: Vec<Arc<GraphSnapshot>> = self
+            .services
+            .iter()
+            .map(|svc| svc.barrier().expect("shard service alive"))
+            .collect();
+
+        // (2) Minimal move set; grow fresh services for new shard ids.
+        let per_shard: Vec<&[Edge]> = snaps.iter().map(|s| s.edges()).collect();
+        let plan = MigrationPlan::compute(&per_shard, &*new);
+
+        // Fast path: same shard count and nothing to move — the new plan
+        // only changes where *future* updates route, so swap it, reset the
+        // skew window (the rebalance cooldown) and keep the delta ring
+        // intact: with zero migrated edges the per-shard delta streams
+        // still compose across the boundary, so consumers must NOT be
+        // forced into a full-snapshot rebase. This is what keeps a
+        // persistently hot vertex (skew irreducible by any 1D plan) from
+        // thrashing every delta consumer once per policy window.
+        if plan.is_noop() && new_n == old_n {
+            let pause_secs = t0.elapsed().as_secs_f64();
+            {
+                let mut c = self.shared.router.lock();
+                c.routed = vec![0; new_n];
+                c.sub_batches = vec![0; new_n];
+                c.reshard_count += 1;
+                c.migration_pause_secs += pause_secs;
+            }
+            {
+                let mut p = self.shared.partition.lock();
+                *p = p.advance(new.clone());
+                self.part = p.clone();
+            }
+            let report = ReshardReport {
+                version: self.part.version(),
+                from_policy,
+                to_policy: new.name().to_string(),
+                from_shards: old_n,
+                to_shards: new_n,
+                migrated_edges: 0,
+                resident_edges: plan.resident_edges(),
+                migration_bytes: 0,
+                full_rebuild_bytes: plan.full_rebuild_bytes() as u64,
+                pause_secs,
+                cut: self.shared.snapshot.lock().cut(),
+                auto,
+            };
+            self.shared.reshards.lock().push(report.clone());
+            return Ok(report);
+        }
+
+        for i in old_n..new_n {
+            let (svc, _) = spawn_shard_service(i, &self.cfg, &self.device_cfg, nv, &[]);
+            self.handles.push(svc.handle());
+            self.services.push(svc);
+        }
+
+        // (3) Ship the moves; count per-destination arrivals for the DMA
+        // charges below.
+        let mut arrived = vec![0usize; new_n];
+        for m in plan.moves() {
+            if m.from < new_n {
+                let _ = self.handles[m.from].ingest(UpdateBatch {
+                    insertions: Vec::new(),
+                    deletions: m.edges.clone(),
+                });
+            }
+            arrived[m.to] += m.edges.len();
+            let _ = self.handles[m.to].ingest(UpdateBatch {
+                insertions: m.edges.clone(),
+                deletions: Vec::new(),
+            });
+        }
+        if new_n < old_n {
+            self.handles.truncate(new_n);
+            for svc in self.services.drain(new_n..) {
+                let _ = svc.shutdown();
+            }
+        }
+
+        // (4) Settle, publish the epoch marker, swap the plan.
+        let snaps2: Vec<Arc<GraphSnapshot>> = self
+            .services
+            .iter()
+            .map(|svc| svc.barrier().expect("shard service alive"))
+            .collect();
+        let pause_secs = t0.elapsed().as_secs_f64();
+        let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
+        let snap = Arc::new(ClusterSnapshot::new(cut, nv, snaps2));
+        self.last_cut_epochs = snap.shards().iter().map(|s| s.epoch()).collect();
+        // Swap the plan *before* publishing the marker snapshot: a reader
+        // pairing `num_shards()`/`partitioner()` with `snapshot()` must
+        // never see a post-reshard cut under the pre-reshard plan. (The
+        // reverse pairing — new plan, old snapshot — is benign: snapshots
+        // carry their own shard structure.)
+        {
+            let mut p = self.shared.partition.lock();
+            *p = p.advance(new.clone());
+            self.part = p.clone();
+        }
+        *self.shared.snapshot.lock() = snap.clone();
+        self.shared.delta_log.lock().reset_to(cut);
+        if let Some(tx) = &self.cut_tx {
+            let _ = tx.send(CutEvent::Rebase(snap));
+        }
+        self.pending = vec![UpdateBatch::default(); new_n];
+        self.pending_len = 0;
+        {
+            let mut c = self.shared.router.lock();
+            let old_ledgers = std::mem::take(&mut c.transfer);
+            for t in &old_ledgers {
+                c.retired_transfer.merge(t);
+            }
+            c.routed = vec![0; new_n];
+            c.sub_batches = vec![0; new_n];
+            c.transfer = vec![TransferLedger::default(); new_n];
+            for (to, &n) in arrived.iter().enumerate() {
+                if n > 0 {
+                    c.transfer[to].record(&self.link, n * BYTES_PER_UPDATE);
+                }
+            }
+            c.reshard_count += 1;
+            c.migrated_edges += plan.moved_edges() as u64;
+            c.migration_bytes += plan.bytes() as u64;
+            c.migration_pause_secs += pause_secs;
+        }
+
+        let report = ReshardReport {
+            version: self.part.version(),
+            from_policy,
+            to_policy: new.name().to_string(),
+            from_shards: old_n,
+            to_shards: new_n,
+            migrated_edges: plan.moved_edges(),
+            resident_edges: plan.resident_edges(),
+            migration_bytes: plan.bytes() as u64,
+            full_rebuild_bytes: plan.full_rebuild_bytes() as u64,
+            pause_secs,
+            cut,
+            auto,
+        };
+        self.shared.reshards.lock().push(report.clone());
+        Ok(report)
+    }
+
+    /// Reshard onto a degree-aware plan built from the observed per-vertex
+    /// update load.
+    fn rebalance(&mut self, target_shards: Option<usize>, auto: bool) -> Result<ReshardReport, ReshardError> {
+        let shards = target_shards.unwrap_or(self.services.len()).max(1);
+        let plan = Arc::new(DegreePartition::from_degrees(&self.observed, shards));
+        self.reshard(plan, auto)
+    }
+
+    /// The skew-driven trigger, evaluated after each forwarded burst: once
+    /// enough updates accumulated under the current plan, a max/mean
+    /// routed-update skew above the policy threshold fires a rebalance.
+    /// The reshard resets the window counters, so the policy re-arms only
+    /// after another `min_updates` observations.
+    fn maybe_rebalance(&mut self) {
+        let Some(policy) = self.cfg.rebalance else {
+            return;
+        };
+        let skew = {
+            let c = self.shared.router.lock();
+            let total: u64 = c.routed.iter().sum();
+            if total < policy.min_updates.max(1) || c.routed.is_empty() {
+                return;
+            }
+            let max = *c.routed.iter().max().unwrap_or(&0) as f64;
+            max / (total as f64 / c.routed.len() as f64)
+        };
+        if skew > policy.skew_threshold {
+            let _ = self.rebalance(policy.target_shards, true);
+        }
     }
 
     /// Assemble the delta between the previous cut and this one: each
@@ -652,24 +1097,29 @@ fn run_router(
     services: Vec<StreamingService>,
     part: Arc<dyn Partitioner>,
     shared: Arc<Shared>,
-    router_batch: usize,
+    cfg: ClusterConfig,
+    device_cfg: DeviceConfig,
     cut_tx: Option<Sender<CutEvent>>,
 ) -> Vec<ServiceReport> {
     let num_shards = services.len();
+    let num_vertices = part.num_vertices();
+    let router_batch = cfg.router_batch.max(1);
     let mut r = Router {
         handles: services.iter().map(|s| s.handle()).collect(),
         services,
-        part,
+        part: PartitionEpoch::new(part),
         shared,
+        cfg,
+        device_cfg,
         link: Pcie::new(PcieConfig::default()),
         pending: vec![UpdateBatch::default(); num_shards],
         pending_len: 0,
         local_cut_edges: 0,
         local_cancelled: 0,
+        observed: vec![0; num_vertices as usize],
         last_cut_epochs: vec![0; num_shards],
         cut_tx,
     };
-    let router_batch = router_batch.max(1);
     'serve: loop {
         let cmd = match rx.recv() {
             Ok(cmd) => cmd,
@@ -692,6 +1142,7 @@ fn run_router(
         if stop {
             break 'serve;
         }
+        r.maybe_rebalance();
     }
     // Shutdown (or disconnect) path: absorb everything still queued, then
     // take the final coordinated cut and stop the shards.
@@ -717,6 +1168,12 @@ fn handle_command(cmd: Command, r: &mut Router) -> bool {
         Command::Insert(_) | Command::Delete(_) | Command::Batch(_) => r.route(cmd),
         Command::Cut(ack) => {
             let _ = ack.send(r.cut());
+        }
+        Command::Reshard(new, ack) => {
+            let _ = ack.send(r.reshard(new, false));
+        }
+        Command::Rebalance(target, ack) => {
+            let _ = ack.send(r.rebalance(target, false));
         }
         Command::Stats(reply) => {
             // Flush residue first so the reply (and the shared counters it
@@ -930,6 +1387,237 @@ mod tests {
         assert!(events[1..].iter().all(|&(rebase, _)| !rebase));
         let expect: Vec<u64> = (1..=report.final_snapshot.cut()).collect();
         assert_eq!(cuts, expect);
+    }
+
+    #[test]
+    fn reshard_migrates_grows_and_shrinks() {
+        let part = Arc::new(HashVertexPartition {
+            num_vertices: 32,
+            num_shards: 4,
+        });
+        let c = spawn4(part, &[]);
+        let h = c.handle();
+        for i in 0..24u32 {
+            h.insert(Edge::new(i % 32, (i + 7) % 32)).unwrap();
+        }
+        c.epoch_cut().unwrap();
+
+        // 4 → 2 under an explicit range plan.
+        let r1 = c
+            .reshard(Arc::new(VertexPartition {
+                num_vertices: 32,
+                num_shards: 2,
+            }))
+            .unwrap();
+        assert_eq!((r1.from_shards, r1.to_shards), (4, 2));
+        assert_eq!(r1.version, 1);
+        assert!(!r1.auto);
+        assert_eq!(r1.migrated_edges + r1.resident_edges, 24);
+        assert!(r1.migration_bytes <= r1.full_rebuild_bytes);
+        assert_eq!(c.num_shards(), 2);
+        assert_eq!(c.partition_version(), 1);
+        assert_eq!(c.partitioner().name(), "vertex-range");
+        assert_eq!(c.snapshot().cut(), r1.cut);
+        assert_eq!(c.snapshot().num_edges(), 24, "no edge lost shrinking");
+
+        // Updates keep flowing and route under the new plan.
+        h.insert(Edge::new(5, 9)).unwrap();
+        h.delete(Edge::new(5, 9)).unwrap();
+        let snap = c.epoch_cut().unwrap();
+        assert!(!snap.contains(5, 9), "arrival order survives the reshard");
+
+        // 2 → 8 via the degree-aware rebalance target.
+        let r2 = c.rebalance(Some(8)).unwrap();
+        assert_eq!((r2.from_shards, r2.to_shards), (2, 8));
+        assert_eq!(r2.to_policy, "degree-aware");
+        assert_eq!(c.num_shards(), 8);
+        let final_snap = c.epoch_cut().unwrap();
+        assert_eq!(final_snap.num_edges(), 24);
+        assert_eq!(final_snap.num_shards(), 8);
+
+        // Every live edge sits on the shard the new plan owns it with.
+        let plan = c.partitioner();
+        for (i, s) in final_snap.shards().iter().enumerate() {
+            for e in s.edges() {
+                assert_eq!(plan.shard_of_edge(e.src, e.dst), i);
+            }
+        }
+
+        let report = c.shutdown();
+        let stats = report.metrics.migration_stats();
+        assert_eq!(stats.reshards, 2);
+        assert_eq!(
+            stats.migrated_edges,
+            (r1.migrated_edges + r2.migrated_edges) as u64
+        );
+        assert_eq!(
+            stats.migration_bytes,
+            r1.migration_bytes + r2.migration_bytes
+        );
+        assert!(stats.pause_secs > 0.0 && stats.avg_pause_secs > 0.0);
+        assert_eq!(report.metrics.partition_version, 2);
+        // Migration DMAs were charged to the ledgers; lifetime totals keep
+        // the pre-reshard host→shard traffic too (retired ledgers).
+        assert!(report.metrics.total_transfer().bytes >= 24 * BYTES_PER_UPDATE as u64);
+    }
+
+    #[test]
+    fn reshard_rejects_vertex_space_changes() {
+        let part = Arc::new(VertexPartition {
+            num_vertices: 16,
+            num_shards: 2,
+        });
+        let c = spawn4(part, &[Edge::new(0, 1)]);
+        let err = c
+            .reshard(Arc::new(VertexPartition {
+                num_vertices: 99,
+                num_shards: 2,
+            }))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ReshardError::VertexMismatch {
+                expected: 16,
+                got: 99
+            }
+        );
+        // The cluster is untouched and keeps serving.
+        assert_eq!(c.partition_version(), 0);
+        let h = c.handle();
+        h.insert(Edge::new(2, 3)).unwrap();
+        assert_eq!(c.epoch_cut().unwrap().num_edges(), 2);
+        drop(c.shutdown());
+    }
+
+    #[test]
+    fn reshard_publishes_snapshot_style_delta_marker() {
+        let part = Arc::new(HashVertexPartition {
+            num_vertices: 32,
+            num_shards: 4,
+        });
+        let c = spawn4(part, &[Edge::new(0, 1)]);
+        let h = c.handle();
+        for i in 1..=8u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        c.epoch_cut().unwrap(); // cut 1: delta in the ring
+        let r = c
+            .reshard(Arc::new(VertexPartition {
+                num_vertices: 32,
+                num_shards: 2,
+            }))
+            .unwrap(); // cut 2: epoch marker
+        // Pre-reshard readers must rebase: per-epoch deltas do not compose
+        // across the migration.
+        assert!(matches!(c.deltas_since(0), DeltaCatchUp::Snapshot(_)));
+        assert!(matches!(c.deltas_since(1), DeltaCatchUp::Snapshot(_)));
+        // A reader at the marker cut is current, and the chain resumes.
+        assert!(matches!(
+            c.deltas_since(r.cut),
+            DeltaCatchUp::Deltas(ref d) if d.is_empty()
+        ));
+        h.insert(Edge::new(20, 21)).unwrap();
+        let next = c.epoch_cut().unwrap();
+        match c.deltas_since(r.cut) {
+            DeltaCatchUp::Deltas(chain) => {
+                assert_eq!(chain.len(), 1);
+                assert_eq!(chain[0].epoch(), next.cut());
+                // The post-reshard delta is the user's update only — the
+                // migration itself never leaks into the delta stream.
+                assert_eq!(chain[0].len(), 1);
+            }
+            DeltaCatchUp::Snapshot(_) => panic!("chain must resume after the marker"),
+        }
+        let report = c.shutdown();
+        assert_eq!(report.metrics.delta_fallbacks, 0, "marker is not a fallback");
+    }
+
+    #[test]
+    fn noop_reshard_swaps_plan_without_breaking_delta_chain() {
+        // Resharding onto a plan that moves nothing (and keeps the shard
+        // count) must swap the plan and reset the skew window but leave
+        // the delta ring intact — consumers keep composing deltas across
+        // the boundary instead of rebasing on a snapshot.
+        let part = Arc::new(VertexPartition {
+            num_vertices: 16,
+            num_shards: 2,
+        });
+        let c = spawn4(part.clone(), &[]);
+        let h = c.handle();
+        h.insert(Edge::new(1, 2)).unwrap();
+        let cut1 = c.epoch_cut().unwrap();
+        // Same placement, fresh Arc: every edge already sits where the
+        // "new" plan wants it.
+        let r = c
+            .reshard(Arc::new(VertexPartition {
+                num_vertices: 16,
+                num_shards: 2,
+            }))
+            .unwrap();
+        assert_eq!(r.migrated_edges, 0);
+        assert_eq!(r.migration_bytes, 0);
+        assert_eq!(r.cut, cut1.cut(), "no marker cut published");
+        assert_eq!(c.partition_version(), 1, "plan still swapped");
+        // The pre-reshard delta chain is still served — no forced rebase.
+        match c.deltas_since(0) {
+            DeltaCatchUp::Deltas(chain) => {
+                assert_eq!(chain.len(), 1);
+                assert_eq!(chain[0].epoch(), cut1.cut());
+            }
+            DeltaCatchUp::Snapshot(_) => panic!("no-op reshard must keep the ring"),
+        }
+        // Skew window reset (the rebalance cooldown observable).
+        let m = c.metrics().unwrap();
+        assert_eq!(m.routed, vec![0, 0]);
+        assert_eq!(m.reshard_count, 1);
+        drop(c.shutdown());
+    }
+
+    #[test]
+    fn rebalance_policy_fires_and_rearms() {
+        // All updates hammer one source vertex: any vertex policy puts the
+        // whole load on one shard (skew = num_shards), so the policy must
+        // fire as soon as the window fills.
+        let part = Arc::new(HashVertexPartition {
+            num_vertices: 64,
+            num_shards: 4,
+        });
+        let c = GraphCluster::spawn(
+            ClusterConfig {
+                flush_threshold: 8,
+                router_batch: 8,
+                rebalance: Some(RebalancePolicy {
+                    skew_threshold: 1.5,
+                    min_updates: 64,
+                    target_shards: None,
+                }),
+                ..Default::default()
+            },
+            &DeviceConfig::deterministic(),
+            part,
+            &[],
+        );
+        let h = c.handle();
+        for i in 0..200u32 {
+            h.insert(Edge::new(7, (i + 8) % 64)).unwrap();
+        }
+        c.epoch_cut().unwrap();
+        let history = c.reshard_history();
+        assert!(!history.is_empty(), "skew policy must trigger a reshard");
+        assert!(history[0].auto);
+        assert_eq!(history[0].to_policy, "degree-aware");
+        assert_eq!(history[0].to_shards, 4, "target_shards None keeps count");
+        // A single eternally-hot vertex keeps max/mean at num_shards even
+        // under the degree-aware plan, so the policy may legitimately fire
+        // again — but the cooldown (window reset) bounds it to one reshard
+        // per min_updates observations.
+        let report = c.shutdown();
+        assert!(
+            (1..=200 / 64 + 1).contains(&report.metrics.reshard_count),
+            "cooldown violated: {} reshards",
+            report.metrics.reshard_count
+        );
+        assert_eq!(report.final_snapshot.num_edges(), 64, "64 distinct dsts");
     }
 
     #[test]

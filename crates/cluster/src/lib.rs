@@ -50,8 +50,17 @@
 //!   was outrun.
 //! * **Observability** — [`ClusterMetrics`] reports routing balance and
 //!   per-shard skew ([`RoutingSkew`]), cut edges, modeled transfer totals,
-//!   delta fallbacks and every shard's own
-//!   [`ServiceMetrics`](gpma_service::ServiceMetrics).
+//!   delta fallbacks, migration counters ([`MigrationStats`]) and every
+//!   shard's own [`ServiceMetrics`](gpma_service::ServiceMetrics).
+//! * **Elasticity** — [`GraphCluster::reshard`] migrates live onto any new
+//!   [`Partitioner`] (shard counts may grow or shrink): quiesce → minimal
+//!   edge-move set ([`MigrationPlan`]) shipped as device-to-device DMAs →
+//!   resume under the advanced [`PartitionEpoch`], publishing a
+//!   snapshot-style epoch marker so delta readers and monitors rebase
+//!   exactly. [`GraphCluster::rebalance`] (or an automatic
+//!   [`RebalancePolicy`] in [`ClusterConfig`]) targets a [`DegreePartition`]
+//!   built from the router's observed per-vertex load — the skew-driven
+//!   answer to the edge grid's ~2× power-law imbalance.
 //!
 //! ## Example: 4 shards, two policies
 //!
@@ -95,14 +104,18 @@ mod snapshot;
 use std::sync::Arc;
 
 use gpma_core::multi::Partitioner;
-pub use gpma_core::multi::{EdgeGridPartition, HashVertexPartition, VertexPartition};
+pub use gpma_core::multi::{
+    DegreePartition, EdgeGridPartition, HashVertexPartition, PartitionEpoch, VertexPartition,
+};
 
 pub use cluster::{
-    ClusterClosed, ClusterConfig, ClusterHandle, ClusterReport, GraphCluster,
+    ClusterClosed, ClusterConfig, ClusterHandle, ClusterReport, GraphCluster, RebalancePolicy,
+    ReshardError, ReshardReport,
 };
 pub use gpma_core::delta::{DeltaCatchUp, SnapshotDelta};
+pub use gpma_core::migration::{EdgeMove, MigrationPlan, MigrationSummary};
 pub use gpma_service::DeltaMonitor;
-pub use metrics::{ClusterMetrics, RoutingSkew};
+pub use metrics::{ClusterMetrics, MigrationStats, RoutingSkew};
 pub use snapshot::ClusterSnapshot;
 
 /// Named constructor for the shipped partitioning policies — the CLI/bench

@@ -8,11 +8,14 @@ use gpma_sim::pcie::TransferLedger;
 /// [`GraphCluster::metrics`](crate::GraphCluster::metrics)).
 #[derive(Debug, Clone)]
 pub struct ClusterMetrics {
-    /// Number of shards in the cluster.
+    /// Number of shards in the cluster (under the current partition plan).
     pub num_shards: usize,
     /// Partitioning policy name (`vertex-range`, `vertex-hash`,
-    /// `edge-grid`).
+    /// `edge-grid`, `degree-aware`).
     pub policy: String,
+    /// Version of the partition plan in force (0 = spawn-time plan; each
+    /// live reshard increments it).
+    pub partition_version: u64,
     /// Coordinated epoch cuts taken so far.
     pub cuts: u64,
     /// Cut number of the latest published [`ClusterSnapshot`]
@@ -30,12 +33,19 @@ pub struct ClusterMetrics {
     pub queries: u64,
     /// Cluster wall-clock age in seconds.
     pub elapsed_secs: f64,
-    /// Updates the router shipped to each shard.
+    /// Updates the router shipped to each shard *under the current
+    /// partition plan* (reset by every reshard: this is the skew window
+    /// the rebalance policy evaluates).
     pub routed: Vec<u64>,
     /// Non-empty sub-batches (modeled DMAs) forwarded to each shard.
+    /// Reset with [`Self::routed`] at every reshard.
     pub sub_batches: Vec<u64>,
-    /// Modeled host→shard transfer ledger per shard.
+    /// Modeled host→shard transfer ledger per shard (current plan).
     pub transfer: Vec<TransferLedger>,
+    /// Transfer ledgers of shards retired or reset by reshards, merged —
+    /// [`Self::total_transfer`] includes them, so cluster-lifetime totals
+    /// stay monotone across plan changes.
+    pub retired_transfer: TransferLedger,
     /// Routed insertions whose endpoints live on different home shards.
     pub cut_edges: u64,
     /// Pending insertions the router cancelled for arrival-order semantics.
@@ -43,8 +53,34 @@ pub struct ClusterMetrics {
     /// Coordinated cuts whose delta chain could not be assembled (a shard
     /// ring was outrun); those cuts published as full-snapshot rebases.
     pub delta_fallbacks: u64,
+    /// Live reshards performed (explicit and policy-triggered).
+    pub reshard_count: u64,
+    /// Edges migrated between shards across all reshards.
+    pub migrated_edges: u64,
+    /// Modeled bytes those migrations shipped as device-to-device DMAs.
+    pub migration_bytes: u64,
+    /// Total wall-clock seconds ingest was paused by reshards
+    /// (quiesce → migrate → resume).
+    pub migration_pause_secs: f64,
     /// Each shard service's own metrics, index-aligned with shard ids.
     pub shards: Vec<ServiceMetrics>,
+}
+
+/// Migration accounting derived from [`ClusterMetrics`] — the
+/// [`RoutingSkew`]-style summary of what elasticity has cost so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationStats {
+    /// Live reshards performed.
+    pub reshards: u64,
+    /// Edges that changed owner across all reshards.
+    pub migrated_edges: u64,
+    /// Modeled device-to-device bytes those moves shipped.
+    pub migration_bytes: u64,
+    /// Total ingest pause across all reshards, wall-clock seconds.
+    pub pause_secs: f64,
+    /// Mean ingest pause per reshard, wall-clock seconds (`0.0` when no
+    /// reshard has run).
+    pub avg_pause_secs: f64,
 }
 
 /// Per-shard routing-skew summary derived from the router's sub-batch and
@@ -79,13 +115,30 @@ impl ClusterMetrics {
         self.ingested_inserts + self.ingested_deletes
     }
 
-    /// All shard ledgers merged: cluster-wide modeled transfer totals.
+    /// All shard ledgers merged (including ledgers retired by reshards):
+    /// cluster-wide modeled transfer totals.
     pub fn total_transfer(&self) -> TransferLedger {
-        let mut total = TransferLedger::default();
+        let mut total = self.retired_transfer;
         for t in &self.transfer {
             total.merge(t);
         }
         total
+    }
+
+    /// The migration accounting: what live resharding has moved, shipped
+    /// and paused so far.
+    pub fn migration_stats(&self) -> MigrationStats {
+        MigrationStats {
+            reshards: self.reshard_count,
+            migrated_edges: self.migrated_edges,
+            migration_bytes: self.migration_bytes,
+            pause_secs: self.migration_pause_secs,
+            avg_pause_secs: if self.reshard_count == 0 {
+                0.0
+            } else {
+                self.migration_pause_secs / self.reshard_count as f64
+            },
+        }
     }
 
     /// Fraction of routed insertions crossing home-shard boundaries
@@ -130,13 +183,15 @@ impl std::fmt::Display for ClusterMetrics {
         let t = self.total_transfer();
         write!(
             f,
-            "cluster[{} × {}] cut {} ({} cuts, {} delta fallbacks) | \
+            "cluster[{} × {} v{}] cut {} ({} cuts, {} delta fallbacks) | \
              ingested {} (+{} -{}) | \
              routed {:?} in {:?} sub-batches (imbalance {:.2}) | \
              cut-edges {} ({:.1}%) | \
-             transfer {} B in {} DMAs ({:.3} ms) | queue {}",
+             transfer {} B in {} DMAs ({:.3} ms) | \
+             reshards {} ({} edges, {} B moved, {:.1} ms paused) | queue {}",
             self.num_shards,
             self.policy,
+            self.partition_version,
             self.latest_cut,
             self.cuts,
             self.delta_fallbacks,
@@ -151,6 +206,10 @@ impl std::fmt::Display for ClusterMetrics {
             t.bytes,
             t.transfers,
             t.time.millis(),
+            self.reshard_count,
+            self.migrated_edges,
+            self.migration_bytes,
+            self.migration_pause_secs * 1e3,
             self.queue_depth,
         )
     }
@@ -171,6 +230,7 @@ mod tests {
         ClusterMetrics {
             num_shards: 2,
             policy: "vertex-hash".into(),
+            partition_version: 0,
             cuts: 3,
             latest_cut: 3,
             queue_depth: 0,
@@ -181,9 +241,14 @@ mod tests {
             routed: vec![75, 25],
             sub_batches: vec![10, 6],
             transfer: vec![a, b],
+            retired_transfer: TransferLedger::default(),
             cut_edges: 40,
             cancelled_inserts: 1,
             delta_fallbacks: 0,
+            reshard_count: 0,
+            migrated_edges: 0,
+            migration_bytes: 0,
+            migration_pause_secs: 0.0,
             shards: Vec::new(),
         }
     }
@@ -199,6 +264,52 @@ mod tests {
         assert!((m.ingest_throughput() - 50.0).abs() < 1e-12);
         let s = m.to_string();
         assert!(s.contains("vertex-hash") && s.contains("cut 3"), "{s}");
+    }
+
+    #[test]
+    fn migration_stats_aggregate_reshard_counters() {
+        // No reshards: all-zero stats, no division by zero.
+        let idle = metrics();
+        assert_eq!(
+            idle.migration_stats(),
+            MigrationStats {
+                reshards: 0,
+                migrated_edges: 0,
+                migration_bytes: 0,
+                pause_secs: 0.0,
+                avg_pause_secs: 0.0,
+            }
+        );
+        let m = ClusterMetrics {
+            partition_version: 2,
+            reshard_count: 2,
+            migrated_edges: 700,
+            migration_bytes: 14_000,
+            migration_pause_secs: 0.5,
+            ..metrics()
+        };
+        let s = m.migration_stats();
+        assert_eq!(s.reshards, 2);
+        assert_eq!(s.migrated_edges, 700);
+        assert_eq!(s.migration_bytes, 14_000);
+        assert!((s.pause_secs - 0.5).abs() < 1e-12);
+        assert!((s.avg_pause_secs - 0.25).abs() < 1e-12);
+        let line = m.to_string();
+        assert!(line.contains("reshards 2") && line.contains("v2"), "{line}");
+    }
+
+    #[test]
+    fn retired_ledgers_keep_totals_monotone() {
+        let link = Pcie::new(PcieConfig::default());
+        let mut retired = TransferLedger::default();
+        retired.record(&link, 5000);
+        let m = ClusterMetrics {
+            retired_transfer: retired,
+            ..metrics()
+        };
+        // 4000 live (from the two shard ledgers) + 5000 retired.
+        assert_eq!(m.total_transfer().bytes, 9000);
+        assert_eq!(m.total_transfer().transfers, 3);
     }
 
     #[test]

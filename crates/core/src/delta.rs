@@ -217,6 +217,10 @@ pub enum DeltaCatchUp<S> {
 pub struct DeltaLog {
     deltas: VecDeque<Arc<SnapshotDelta>>,
     capacity: usize,
+    /// Epoch readers are considered current at while the ring is empty —
+    /// 0 at construction, the rebase epoch after a [`Self::reset_to`]
+    /// (e.g. a cluster reshard publishing a snapshot-style marker).
+    floor: u64,
 }
 
 impl DeltaLog {
@@ -225,7 +229,19 @@ impl DeltaLog {
         DeltaLog {
             deltas: VecDeque::new(),
             capacity: capacity.max(1),
+            floor: 0,
         }
+    }
+
+    /// Clear the ring and declare `epoch` the new rebase point: readers at
+    /// exactly `epoch` are current (empty chain); everyone earlier must
+    /// fall back to a full snapshot. This is the `DeltaCatchUp::Snapshot`
+    /// epoch marker a reshard (or any other history discontinuity)
+    /// publishes — per-epoch deltas stop composing across the boundary, so
+    /// the chain is cut rather than handed out with a hole in it.
+    pub fn reset_to(&mut self, epoch: u64) {
+        self.deltas.clear();
+        self.floor = epoch;
     }
 
     /// Maximum deltas retained.
@@ -259,7 +275,7 @@ impl DeltaLog {
     pub fn push(&mut self, delta: Arc<SnapshotDelta>) {
         if let Some(head) = self.head_epoch() {
             if delta.epoch() != head + 1 {
-                self.deltas.clear();
+                self.reset_to(delta.epoch().saturating_sub(1));
             }
         }
         if self.deltas.len() == self.capacity {
@@ -273,9 +289,9 @@ impl DeltaLog {
     /// the caller must rebase on a full snapshot.
     pub fn deltas_since(&self, epoch: u64) -> Option<Vec<Arc<SnapshotDelta>>> {
         let head = match self.head_epoch() {
-            // Nothing published yet: a reader at epoch 0 (the bulk-built
-            // state) is current; anyone else must rebase.
-            None => return if epoch == 0 { Some(Vec::new()) } else { None },
+            // Nothing published yet (or the ring was reset): a reader at
+            // the rebase floor is current; anyone else must rebase.
+            None => return if epoch == self.floor { Some(Vec::new()) } else { None },
             Some(h) => h,
         };
         if epoch >= head {
@@ -408,6 +424,33 @@ mod tests {
         assert!(log.deltas_since(1).is_none());
         assert!(log.deltas_since(2).is_some(), "epoch 3 is the oldest held");
         assert!(log.deltas_since(9).is_none(), "future epochs are unknown");
+    }
+
+    #[test]
+    fn reset_to_marks_a_snapshot_style_epoch_boundary() {
+        let mut log = DeltaLog::new(8);
+        let mk = |epoch| {
+            Arc::new(SnapshotDelta::from_batch(
+                epoch,
+                &UpdateBatch {
+                    insertions: vec![e(1, 2, epoch)],
+                    deletions: vec![],
+                },
+            ))
+        };
+        log.push(mk(1));
+        log.push(mk(2));
+        // A reshard publishes cut 3 as a rebase marker: history is cut.
+        log.reset_to(3);
+        assert!(log.is_empty());
+        // Readers at the marker are current; everyone earlier rebases.
+        assert_eq!(log.deltas_since(3), Some(vec![]));
+        assert!(log.deltas_since(2).is_none());
+        assert!(log.deltas_since(0).is_none());
+        // Delta publication resumes seamlessly after the marker.
+        log.push(mk(4));
+        assert_eq!(log.deltas_since(3).expect("covered").len(), 1);
+        assert!(log.deltas_since(2).is_none());
     }
 
     #[test]

@@ -70,6 +70,15 @@ struct LevelScratch {
     vals: DeviceBuffer<u64>,
     ops: DeviceBuffer<u32>,
     segs: DeviceBuffer<u32>,
+    /// Reused by the per-level `UniqueSegments` run-length encoding
+    /// ([`process_level`](GpmaPlus::process_level)) — kills the five fresh
+    /// buffers the RLE otherwise allocates each level.
+    rle: primitives::RleScratch,
+    /// Per-segment accept flags of `TryInsert+` (sized like the update
+    /// count, an upper bound on the segment count).
+    accept: DeviceBuffer<u32>,
+    /// Per-update consumed flags handed back to the level loop.
+    consumed: DeviceBuffer<u32>,
 }
 
 impl Default for LevelScratch {
@@ -81,6 +90,9 @@ impl Default for LevelScratch {
             vals: DeviceBuffer::new(0),
             ops: DeviceBuffer::new(0),
             segs: DeviceBuffer::new(0),
+            rle: primitives::RleScratch::default(),
+            accept: DeviceBuffer::new(0),
+            consumed: DeviceBuffer::new(0),
         }
     }
 }
@@ -101,6 +113,8 @@ impl LevelScratch {
         grow(&mut self.vals, n);
         grow(&mut self.ops, n);
         grow(&mut self.segs, n);
+        grow(&mut self.accept, n);
+        grow(&mut self.consumed, n);
     }
 }
 
@@ -184,7 +198,10 @@ impl GpmaPlus {
                 break;
             }
             stats.levels = level + 1;
-            let consumed = self.process_level(dev, &cur, &seg_ids, level, &mut stats);
+            // Size every reused level buffer (incl. the RLE scratch inputs
+            // and the consumed mask process_level fills) up front.
+            self.level_scratch.ensure(cur.len);
+            self.process_level(dev, &cur, &seg_ids, level, &mut stats);
 
             // Lines 12-15: drop consumed updates, promote the rest. The
             // four survivor streams share one keep-mask scan and scatter
@@ -192,10 +209,9 @@ impl GpmaPlus {
             // so the steady-state level loop allocates nothing and runs
             // one fused kernel instead of four scans + five scatters.
             let nupd = cur.len;
-            self.level_scratch.ensure(nupd);
             let scratch = &mut self.level_scratch;
             {
-                let c = &consumed;
+                let c = &scratch.consumed;
                 let k = &scratch.keep;
                 dev.launch("invert_flags", nupd, |lane| {
                     let v = c.get(lane, lane.tid);
@@ -258,7 +274,8 @@ impl GpmaPlus {
     }
 
     /// One level of Algorithm 4's loop: group updates into unique segments,
-    /// run `TryInsert+` on each, and return the per-update consumed flags.
+    /// run `TryInsert+` on each, and fill the per-update consumed flags
+    /// (`level_scratch.consumed`, pre-sized by the caller's `ensure`).
     fn process_level(
         &mut self,
         dev: &Device,
@@ -266,29 +283,37 @@ impl GpmaPlus {
         seg_ids: &DeviceBuffer<u32>,
         level: usize,
         stats: &mut PlusStats,
-    ) -> DeviceBuffer<u32> {
-        let geom = self.storage.geometry();
+    ) {
+        let GpmaPlus {
+            storage,
+            tier_max,
+            level_scratch,
+            ..
+        } = self;
+        let geom = storage.geometry();
         let height = geom.height();
         let window_slots = geom.seg_len << level;
-        let tau = self.storage.density_config().tau(level, height);
+        let tau = storage.density_config().tau(level, height);
         let max_entries = (tau * window_slots as f64).floor() as usize;
 
         // Line 7: UniqueSegments via RunLengthEncoding + ExclusiveScan.
-        // Length-bounded: seg_ids may be an over-sized reused buffer.
-        let rle = primitives::run_length_encode_u32_n(dev, seg_ids, cur.len);
-        let nseg = rle.num_runs;
-        let accept = DeviceBuffer::<u32>::new(nseg);
+        // Length-bounded: seg_ids may be an over-sized reused buffer, and
+        // the RLE writes into the reused level scratch (the per-call
+        // allocation churn the ROADMAP called out).
+        let nseg = primitives::run_length_encode_u32_into(dev, seg_ids, cur.len, &mut level_scratch.rle);
+        let rle = &level_scratch.rle;
+        let accept = &level_scratch.accept;
         let nupd = cur.len;
 
         // TryInsert+ count phase (lines 23-25): exact post-merge size vs
         // the level's threshold. Every window at this level has identical
         // capacity → perfectly balanced lanes (the paper's observation).
         {
-            let storage = &self.storage;
+            let storage = &*storage;
             let unique = &rle.unique;
             let starts = &rle.starts;
             let counts = &rle.counts;
-            let acc = &accept;
+            let acc = accept;
             dev.launch("tryinsert_count", nseg, |lane| {
                 let j = lane.tid;
                 let g = unique.get(lane, j) as usize;
@@ -300,15 +325,15 @@ impl GpmaPlus {
             });
         }
 
-        if window_slots <= self.tier_max {
+        if window_slots <= *tier_max {
             // Warp/block tier: one lane merges each accepted segment over
             // local scratch and redistributes evenly (lines 26-28).
-            let storage = &self.storage;
+            let storage = &*storage;
             let seg_len = geom.seg_len;
             let unique = &rle.unique;
             let starts = &rle.starts;
             let counts = &rle.counts;
-            let acc = &accept;
+            let acc = accept;
             let merged_ctr = DeviceBuffer::<u64>::new(1);
             dev.launch("tryinsert_small", nseg, |lane| {
                 let j = lane.tid;
@@ -354,11 +379,13 @@ impl GpmaPlus {
             stats.small_merges += merged_ctr.host_read(0);
         } else {
             // Device tier: few large segments; each is merged by fully
-            // parallel kernels (compaction + rank merge + redispatch).
-            let accept_host = accept.to_vec();
-            let unique_host = rle.unique.to_vec();
-            let starts_host = rle.starts.to_vec();
-            let counts_host = rle.counts.to_vec();
+            // parallel kernels (compaction + rank merge + redispatch). Host
+            // views (free) instead of per-level `to_vec` copies; only the
+            // first `nseg` entries of the reused buffers are meaningful.
+            let accept_host: Vec<u32> = accept.as_slice()[..nseg].to_vec();
+            let unique_host: Vec<u32> = rle.unique.as_slice()[..nseg].to_vec();
+            let starts_host: Vec<u32> = rle.starts.as_slice()[..nseg].to_vec();
+            let counts_host: Vec<u32> = rle.counts.as_slice()[..nseg].to_vec();
             for j in 0..nseg {
                 if accept_host[j] == 0 {
                     continue;
@@ -366,21 +393,20 @@ impl GpmaPlus {
                 let g = unique_host[j] as usize;
                 let window = g * window_slots..(g + 1) * window_slots;
                 let ur = starts_host[j] as usize..(starts_host[j] + counts_host[j]) as usize;
-                let (a_keys, a_vals, before) = self.storage.compact_window(dev, window.clone());
+                let (a_keys, a_vals, before) = storage.compact_window(dev, window.clone());
                 let (mk, mv, n) = merge_parallel(dev, &a_keys, &a_vals, cur, ur);
-                self.storage.redispatch_window(dev, window, &mk, &mv, n);
-                self.storage.host_adjust_len(n as i64 - before as i64);
+                storage.redispatch_window(dev, window, &mk, &mv, n);
+                storage.host_adjust_len(n as i64 - before as i64);
                 stats.device_merges += 1;
             }
         }
 
         // Per-update consumed flags: an update is consumed iff its segment
         // was accepted (binary search into the sorted unique-segment list).
-        let consumed = DeviceBuffer::<u32>::new(nupd);
         {
             let unique = &rle.unique;
-            let acc = &accept;
-            let cons = &consumed;
+            let acc = accept;
+            let cons = &level_scratch.consumed;
             let sid = seg_ids;
             dev.launch("mark_consumed", nupd, |lane| {
                 let g = sid.get(lane, lane.tid);
@@ -399,7 +425,6 @@ impl GpmaPlus {
                 cons.set(lane, lane.tid, a);
             });
         }
-        consumed
     }
 
     /// Root overflow/underflow: rebuild the whole array at ~60% density,

@@ -43,6 +43,7 @@ pub mod delta;
 pub mod framework;
 pub mod gpma;
 pub mod gpma_plus;
+pub mod migration;
 pub mod multi;
 pub mod storage;
 pub mod update;
@@ -51,4 +52,5 @@ pub use csr::CsrView;
 pub use delta::{apply_delta, DeltaCatchUp, DeltaLog, SnapshotDelta};
 pub use gpma::{Gpma, LockStats};
 pub use gpma_plus::{GpmaPlus, PlusStats};
+pub use migration::{EdgeMove, MigrationPlan, MigrationSummary};
 pub use storage::{GpmaStorage, EMPTY};

@@ -232,6 +232,141 @@ impl Partitioner for EdgeGridPartition {
     }
 }
 
+/// Degree-aware 1D partition: vertices are assigned to shards by a greedy
+/// balanced (LPT-style) pass over *observed* per-vertex load, heaviest
+/// first, each to the currently lightest shard.
+///
+/// This is the natural rebalance target for power-law graphs: vertex
+/// policies that ignore degree pile hub rows onto whichever shard the
+/// range/hash happens to pick (the ~2× imbalance
+/// `ClusterMetrics::routing_skew` measures on the edge grid), while the
+/// greedy assignment bounds the busiest shard at `mean + max_single_vertex`
+/// — within a few percent of perfect balance unless one vertex dominates
+/// the whole stream. Like the other vertex policies a vertex's whole
+/// out-row lives on one shard, so updates stay single-shard and frontier
+/// expansion touches exactly one device per vertex.
+#[derive(Debug, Clone)]
+pub struct DegreePartition {
+    num_shards: usize,
+    /// Shard of each vertex (index = vertex id).
+    assign: Arc<Vec<u32>>,
+}
+
+impl DegreePartition {
+    /// Build from observed per-vertex load (out-degree, routed-update
+    /// counts, …; index = vertex id): sort vertices by load descending and
+    /// greedily give each to the least-loaded shard. Zero-load vertices
+    /// round-robin across shards (count tie-break) so future traffic on
+    /// unseen vertices spreads too. Deterministic: ties break on vertex id
+    /// and shard id.
+    pub fn from_degrees(degrees: &[u64], num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let mut order: Vec<u32> = (0..degrees.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            degrees[b as usize]
+                .cmp(&degrees[a as usize])
+                .then(a.cmp(&b))
+        });
+        let mut load = vec![0u64; num_shards];
+        let mut count = vec![0u64; num_shards];
+        let mut assign = vec![0u32; degrees.len()];
+        for v in order {
+            let best = (0..num_shards)
+                .min_by_key(|&s| (load[s], count[s], s))
+                .expect("at least one shard");
+            assign[v as usize] = best as u32;
+            load[best] += degrees[v as usize];
+            count[best] += 1;
+        }
+        DegreePartition {
+            num_shards,
+            assign: Arc::new(assign),
+        }
+    }
+
+    /// Build from an edge list, using each vertex's out-degree as its load.
+    pub fn from_edges(num_vertices: u32, edges: &[Edge], num_shards: usize) -> Self {
+        let mut degrees = vec![0u64; num_vertices as usize];
+        for e in edges {
+            degrees[e.src as usize] += 1;
+        }
+        Self::from_degrees(&degrees, num_shards)
+    }
+
+    fn shard_of(&self, v: u32) -> usize {
+        self.assign[v as usize] as usize
+    }
+}
+
+impl Partitioner for DegreePartition {
+    fn name(&self) -> &str {
+        "degree-aware"
+    }
+    fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+    fn num_vertices(&self) -> u32 {
+        self.assign.len() as u32
+    }
+    fn shard_of_edge(&self, src: u32, _dst: u32) -> usize {
+        self.shard_of(src)
+    }
+    fn home_of_vertex(&self, v: u32) -> usize {
+        self.shard_of(v)
+    }
+    fn stores_row(&self, shard: usize, v: u32) -> bool {
+        shard == self.shard_of(v)
+    }
+}
+
+/// A versioned, swappable partition plan — the unit a reshard replaces.
+///
+/// Routing layers hold a `PartitionEpoch` instead of a bare
+/// `Arc<dyn Partitioner>`: the version stamps which plan placed any given
+/// sub-batch or snapshot, so observers (metrics, reshard reports, tests)
+/// can tell state produced under the old plan from state produced under
+/// the new one.
+#[derive(Clone)]
+pub struct PartitionEpoch {
+    version: u64,
+    plan: Arc<dyn Partitioner>,
+}
+
+impl PartitionEpoch {
+    /// Version 0: the plan the system was built with.
+    pub fn new(plan: Arc<dyn Partitioner>) -> Self {
+        PartitionEpoch { version: 0, plan }
+    }
+
+    /// The successor epoch: `plan` becomes current, version increments.
+    pub fn advance(&self, plan: Arc<dyn Partitioner>) -> Self {
+        PartitionEpoch {
+            version: self.version + 1,
+            plan,
+        }
+    }
+
+    /// How many reshards produced this plan (0 = the build-time plan).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The active partitioner.
+    pub fn plan(&self) -> &Arc<dyn Partitioner> {
+        &self.plan
+    }
+}
+
+impl std::fmt::Debug for PartitionEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionEpoch")
+            .field("version", &self.version)
+            .field("plan", &self.plan.name())
+            .field("shards", &self.plan.num_shards())
+            .finish()
+    }
+}
+
 /// Timing of one multi-device step.
 #[derive(Debug, Clone)]
 pub struct MultiStepTime {
@@ -254,7 +389,8 @@ impl MultiStepTime {
 pub struct MultiGpma {
     devices: Vec<Device>,
     shards: Vec<GpmaPlus>,
-    partitioner: Arc<dyn Partitioner>,
+    partition: PartitionEpoch,
+    device_cfg: DeviceConfig,
     pcie: Pcie,
 }
 
@@ -303,7 +439,8 @@ impl MultiGpma {
         MultiGpma {
             devices,
             shards,
-            partitioner,
+            partition: PartitionEpoch::new(partitioner),
+            device_cfg: cfg.clone(),
             pcie: Pcie::new(PcieConfig::default()),
         }
     }
@@ -315,12 +452,18 @@ impl MultiGpma {
 
     /// Global vertex count of the partitioned graph.
     pub fn num_vertices(&self) -> u32 {
-        self.partitioner.num_vertices()
+        self.partition.plan().num_vertices()
     }
 
     /// The partitioning policy in force.
     pub fn partitioner(&self) -> &Arc<dyn Partitioner> {
-        &self.partitioner
+        self.partition.plan()
+    }
+
+    /// The versioned partition plan (version 0 until the first
+    /// [`Self::reshard`]).
+    pub fn partition_epoch(&self) -> &PartitionEpoch {
+        &self.partition
     }
 
     /// All shard devices, index-aligned with [`Self::shards`].
@@ -353,16 +496,13 @@ impl MultiGpma {
     /// communication — the reason Figure 12 shows near-linear update
     /// scaling.
     pub fn update_batch(&mut self, batch: &UpdateBatch) -> MultiStepTime {
+        let part = self.partition.plan();
         let mut sub: Vec<UpdateBatch> = vec![UpdateBatch::default(); self.shards.len()];
         for e in &batch.insertions {
-            sub[self.partitioner.shard_of_edge(e.src, e.dst)]
-                .insertions
-                .push(*e);
+            sub[part.shard_of_edge(e.src, e.dst)].insertions.push(*e);
         }
         for e in &batch.deletions {
-            sub[self.partitioner.shard_of_edge(e.src, e.dst)]
-                .deletions
-                .push(*e);
+            sub[part.shard_of_edge(e.src, e.dst)].deletions.push(*e);
         }
         let per_device: Vec<SimTime> = self
             .shards
@@ -395,6 +535,66 @@ impl MultiGpma {
         }
         let t = self.pcie.transfer_time(bytes_per_device);
         SimTime(t.secs() * (d - 1) as f64)
+    }
+
+    /// Live reshard onto a new partition plan: compute the minimal edge-move
+    /// set ([`MigrationPlan`](crate::migration::MigrationPlan)), grow or
+    /// retire shard devices to match the new shard count, apply the moves
+    /// (deletion batch on each surviving source, insertion batch on each
+    /// destination — both through the normal merge path, so the migration
+    /// pays real simulated device time), and advance the
+    /// [`PartitionEpoch`]. Edges whose owner is unchanged never leave their
+    /// device. Returns the migration accounting.
+    ///
+    /// # Panics
+    /// When `new`'s vertex-id space differs from the current plan's (vertex
+    /// ids are global; a reshard moves edges, it does not renumber them).
+    pub fn reshard(&mut self, new: Arc<dyn Partitioner>) -> crate::migration::MigrationSummary {
+        assert_eq!(
+            new.num_vertices(),
+            self.num_vertices(),
+            "reshard cannot change the vertex-id space"
+        );
+        let new_n = new.num_shards().max(1);
+        let old_n = self.shards.len();
+        let per_shard: Vec<Vec<Edge>> = self
+            .shards
+            .iter()
+            .map(|s| s.storage.host_edges())
+            .collect();
+        let plan = crate::migration::MigrationPlan::compute(&per_shard, &*new);
+
+        // Grow: fresh empty shards for the new ids.
+        let num_vertices = self.num_vertices();
+        for i in old_n..new_n {
+            let dev = Device::named(self.device_cfg.clone(), format!("gpu{i}"));
+            self.shards.push(GpmaPlus::build(&dev, num_vertices, &[]));
+            self.devices.push(dev);
+        }
+
+        // Apply the moves. Retiring shards (from ≥ new_n) skip the deletion
+        // half — their stores are dropped whole below.
+        for m in plan.moves() {
+            if m.from < new_n {
+                let batch = UpdateBatch {
+                    insertions: Vec::new(),
+                    deletions: m.edges.clone(),
+                };
+                self.shards[m.from].update_batch(&self.devices[m.from], &batch);
+            }
+            let batch = UpdateBatch {
+                insertions: m.edges.clone(),
+                deletions: Vec::new(),
+            };
+            self.shards[m.to].update_batch(&self.devices[m.to], &batch);
+        }
+
+        // Shrink: retire the emptied high shards.
+        self.shards.truncate(new_n);
+        self.devices.truncate(new_n);
+
+        self.partition = self.partition.advance(new);
+        plan.summary()
     }
 
     /// Makespan helper over per-device timed closures: runs `f(i, dev,
@@ -469,6 +669,10 @@ mod tests {
             }),
             Box::new(EdgeGridPartition::new(nv, 4)),
             Box::new(EdgeGridPartition::new(nv, 6)),
+            Box::new(DegreePartition::from_degrees(
+                &(0..nv as u64).rev().collect::<Vec<_>>(),
+                4,
+            )),
         ];
         for p in &policies {
             let s = p.num_shards();
@@ -609,6 +813,119 @@ mod tests {
         });
         assert!(t.per_device[1].secs() > t.per_device[0].secs());
         assert_eq!(t.makespan.secs(), t.per_device[1].secs());
+    }
+
+    #[test]
+    fn degree_partition_balances_power_law_loads() {
+        // One hub with half the mass, a fat tail after it: LPT keeps the
+        // busiest shard near the hub's own share while range/hash piles
+        // tail mass on top of it.
+        let mut degrees = vec![0u64; 64];
+        degrees[0] = 300;
+        for (v, d) in degrees.iter_mut().enumerate().skip(1) {
+            *d = (64 - v as u64) / 2;
+        }
+        let total: u64 = degrees.iter().sum();
+        let p = DegreePartition::from_degrees(&degrees, 4);
+        assert_eq!(p.name(), "degree-aware");
+        assert_eq!(p.num_shards(), 4);
+        assert_eq!(p.num_vertices(), 64);
+        let mut load = [0u64; 4];
+        for (v, &d) in degrees.iter().enumerate() {
+            load[p.home_of_vertex(v as u32)] += d;
+        }
+        let max = *load.iter().max().unwrap() as f64;
+        let mean = total as f64 / 4.0;
+        // LPT bound: the busiest shard stays within one largest tail item
+        // of the mean — far below the ~2× skew of degree-blind policies.
+        let largest_tail = degrees[1..].iter().max().copied().unwrap() as f64;
+        assert!(
+            max <= mean + largest_tail,
+            "unbalanced: {load:?} (mean {mean})"
+        );
+        assert!(max / mean < 1.2, "skew {:.3} too high: {load:?}", max / mean);
+        // Zero-degree vertices round-robin instead of piling on one shard.
+        let zeros = DegreePartition::from_degrees(&[0u64; 16], 4);
+        let mut counts = [0usize; 4];
+        for v in 0..16u32 {
+            counts[zeros.home_of_vertex(v)] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn partition_epoch_versions_advance() {
+        let e0 = PartitionEpoch::new(Arc::new(VertexPartition {
+            num_vertices: 8,
+            num_shards: 2,
+        }));
+        assert_eq!(e0.version(), 0);
+        assert_eq!(e0.plan().name(), "vertex-range");
+        let e1 = e0.advance(Arc::new(HashVertexPartition {
+            num_vertices: 8,
+            num_shards: 4,
+        }));
+        assert_eq!(e1.version(), 1);
+        assert_eq!(e1.plan().num_shards(), 4);
+        let dbg = format!("{e1:?}");
+        assert!(dbg.contains("vertex-hash") && dbg.contains('1'), "{dbg}");
+    }
+
+    #[test]
+    fn reshard_moves_minimal_set_and_preserves_graph() {
+        use std::collections::BTreeSet;
+        let nv = 24u32;
+        let mut m = MultiGpma::build(&cfg(), 4, nv, &ring(nv));
+        let before: BTreeSet<(u32, u32)> = m
+            .shards()
+            .iter()
+            .flat_map(|s| s.storage.host_edges())
+            .map(|e| (e.src, e.dst))
+            .collect();
+
+        // 4 → 2: retire the top shards.
+        let shrink = m.reshard(Arc::new(VertexPartition {
+            num_vertices: nv,
+            num_shards: 2,
+        }));
+        assert_eq!((shrink.from_shards, shrink.to_shards), (4, 2));
+        assert_eq!(m.num_devices(), 2);
+        assert_eq!(m.partition_epoch().version(), 1);
+        assert_eq!(
+            shrink.moved_edges + shrink.resident_edges,
+            before.len(),
+            "every edge accounted"
+        );
+        assert!(shrink.migration_bytes < shrink.full_rebuild_bytes);
+
+        // 2 → 8 under a degree-aware plan: grow with fresh shards.
+        let degrees: Vec<u64> = (0..nv as u64).map(|v| v % 5 + 1).collect();
+        let grow = m.reshard(Arc::new(DegreePartition::from_degrees(&degrees, 8)));
+        assert_eq!((grow.from_shards, grow.to_shards), (2, 8));
+        assert_eq!(m.num_devices(), 8);
+        assert_eq!(m.partition_epoch().version(), 2);
+        assert_eq!(m.partitioner().name(), "degree-aware");
+
+        // The graph is unchanged and every edge sits on its new owner.
+        let after: BTreeSet<(u32, u32)> = m
+            .shards()
+            .iter()
+            .flat_map(|s| s.storage.host_edges())
+            .map(|e| (e.src, e.dst))
+            .collect();
+        assert_eq!(after, before);
+        for (i, shard) in m.shards().iter().enumerate() {
+            for e in shard.storage.host_edges() {
+                assert_eq!(m.partitioner().shard_of_edge(e.src, e.dst), i);
+            }
+        }
+
+        // Updates route correctly under the post-reshard plan.
+        m.update_batch(&UpdateBatch {
+            insertions: vec![Edge::new(3, 17)],
+            deletions: vec![Edge::new(0, 1)],
+        });
+        assert_eq!(m.num_edges(), before.len());
     }
 
     #[test]

@@ -136,6 +136,50 @@ pub struct Rle {
     pub num_runs: usize,
 }
 
+/// Reusable buffer set for [`run_length_encode_u32_into`]: the head-flag
+/// mask, its scan, and the three run outputs (sized to the *input* length,
+/// an upper bound on the run count). Capacities only grow, so a steady
+/// stream of equally sized inputs allocates nothing after the first call —
+/// the allocation-free shape the GPMA+ level loop needs.
+pub struct RleScratch {
+    flags: DeviceBuffer<u32>,
+    positions: DeviceBuffer<u32>,
+    /// Distinct run values, valid for the `num_runs` returned by the call
+    /// that filled this scratch.
+    pub unique: DeviceBuffer<u32>,
+    /// Run lengths, index-aligned with [`Self::unique`].
+    pub counts: DeviceBuffer<u32>,
+    /// Exclusive scan of `counts` — each run's first input index.
+    pub starts: DeviceBuffer<u32>,
+}
+
+impl Default for RleScratch {
+    fn default() -> Self {
+        RleScratch {
+            flags: DeviceBuffer::new(0),
+            positions: DeviceBuffer::new(0),
+            unique: DeviceBuffer::new(0),
+            counts: DeviceBuffer::new(0),
+            starts: DeviceBuffer::new(0),
+        }
+    }
+}
+
+impl RleScratch {
+    fn ensure(&mut self, n: usize) {
+        fn grow(buf: &mut DeviceBuffer<u32>, n: usize) {
+            if buf.len() < n {
+                *buf = DeviceBuffer::new(n);
+            }
+        }
+        grow(&mut self.flags, n);
+        grow(&mut self.positions, n);
+        grow(&mut self.unique, n);
+        grow(&mut self.counts, n);
+        grow(&mut self.starts, n);
+    }
+}
+
 /// Run-length encode a buffer (CUB `DeviceRunLengthEncode::Encode`).
 pub fn run_length_encode_u32(dev: &Device, input: &DeviceBuffer<u32>) -> Rle {
     run_length_encode_u32_n(dev, input, input.len())
@@ -154,6 +198,56 @@ pub fn run_length_encode_u32_n(dev: &Device, input: &DeviceBuffer<u32>, n: usize
         };
     }
     let flags = DeviceBuffer::<u32>::new(n);
+    rle_head_flags(dev, input, n, &flags);
+    let (positions, num_runs) = exclusive_scan_u32(dev, &flags);
+    let num_runs = num_runs as usize;
+    let unique = DeviceBuffer::<u32>::new(num_runs);
+    let run_starts = DeviceBuffer::<u32>::new(num_runs);
+    rle_scatter(dev, input, n, &flags, &positions, &unique, &run_starts);
+    let counts = DeviceBuffer::<u32>::new(num_runs);
+    rle_counts(dev, n, num_runs, &run_starts, &counts);
+    Rle {
+        unique,
+        counts,
+        starts: run_starts,
+        num_runs,
+    }
+}
+
+/// [`run_length_encode_u32_n`] writing into caller-owned scratch instead of
+/// fresh buffers — the allocation-free variant hot loops reuse across
+/// launches. Returns the run count; the runs live in `scratch.unique` /
+/// `scratch.counts` / `scratch.starts` (over-sized: only the first
+/// `num_runs` entries are meaningful). The kernel sequence is identical to
+/// the allocating variant, so simulated times match it bit for bit.
+pub fn run_length_encode_u32_into(
+    dev: &Device,
+    input: &DeviceBuffer<u32>,
+    n: usize,
+    scratch: &mut RleScratch,
+) -> usize {
+    assert!(input.len() >= n);
+    if n == 0 {
+        return 0;
+    }
+    scratch.ensure(n);
+    rle_head_flags(dev, input, n, &scratch.flags);
+    let num_runs = exclusive_scan_u32_into(dev, &scratch.flags, n, &scratch.positions) as usize;
+    rle_scatter(
+        dev,
+        input,
+        n,
+        &scratch.flags,
+        &scratch.positions,
+        &scratch.unique,
+        &scratch.starts,
+    );
+    rle_counts(dev, n, num_runs, &scratch.starts, &scratch.counts);
+    num_runs
+}
+
+/// Mark the first element of every run in `input[..n]`.
+fn rle_head_flags(dev: &Device, input: &DeviceBuffer<u32>, n: usize, flags: &DeviceBuffer<u32>) {
     dev.launch("rle_head_flags", n, |lane| {
         let i = lane.tid;
         let head = if i == 0 {
@@ -165,12 +259,18 @@ pub fn run_length_encode_u32_n(dev: &Device, input: &DeviceBuffer<u32>, n: usize
         };
         flags.set(lane, i, head);
     });
+}
 
-    let (positions, num_runs) = exclusive_scan_u32(dev, &flags);
-    let num_runs = num_runs as usize;
-
-    let unique = DeviceBuffer::<u32>::new(num_runs);
-    let run_starts = DeviceBuffer::<u32>::new(num_runs);
+/// Scatter each run head's value and start index to its run slot.
+fn rle_scatter(
+    dev: &Device,
+    input: &DeviceBuffer<u32>,
+    n: usize,
+    flags: &DeviceBuffer<u32>,
+    positions: &DeviceBuffer<u32>,
+    unique: &DeviceBuffer<u32>,
+    run_starts: &DeviceBuffer<u32>,
+) {
     dev.launch("rle_scatter", n, |lane| {
         let i = lane.tid;
         if flags.get(lane, i) == 1 {
@@ -180,8 +280,16 @@ pub fn run_length_encode_u32_n(dev: &Device, input: &DeviceBuffer<u32>, n: usize
             run_starts.set(lane, p, i as u32);
         }
     });
+}
 
-    let counts = DeviceBuffer::<u32>::new(num_runs);
+/// Derive each run's length from consecutive start indices.
+fn rle_counts(
+    dev: &Device,
+    n: usize,
+    num_runs: usize,
+    run_starts: &DeviceBuffer<u32>,
+    counts: &DeviceBuffer<u32>,
+) {
     dev.launch("rle_counts", num_runs, |lane| {
         let j = lane.tid;
         let start = run_starts.get(lane, j);
@@ -192,13 +300,6 @@ pub fn run_length_encode_u32_n(dev: &Device, input: &DeviceBuffer<u32>, n: usize
         };
         counts.set(lane, j, end - start);
     });
-
-    Rle {
-        unique,
-        counts,
-        starts: run_starts,
-        num_runs,
-    }
 }
 
 // ----------------------------------------------------------------------
@@ -461,6 +562,40 @@ mod tests {
         assert_eq!(rle.unique.to_vec(), vec![3, 4]);
         assert_eq!(rle.counts.to_vec(), vec![2, 2]);
         assert_eq!(run_length_encode_u32_n(&d, &runs, 0).num_runs, 0);
+    }
+
+    #[test]
+    fn rle_scratch_reuse_matches_allocating_variant() {
+        let d = dev();
+        let mut scratch = RleScratch::default();
+        // Shrinking inputs across calls: results must ignore stale tails
+        // left in the over-sized reused buffers.
+        for data in [
+            vec![1u32, 1, 2, 2, 2, 9, 9, 4],
+            vec![5u32, 5, 5, 5, 5],
+            vec![8u32, 7, 6],
+        ] {
+            let input = DeviceBuffer::from_slice(&data);
+            let expect = run_length_encode_u32(&d, &input);
+            let n = run_length_encode_u32_into(&d, &input, data.len(), &mut scratch);
+            assert_eq!(n, expect.num_runs);
+            assert_eq!(&scratch.unique.to_vec()[..n], expect.unique.to_vec());
+            assert_eq!(&scratch.counts.to_vec()[..n], expect.counts.to_vec());
+            assert_eq!(&scratch.starts.to_vec()[..n], expect.starts.to_vec());
+        }
+        assert_eq!(
+            run_length_encode_u32_into(&d, &DeviceBuffer::new(0), 0, &mut scratch),
+            0
+        );
+        // Sim cost parity: the scratch variant issues the identical kernel
+        // sequence, so two fresh devices end at the same simulated clock.
+        let data = vec![3u32, 3, 4, 4, 4, 4, 11];
+        let d1 = dev();
+        let _ = run_length_encode_u32(&d1, &DeviceBuffer::from_slice(&data));
+        let d2 = dev();
+        let mut s2 = RleScratch::default();
+        let _ = run_length_encode_u32_into(&d2, &DeviceBuffer::from_slice(&data), data.len(), &mut s2);
+        assert_eq!(d1.elapsed().secs().to_bits(), d2.elapsed().secs().to_bits());
     }
 
     #[test]

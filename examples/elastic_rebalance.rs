@@ -1,0 +1,112 @@
+//! Elastic cluster demo: a 2D edge-grid cluster shows its known ~2×
+//! power-law routing skew, the skew-driven [`RebalancePolicy`] reshards it
+//! live onto a degree-aware plan mid-stream, and the second half of the
+//! stream routes balanced — with the migration cost (edges moved, modeled
+//! bytes, ingest pause) and a shard-count resize (4 → 8) on top.
+//!
+//! ```sh
+//! cargo run --release --example elastic_rebalance
+//! ```
+
+use gpma_cluster::{ClusterConfig, GraphCluster, PartitionPolicy, RebalancePolicy};
+use gpma_graph::gen::rmat;
+use gpma_graph::GraphStream;
+use gpma_sim::DeviceConfig;
+
+const SHARDS: usize = 4;
+
+fn main() {
+    let coo = rmat(11, 40_000, 7);
+    let stream = GraphStream::from_coo_shuffled("Graph500", coo, 99);
+    let nv = stream.num_vertices;
+    println!(
+        "Graph500: {} vertices, {} edges ({} initial, {} streamed live)",
+        nv,
+        stream.len(),
+        stream.initial_size(),
+        stream.len() - stream.initial_size()
+    );
+
+    // Spawn on the edge grid (storage-balanced but routing-skewed on
+    // power-law rows) with the automatic rebalancer armed: once 4096
+    // updates have routed and the max/mean skew exceeds 1.3×, the router
+    // live-migrates onto a degree-aware plan built from what it observed.
+    let cluster = GraphCluster::spawn(
+        ClusterConfig {
+            flush_threshold: 256,
+            rebalance: Some(RebalancePolicy {
+                skew_threshold: 1.3,
+                min_updates: 4096,
+                target_shards: None,
+            }),
+            ..Default::default()
+        },
+        &DeviceConfig::default(),
+        PartitionPolicy::EdgeGrid.build(nv, SHARDS),
+        stream.initial_edges(),
+    );
+    println!("\n=== edge-grid × {SHARDS}, rebalance at skew > 1.3 ===");
+
+    let h = cluster.handle();
+    let tail: Vec<_> = stream.edges[stream.initial_size()..].to_vec();
+    for e in &tail {
+        h.insert(*e).expect("cluster alive");
+    }
+    let snap = cluster.epoch_cut().expect("cluster alive");
+    println!(
+        "streamed {} updates; cut {} holds {} edges on {} shards",
+        tail.len(),
+        snap.cut(),
+        snap.num_edges(),
+        snap.num_shards()
+    );
+
+    // What the policy did while we streamed.
+    for r in cluster.reshard_history() {
+        println!(
+            "reshard v{} ({}): {} × {} → {} × {} | moved {} edges ({} KB vs {} KB rebuild) | paused {:.1} ms",
+            r.version,
+            if r.auto { "auto" } else { "manual" },
+            r.from_policy,
+            r.from_shards,
+            r.to_policy,
+            r.to_shards,
+            r.migrated_edges,
+            r.migration_bytes / 1024,
+            r.full_rebuild_bytes / 1024,
+            r.pause_secs * 1e3,
+        );
+    }
+    let metrics = cluster.metrics().expect("cluster alive");
+    let skew = metrics.routing_skew();
+    println!(
+        "post-rebalance window: routed {:?} (max/mean {:.2})",
+        skew.updates, skew.max_mean_updates
+    );
+
+    // Elastic scale-out on demand: the same degree observations, 8 shards.
+    let grow = cluster.rebalance(Some(8)).expect("grow to 8");
+    println!(
+        "scale-out v{}: {} shards → {} shards, moved {} edges, kept {} in place",
+        grow.version, grow.from_shards, grow.to_shards, grow.migrated_edges, grow.resident_edges
+    );
+    let final_snap = cluster.epoch_cut().expect("cluster alive");
+    assert_eq!(final_snap.num_edges(), snap.num_edges(), "no edge lost");
+    println!(
+        "cut {}: {} edges across {} shards (unchanged through both reshards)",
+        final_snap.cut(),
+        final_snap.num_edges(),
+        final_snap.num_shards()
+    );
+
+    let report = cluster.shutdown();
+    let stats = report.metrics.migration_stats();
+    println!(
+        "\n{} reshards total: {} edges migrated, {} KB shipped, {:.1} ms cumulative pause",
+        stats.reshards,
+        stats.migrated_edges,
+        stats.migration_bytes / 1024,
+        stats.pause_secs * 1e3,
+    );
+    println!("{}", report.metrics);
+}
