@@ -39,6 +39,8 @@
 //! assert_eq!(device_dist, vec![0, 1, 2, 3]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bfs;
 pub mod cc;
 pub mod multi;

@@ -10,14 +10,19 @@ use crate::view::{DeviceGraphView, HostGraph};
 
 /// The paper's standard parameters.
 pub const DAMPING: f64 = 0.85;
+/// L1 convergence threshold on the rank vector (paper's stopping rule).
 pub const EPSILON: f64 = 1e-3;
+/// Hard iteration cap so non-converging runs still terminate.
 pub const MAX_ITERS: usize = 200;
 
 /// Result of a PageRank computation.
 #[derive(Debug, Clone)]
 pub struct PageRank {
+    /// Final rank per vertex.
     pub ranks: Vec<f64>,
+    /// Iterations executed.
     pub iterations: usize,
+    /// Whether the L1 delta fell below [`EPSILON`].
     pub converged: bool,
 }
 

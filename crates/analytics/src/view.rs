@@ -17,6 +17,7 @@ use gpma_sim::{Device, DeviceBuffer, Lane};
 
 /// Device-side view of a CSR-ordered dynamic graph.
 pub trait DeviceGraphView: Sync {
+    /// Number of vertices.
     fn num_vertices(&self) -> u32;
 
     /// Total slots (for edge-centric kernels that stride the whole array).
@@ -35,11 +36,14 @@ pub trait DeviceGraphView: Sync {
 
 /// CSR-on-GPMA view (storage + offsets), built after each update batch.
 pub struct GpmaView<'a> {
+    /// The underlying GPMA storage.
     pub storage: &'a GpmaStorage,
+    /// The CSR row index derived from it.
     pub csr: CsrView,
 }
 
 impl<'a> GpmaView<'a> {
+    /// Wrap live GPMA storage, deriving the CSR row index on device.
     pub fn build(dev: &Device, storage: &'a GpmaStorage) -> Self {
         GpmaView {
             storage,
@@ -78,11 +82,13 @@ impl<'a> DeviceGraphView for GpmaView<'a> {
 
 /// Dense CSR view over the rebuild baseline.
 pub struct RebuildView<'a> {
+    /// The rebuilt static CSR.
     pub csr: &'a RebuildCsr,
     degrees: DeviceBuffer<u32>,
 }
 
 impl<'a> RebuildView<'a> {
+    /// Wrap a rebuilt static CSR, computing per-row degrees on device.
     pub fn build(dev: &Device, csr: &'a RebuildCsr) -> Self {
         let nv = csr.num_vertices() as usize;
         let degrees = DeviceBuffer::<u32>::new(nv);
@@ -128,8 +134,11 @@ impl<'a> DeviceGraphView for RebuildView<'a> {
 
 /// Host-side (CPU baseline) graph contract.
 pub trait HostGraph {
+    /// Number of vertices.
     fn num_vertices(&self) -> u32;
+    /// Visit each out-neighbor of `v` as `(dst, weight)`.
     fn for_each_neighbor(&self, v: u32, f: &mut dyn FnMut(u32, u64));
+    /// Number of out-neighbors of `v`.
     fn out_degree(&self, v: u32) -> usize {
         let mut n = 0;
         self.for_each_neighbor(v, &mut |_, _| n += 1);

@@ -13,6 +13,7 @@ pub struct AdjLists {
 }
 
 impl AdjLists {
+    /// An empty graph over `num_vertices` vertices.
     pub fn new(num_vertices: u32) -> Self {
         AdjLists {
             adj: vec![BTreeMap::new(); num_vertices as usize],
@@ -20,6 +21,7 @@ impl AdjLists {
         }
     }
 
+    /// Build from an initial edge list.
     pub fn build(num_vertices: u32, edges: &[Edge]) -> Self {
         let mut g = AdjLists::new(num_vertices);
         for e in edges {
@@ -28,10 +30,12 @@ impl AdjLists {
         g
     }
 
+    /// Number of vertices (fixed at construction).
     pub fn num_vertices(&self) -> u32 {
         self.adj.len() as u32
     }
 
+    /// Number of live edges.
     pub fn num_edges(&self) -> usize {
         self.num_edges
     }
@@ -54,18 +58,22 @@ impl AdjLists {
         existed
     }
 
+    /// Whether the edge `(src, dst)` is present.
     pub fn contains(&self, src: VertexId, dst: VertexId) -> bool {
         self.adj[src as usize].contains_key(&dst)
     }
 
+    /// Weight of `(src, dst)`, if present.
     pub fn weight(&self, src: VertexId, dst: VertexId) -> Option<u64> {
         self.adj[src as usize].get(&dst).copied()
     }
 
+    /// Number of out-neighbors of `v`.
     pub fn out_degree(&self, v: VertexId) -> usize {
         self.adj[v as usize].len()
     }
 
+    /// Out-neighbors of `v` as `(dst, weight)`, in dst order.
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (u32, u64)> + '_ {
         self.adj[v as usize].iter().map(|(&d, &w)| (d, w))
     }

@@ -34,6 +34,8 @@
 //! assert_eq!(adj.out_degree(1), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod adjlists;
 pub mod pma_graph;
 pub mod rebuild;

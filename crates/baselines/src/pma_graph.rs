@@ -13,6 +13,7 @@ pub struct PmaGraph {
 }
 
 impl PmaGraph {
+    /// An empty graph over `num_vertices` vertices.
     pub fn new(num_vertices: u32) -> Self {
         PmaGraph {
             pma: Pma::new(),
@@ -33,26 +34,32 @@ impl PmaGraph {
         }
     }
 
+    /// Number of vertices (fixed at construction).
     pub fn num_vertices(&self) -> u32 {
         self.num_vertices
     }
 
+    /// Number of live edges (PMA entries).
     pub fn num_edges(&self) -> usize {
         self.pma.len()
     }
 
+    /// Insert or overwrite; returns `true` when newly inserted.
     pub fn insert(&mut self, e: &Edge) -> bool {
         self.pma.insert(e.key(), e.weight)
     }
 
+    /// Remove; returns `true` when the edge existed.
     pub fn remove(&mut self, src: VertexId, dst: VertexId) -> bool {
         self.pma.remove(encode_key(src, dst))
     }
 
+    /// Weight of `(src, dst)`, if present.
     pub fn weight(&self, src: VertexId, dst: VertexId) -> Option<u64> {
         self.pma.get(encode_key(src, dst))
     }
 
+    /// Apply a batch: deletions first, then insertions.
     pub fn update_batch(&mut self, batch: &UpdateBatch) {
         for e in &batch.deletions {
             self.remove(e.src, e.dst);
@@ -69,6 +76,7 @@ impl PmaGraph {
             .map(|(k, w)| (k as u32, w))
     }
 
+    /// Number of out-neighbors of `v` (counted via a range scan).
     pub fn out_degree(&self, v: VertexId) -> usize {
         self.neighbors(v).count()
     }

@@ -24,6 +24,7 @@ pub struct RebuildCsr {
 }
 
 impl RebuildCsr {
+    /// Build the device CSR from an initial edge list.
     pub fn build(dev: &Device, num_vertices: u32, edges: &[Edge]) -> Self {
         let mut csr = RebuildCsr {
             keys: DeviceBuffer::new(0),
@@ -41,10 +42,12 @@ impl RebuildCsr {
         csr
     }
 
+    /// Number of vertices (fixed at construction).
     pub fn num_vertices(&self) -> u32 {
         self.num_vertices
     }
 
+    /// Number of edges in the current rebuild.
     pub fn num_edges(&self) -> usize {
         self.keys.len()
     }

@@ -51,14 +51,18 @@ pub struct StingerGraph {
 /// Memory utilization report: the skew pathology of fixed blocks.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StingerMemoryStats {
+    /// Allocated edge blocks.
     pub blocks: usize,
+    /// Total edge slots across those blocks.
     pub slots: usize,
+    /// Live (valid) edges.
     pub live_edges: usize,
     /// `live / slots` — low on skewed graphs.
     pub utilization: f64,
 }
 
 impl StingerGraph {
+    /// An empty graph over `num_vertices` vertices, with a default worker count.
     pub fn new(num_vertices: u32) -> Self {
         StingerGraph {
             chains: vec![Vec::new(); num_vertices as usize],
@@ -70,6 +74,7 @@ impl StingerGraph {
         }
     }
 
+    /// Build from an initial edge list via one parallel batch.
     pub fn build(num_vertices: u32, edges: &[Edge]) -> Self {
         let mut g = StingerGraph::new(num_vertices);
         g.update_batch(&UpdateBatch {
@@ -79,15 +84,18 @@ impl StingerGraph {
         g
     }
 
+    /// Override the number of batch-update worker threads.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
     }
 
+    /// Number of vertices (fixed at construction).
     pub fn num_vertices(&self) -> u32 {
         self.chains.len() as u32
     }
 
+    /// Number of live edges.
     pub fn num_edges(&self) -> usize {
         self.num_edges.load(std::sync::atomic::Ordering::Relaxed)
     }
@@ -194,6 +202,7 @@ impl StingerGraph {
         .expect("stinger worker panicked");
     }
 
+    /// Out-neighbors of `v` as `(dst, weight)`, walking the block chain.
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (u32, u64)> + '_ {
         self.chains[v as usize].iter().flat_map(|b| {
             (0..BLOCK_EDGES).filter_map(move |i| {
@@ -206,14 +215,17 @@ impl StingerGraph {
         })
     }
 
+    /// Number of live edges in `v`'s block chain.
     pub fn out_degree(&self, v: VertexId) -> usize {
         self.chains[v as usize].iter().map(|b| b.live_count()).sum()
     }
 
+    /// Whether the edge `(src, dst)` is present.
     pub fn contains(&self, src: VertexId, dst: VertexId) -> bool {
         self.neighbors(src).any(|(d, _)| d == dst)
     }
 
+    /// Block-allocation statistics (the skew pathology of §6.2).
     pub fn memory_stats(&self) -> StingerMemoryStats {
         let blocks: usize = self.chains.iter().map(|c| c.len()).sum();
         let slots = blocks * BLOCK_EDGES;

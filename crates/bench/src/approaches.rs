@@ -15,15 +15,22 @@ use serde::{Deserialize, Serialize};
 /// The compared approaches of §6.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ApproachKind {
+    /// AdjLists (CPU).
     AdjLists,
+    /// PMA (CPU).
     Pma,
+    /// Stinger (CPU).
     Stinger,
+    /// cuSparseCSR rebuild (GPU).
     CuSparseCsr,
+    /// GPMA (GPU).
     Gpma,
+    /// GPMA+ (GPU).
     GpmaPlus,
 }
 
 impl ApproachKind {
+    /// Every compared approach, in Table 1 order.
     pub const ALL: [ApproachKind; 6] = [
         ApproachKind::AdjLists,
         ApproachKind::Pma,
@@ -40,6 +47,7 @@ impl ApproachKind {
         ApproachKind::GpmaPlus,
     ];
 
+    /// Display name used in tables and reports.
     pub fn name(&self) -> &'static str {
         match self {
             ApproachKind::AdjLists => "AdjLists",
@@ -51,6 +59,7 @@ impl ApproachKind {
         }
     }
 
+    /// Whether this approach runs on the (simulated) device.
     pub fn is_device(&self) -> bool {
         matches!(
             self,
@@ -61,14 +70,35 @@ impl ApproachKind {
 
 /// An instantiated approach holding its store (and device, if any).
 pub enum Store {
+    /// AdjLists (CPU).
     AdjLists(AdjLists),
+    /// PMA (CPU).
     Pma(PmaGraph),
+    /// Stinger (CPU).
     Stinger(StingerGraph),
-    CuSparseCsr { dev: Device, csr: RebuildCsr },
-    Gpma { dev: Device, g: Gpma },
-    // Boxed: GPMA+ carries reusable upload/level scratch, making it much
-    // larger than the host-store variants.
-    GpmaPlus { dev: Device, g: Box<GpmaPlus> },
+    /// cuSparseCSR (GPU): static CSR rebuilt on every batch.
+    CuSparseCsr {
+        /// The simulated device the CSR lives on.
+        dev: Device,
+        /// The rebuilt CSR.
+        csr: RebuildCsr,
+    },
+    /// GPMA (GPU).
+    Gpma {
+        /// The simulated device the structure lives on.
+        dev: Device,
+        /// The GPMA structure.
+        g: Gpma,
+    },
+    /// GPMA+ (GPU).
+    GpmaPlus {
+        /// The simulated device the structure lives on.
+        dev: Device,
+        // Boxed: GPMA+ carries reusable upload/level scratch, making it
+        // much larger than the host-store variants.
+        /// The GPMA+ structure.
+        g: Box<GpmaPlus>,
+    },
 }
 
 impl Store {
@@ -77,6 +107,7 @@ impl Store {
         Store::build_with(kind, num_vertices, edges, DeviceConfig::default())
     }
 
+    /// [`Store::build`] with an explicit device configuration.
     pub fn build_with(
         kind: ApproachKind,
         num_vertices: u32,
@@ -105,6 +136,7 @@ impl Store {
         }
     }
 
+    /// Which approach this store wraps.
     pub fn kind(&self) -> ApproachKind {
         match self {
             Store::AdjLists(_) => ApproachKind::AdjLists,
@@ -190,10 +222,15 @@ impl Store {
 /// Object-safe re-statement of [`gpma_analytics::DeviceGraphView`] so the
 /// harness can dispatch over store types at runtime.
 pub trait ErasedDeviceView: Sync {
+    /// Number of vertices.
     fn num_vertices(&self) -> u32;
+    /// Total slots, for edge-centric kernels that stride the whole array.
     fn num_slots(&self) -> usize;
+    /// Slot range of row `v`.
     fn row_range(&self, lane: &mut gpma_sim::Lane, v: u32) -> std::ops::Range<usize>;
+    /// Decode `slot` as `(src, dst, weight)`; `None` for gaps and guards.
     fn slot_entry(&self, lane: &mut gpma_sim::Lane, slot: usize) -> Option<(u32, u32, u64)>;
+    /// Per-vertex out-degrees (device resident).
     fn degrees(&self) -> &gpma_sim::DeviceBuffer<u32>;
 }
 

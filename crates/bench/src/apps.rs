@@ -7,15 +7,21 @@ use serde::{Deserialize, Serialize};
 use crate::approaches::Store;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// The three evaluation applications of §6.3.
 pub enum App {
+    /// Breadth-first search.
     Bfs,
+    /// Connected components (label propagation).
     ConnectedComponent,
+    /// PageRank.
     PageRank,
 }
 
 impl App {
+    /// All applications, in Figure 8-10 order.
     pub const ALL: [App; 3] = [App::Bfs, App::ConnectedComponent, App::PageRank];
 
+    /// Display name used in tables and reports.
     pub fn name(&self) -> &'static str {
         match self {
             App::Bfs => "BFS",
@@ -29,6 +35,7 @@ impl App {
 /// for cross-approach consistency checks.
 #[derive(Debug, Clone, Copy)]
 pub struct AppRun {
+    /// Run time: simulated device seconds, or modeled host seconds.
     pub seconds: f64,
     /// BFS: reached vertex count. CC: component count. PageRank: iterations.
     pub digest: u64,

@@ -24,9 +24,11 @@ use crate::report::{emit, fmt_meps, fmt_ms};
 pub struct ExpConfig {
     /// Dataset scale relative to Table 2 (1.0 = paper scale).
     pub scale: f64,
+    /// RNG seed shared by every generator.
     pub seed: u64,
     /// Slides measured (and averaged) per configuration.
     pub max_slides: usize,
+    /// Device configuration used by the GPU approaches.
     pub device_cfg: DeviceConfig,
 }
 
@@ -42,6 +44,7 @@ impl Default for ExpConfig {
 }
 
 impl ExpConfig {
+    /// Shrunk configuration for `--quick` smoke runs.
     pub fn quick() -> Self {
         ExpConfig {
             scale: 0.001,
@@ -55,6 +58,7 @@ impl ExpConfig {
 // Table 1 — experimented algorithms and compared approaches
 // ----------------------------------------------------------------------
 
+/// Table 1: the compared approaches and their properties (static).
 pub fn table1() {
     let rows: Vec<Vec<String>> = vec![
         vec![
@@ -105,6 +109,7 @@ pub fn table1() {
 // Table 2 — dataset statistics
 // ----------------------------------------------------------------------
 
+/// Table 2: statistics of the four generated datasets.
 pub fn table2(cfg: &ExpConfig) -> Vec<DatasetStats> {
     let mut rows = Vec::new();
     let mut stats_out = Vec::new();
@@ -137,6 +142,7 @@ pub fn table2(cfg: &ExpConfig) -> Vec<DatasetStats> {
 // Figure 7 — update latency vs sliding batch size
 // ----------------------------------------------------------------------
 
+/// Figure 7: update latency versus sliding-batch size, per approach.
 pub fn fig7(cfg: &ExpConfig) {
     let mut rows = Vec::new();
     for kind in DatasetKind::ALL {
@@ -204,6 +210,7 @@ pub fn fig7(cfg: &ExpConfig) {
 /// Slide ratios of Figures 8–10 ("0.01%", "0.1%", "1%").
 pub const SLIDE_RATIOS: [f64; 3] = [0.0001, 0.001, 0.01];
 
+/// Figures 8-10: streaming application latency at each slide ratio.
 pub fn fig_app(cfg: &ExpConfig, app: App, fig_name: &str) {
     let mut rows = Vec::new();
     for kind in DatasetKind::ALL {
@@ -278,6 +285,7 @@ pub fn fig_app(cfg: &ExpConfig, app: App, fig_name: &str) {
 // Figure 11 — asynchronous-stream transfer hiding
 // ----------------------------------------------------------------------
 
+/// Figure 11: PCIe transfer hiding with the asynchronous-stream pipeline.
 pub fn fig11(cfg: &ExpConfig) {
     let pipeline = Pipeline::new(Pcie::new(PcieConfig::default()));
     let mut rows = Vec::new();
@@ -345,6 +353,7 @@ pub fn fig11(cfg: &ExpConfig) {
 // Figure 12 — multi-GPU throughput
 // ----------------------------------------------------------------------
 
+/// Figure 12: multi-GPU update and analytics scaling.
 pub fn fig12(cfg: &ExpConfig) {
     // Paper sizes 600M/1.2B/1.8B edges, scaled by `cfg.scale / 0.005 * 1e-3`
     // relative adjustment: we derive from cfg.scale so --quick shrinks it.
@@ -404,6 +413,7 @@ pub fn fig12(cfg: &ExpConfig) {
 // §6.2 extended — sorted (locality-clustered) streams
 // ----------------------------------------------------------------------
 
+/// §6.2 extended: locality-clustered (key-sorted) update streams.
 pub fn sorted_stream(cfg: &ExpConfig) {
     let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
     let sorted = stream.sorted_by_key();
@@ -456,6 +466,7 @@ pub fn sorted_stream(cfg: &ExpConfig) {
 // §6.3 extended — explicit random insertions/deletions
 // ----------------------------------------------------------------------
 
+/// §6.3 extended: explicit random insert/delete streams.
 pub fn explicit_stream(cfg: &ExpConfig) {
     let mut rows = Vec::new();
     for kind in DatasetKind::ALL {
@@ -1173,6 +1184,7 @@ pub fn elastic(cfg: &ExpConfig) {
     }
 }
 
+/// Ablation: merge tiers, density thresholds and scan variants.
 pub fn ablation(cfg: &ExpConfig) {
     let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
     let batch = stream.slide_batch_size(0.01);
@@ -1247,6 +1259,129 @@ pub fn ablation(cfg: &ExpConfig) {
         "ablation_conflicts",
         "Ablation: GPMA lock conflicts vs update locality",
         &["BatchLocality", "UpdateMs", "Rounds", "Aborts"],
+        &rows,
+    );
+}
+
+// ----------------------------------------------------------------------
+// audit — run the deep invariant validators against live state
+// ----------------------------------------------------------------------
+
+/// `repro -- audit`: exercise every `gpma_core::audit` validator mid-stream
+/// — the GPMA+ state after each slide of a sliding-window stream, the delta
+/// publication ring after each epoch, every shipped partition policy, a
+/// migration plan between two plans, and a coordinated cluster cut.
+pub fn audit(cfg: &ExpConfig) {
+    use gpma_cluster::{ClusterConfig, GraphCluster, PartitionPolicy};
+    use gpma_core::delta::{DeltaLog, SnapshotDelta};
+    use gpma_core::migration::MigrationPlan;
+    use gpma_core::multi::{DegreePartition, PartitionEpoch};
+    use gpma_graph::Edge;
+    use std::sync::Arc;
+
+    let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
+    let nv = stream.num_vertices;
+    let batch = stream.slide_batch_size(0.01).max(1);
+    let slides = (cfg.max_slides.max(1) * 4).min(16);
+    let mut rows = Vec::new();
+
+    // GPMA+ structural/density audit after every sliding-window slide, and
+    // the delta ring contract after every published epoch.
+    let dev = Device::new(cfg.device_cfg.clone());
+    let mut g = GpmaPlus::build(&dev, nv, stream.initial_edges());
+    g.validate().expect("initial GPMA+ state audits clean");
+    let mut log = DeltaLog::new(8);
+    let mut epoch = 0u64;
+    for b in stream.sliding(batch).take(slides) {
+        g.update_batch(&dev, &b);
+        g.validate()
+            .unwrap_or_else(|e| panic!("epoch {}: {e}", epoch + 1));
+        epoch += 1;
+        log.push(Arc::new(SnapshotDelta::from_batch(epoch, &b)));
+        log.validate()
+            .unwrap_or_else(|e| panic!("epoch {epoch}: {e}"));
+    }
+    rows.push(vec![
+        "GpmaPlus::validate".into(),
+        format!("{} epochs", epoch),
+        "ok".into(),
+    ]);
+    rows.push(vec![
+        "DeltaLog::validate".into(),
+        format!("{} epochs, ring of {}", epoch, log.capacity()),
+        "ok".into(),
+    ]);
+
+    // Every shipped partition policy plus a degree-aware plan is total and
+    // consistent over the vertex space.
+    let mut plans: Vec<Arc<dyn gpma_core::multi::Partitioner>> = PartitionPolicy::ALL
+        .iter()
+        .map(|p| p.build(nv, 4))
+        .collect();
+    plans.push(Arc::new(DegreePartition::from_edges(
+        nv,
+        stream.initial_edges(),
+        4,
+    )));
+    let num_plans = plans.len();
+    for plan in &plans {
+        let name = plan.name().to_string();
+        PartitionEpoch::new(plan.clone())
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    rows.push(vec![
+        "PartitionEpoch::validate".into(),
+        format!("{num_plans} plans x {nv} vertices"),
+        "ok".into(),
+    ]);
+
+    // A migration plan between the first two policies equals the owner-diff.
+    let old_plan = &plans[0];
+    let new_plan = &plans[1];
+    let mut per_shard: Vec<Vec<Edge>> = vec![Vec::new(); old_plan.num_shards()];
+    for e in stream.initial_edges() {
+        per_shard[old_plan.shard_of_edge(e.src, e.dst)].push(*e);
+    }
+    let plan = MigrationPlan::compute(&per_shard, &**new_plan);
+    plan.validate(&per_shard, &**new_plan)
+        .expect("migration plan matches the owner-diff");
+    rows.push(vec![
+        "MigrationPlan::validate".into(),
+        format!(
+            "{} moved, {} resident",
+            plan.moved_edges(),
+            plan.resident_edges()
+        ),
+        "ok".into(),
+    ]);
+
+    // A coordinated cluster cut is consistent with its shard snapshots.
+    let cluster = GraphCluster::spawn(
+        ClusterConfig {
+            flush_threshold: batch,
+            ..Default::default()
+        },
+        &cfg.device_cfg,
+        PartitionPolicy::VertexHash.build(nv, 4),
+        stream.initial_edges(),
+    );
+    let h = cluster.handle();
+    for b in stream.sliding(batch).take(2) {
+        h.ingest(b).expect("cluster alive");
+    }
+    let snap = cluster.audit_cut().expect("cluster cut audits clean");
+    rows.push(vec![
+        "GraphCluster::audit_cut".into(),
+        format!("cut {}, {} edges", snap.cut(), snap.num_edges()),
+        "ok".into(),
+    ]);
+    drop(cluster.shutdown());
+
+    emit(
+        "audit",
+        "Audit: deep invariant validators over live state",
+        &["Validator", "Coverage", "Result"],
         &rows,
     );
 }

@@ -36,6 +36,8 @@
 //! assert_eq!(store.kind().name(), "GPMA+");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod approaches;
 pub mod apps;
 pub mod experiments;
@@ -65,7 +67,13 @@ pub fn feed_concurrently(
                 edges.iter().skip(p).step_by(producers).copied().collect();
             std::thread::spawn(move || {
                 for e in chunk {
-                    h.insert(e).expect("service alive");
+                    // A send error means the service shut down mid-feed
+                    // (benchmark teardown racing the producers); stop
+                    // feeding instead of panicking the producer thread.
+                    if h.insert(e).is_err() {
+                        eprintln!("gpma-bench: service closed mid-feed; producer stopping");
+                        return;
+                    }
                 }
             })
         })
@@ -93,7 +101,12 @@ pub fn feed_cluster_concurrently(
                 edges.iter().skip(p).step_by(producers).copied().collect();
             std::thread::spawn(move || {
                 for e in chunk {
-                    h.insert(e).expect("cluster alive");
+                    // Same policy as `feed_concurrently`: a closed cluster
+                    // means teardown won the race; degrade, don't panic.
+                    if h.insert(e).is_err() {
+                        eprintln!("gpma-bench: cluster closed mid-feed; producer stopping");
+                        return;
+                    }
                 }
             })
         })

@@ -250,6 +250,10 @@ struct Shared {
     /// already evicted part of the inter-cut chain (readers rebase on the
     /// full cut instead).
     delta_fallbacks: AtomicU64,
+    /// Errors the router thread recovered from instead of panicking (a
+    /// shard service found closed at a barrier, a misrouted control
+    /// command); surfaced as [`ClusterMetrics::worker_errors`].
+    worker_errors: AtomicU64,
     router: Mutex<RouterCounters>,
     ingested_inserts: AtomicU64,
     ingested_deletes: AtomicU64,
@@ -378,6 +382,7 @@ impl GraphCluster {
             snapshot: Mutex::new(initial.clone()),
             delta_log: Mutex::new(DeltaLog::new(cfg.delta_log_capacity)),
             delta_fallbacks: AtomicU64::new(0),
+            worker_errors: AtomicU64::new(0),
             router: Mutex::new(RouterCounters {
                 routed: vec![0; num_shards],
                 sub_batches: vec![0; num_shards],
@@ -570,6 +575,7 @@ impl GraphCluster {
             cut_edges: router.cut_edges,
             cancelled_inserts: router.cancelled_inserts,
             delta_fallbacks: self.shared.delta_fallbacks.load(Ordering::Relaxed),
+            worker_errors: self.shared.worker_errors.load(Ordering::Relaxed),
             reshard_count: router.reshard_count,
             migrated_edges: router.migrated_edges,
             migration_bytes: router.migration_bytes,
@@ -610,6 +616,75 @@ impl GraphCluster {
         let router = self.router.take()?;
         let _ = self.tx.send(Command::Shutdown);
         Some(router.join())
+    }
+}
+
+#[cfg(feature = "audit")]
+impl GraphCluster {
+    /// Coordinate a fresh epoch cut and cross-check it against the
+    /// per-shard snapshots it was assembled from: shard count and vertex
+    /// space match the active plan, every edge sits on the shard the plan
+    /// owns it to, endpoints stay inside the vertex space, and the merged
+    /// view is strictly key-sorted (shards are edge-disjoint). Returns the
+    /// validated cut. Assumes no reshard runs concurrently — a plan swap
+    /// between the cut and the check makes ownership fail spuriously.
+    pub fn audit_cut(&self) -> Result<Arc<ClusterSnapshot>, gpma_core::AuditError> {
+        use gpma_core::AuditError;
+        let snap = self
+            .epoch_cut()
+            .map_err(|_| AuditError::Cluster("cluster closed mid-audit".into()))?;
+        let plan = self.partitioner();
+        if snap.num_shards() != plan.num_shards() {
+            return Err(AuditError::Cluster(format!(
+                "cut {} has {} shard snapshots, plan has {} shards",
+                snap.cut(),
+                snap.num_shards(),
+                plan.num_shards()
+            )));
+        }
+        let nv = plan.num_vertices();
+        if snap.num_vertices() != nv {
+            return Err(AuditError::Cluster(format!(
+                "cut {} spans {} vertices, plan spans {nv}",
+                snap.cut(),
+                snap.num_vertices()
+            )));
+        }
+        for (i, shard) in snap.shards().iter().enumerate() {
+            for e in shard.edges() {
+                if e.src >= nv || e.dst >= nv {
+                    return Err(AuditError::Cluster(format!(
+                        "shard {i} holds out-of-range edge ({}, {})",
+                        e.src, e.dst
+                    )));
+                }
+                let owner = plan.shard_of_edge(e.src, e.dst);
+                if owner != i {
+                    return Err(AuditError::Cluster(format!(
+                        "edge ({}, {}) resident on shard {i} but owned by \
+                         shard {owner} under plan {}",
+                        e.src,
+                        e.dst,
+                        plan.name()
+                    )));
+                }
+            }
+        }
+        let merged = snap.merged_edges();
+        if let Some(w) = merged.windows(2).find(|w| w[0].key() >= w[1].key()) {
+            return Err(AuditError::Cluster(format!(
+                "cut {} holds duplicate or unsorted key {:#x} across shards",
+                snap.cut(),
+                w[1].key()
+            )));
+        }
+        if self.shared.snapshot.lock().cut() < snap.cut() {
+            return Err(AuditError::Cluster(format!(
+                "cut {} was never published as the latest snapshot",
+                snap.cut()
+            )));
+        }
+        Ok(snap)
     }
 }
 
@@ -751,7 +826,12 @@ impl Router {
             | Command::Rebalance(..)
             | Command::Stats(_)
             | Command::Shutdown => {
-                unreachable!("route only receives update commands")
+                // Control commands are dispatched by the router loop, not
+                // routed; reaching here is a dispatch bug — but the router
+                // thread must not panic over it (a poisoned router takes
+                // the whole cluster down). Log, count, drop.
+                self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("gpma-cluster: control command reached the routing stage; dropped");
             }
         }
     }
@@ -808,16 +888,36 @@ impl Router {
         self.pending_len = 0;
     }
 
+    /// Barrier every shard and collect the epoch-stamped snapshots. A shard
+    /// whose service is found closed (only possible mid-teardown) does not
+    /// panic the router: the error is logged, counted in
+    /// [`ClusterMetrics::worker_errors`], and the shard's latest *published*
+    /// snapshot stands in — slightly stale, but cuts and reshards complete
+    /// instead of poisoning the router thread.
+    fn barrier_all(&self) -> Vec<Arc<GraphSnapshot>> {
+        self.services
+            .iter()
+            .enumerate()
+            .map(|(i, svc)| match svc.barrier() {
+                Ok(snap) => snap,
+                Err(_) => {
+                    self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "gpma-cluster: shard {i} service closed at barrier; \
+                         falling back to its latest published snapshot"
+                    );
+                    svc.snapshot()
+                }
+            })
+            .collect()
+    }
+
     /// Coordinated cut: forward residue, barrier every shard (each ack is
     /// its epoch-stamped snapshot), assemble and publish the cluster cut —
     /// plus the cut's merged delta, stitched from the shard delta rings.
     fn cut(&mut self) -> Arc<ClusterSnapshot> {
         self.forward();
-        let snaps: Vec<Arc<GraphSnapshot>> = self
-            .services
-            .iter()
-            .map(|svc| svc.barrier().expect("shard service alive"))
-            .collect();
+        let snaps: Vec<Arc<GraphSnapshot>> = self.barrier_all();
         let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
         let snap = Arc::new(ClusterSnapshot::new(
             cut,
@@ -866,11 +966,7 @@ impl Router {
         // (1) Quiesce under the old plan.
         self.forward();
         let t0 = Instant::now();
-        let snaps: Vec<Arc<GraphSnapshot>> = self
-            .services
-            .iter()
-            .map(|svc| svc.barrier().expect("shard service alive"))
-            .collect();
+        let snaps: Vec<Arc<GraphSnapshot>> = self.barrier_all();
 
         // (2) Minimal move set; grow fresh services for new shard ids.
         let per_shard: Vec<&[Edge]> = snaps.iter().map(|s| s.edges()).collect();
@@ -946,11 +1042,7 @@ impl Router {
         }
 
         // (4) Settle, publish the epoch marker, swap the plan.
-        let snaps2: Vec<Arc<GraphSnapshot>> = self
-            .services
-            .iter()
-            .map(|svc| svc.barrier().expect("shard service alive"))
-            .collect();
+        let snaps2: Vec<Arc<GraphSnapshot>> = self.barrier_all();
         let pause_secs = t0.elapsed().as_secs_f64();
         let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
         let snap = Arc::new(ClusterSnapshot::new(cut, nv, snaps2));

@@ -53,6 +53,11 @@ pub struct ClusterMetrics {
     /// Coordinated cuts whose delta chain could not be assembled (a shard
     /// ring was outrun); those cuts published as full-snapshot rebases.
     pub delta_fallbacks: u64,
+    /// Errors the router thread recovered from instead of panicking (a
+    /// shard service found closed at a barrier, a misrouted control
+    /// command). Non-zero means a cut or reshard degraded gracefully —
+    /// worth investigating, never fatal.
+    pub worker_errors: u64,
     /// Live reshards performed (explicit and policy-triggered).
     pub reshard_count: u64,
     /// Edges migrated between shards across all reshards.
@@ -188,7 +193,7 @@ impl std::fmt::Display for ClusterMetrics {
              routed {:?} in {:?} sub-batches (imbalance {:.2}) | \
              cut-edges {} ({:.1}%) | \
              transfer {} B in {} DMAs ({:.3} ms) | \
-             reshards {} ({} edges, {} B moved, {:.1} ms paused) | queue {}",
+             reshards {} ({} edges, {} B moved, {:.1} ms paused) | queue {} | worker errors {}",
             self.num_shards,
             self.policy,
             self.partition_version,
@@ -211,6 +216,7 @@ impl std::fmt::Display for ClusterMetrics {
             self.migration_bytes,
             self.migration_pause_secs * 1e3,
             self.queue_depth,
+            self.worker_errors,
         )
     }
 }
@@ -245,6 +251,7 @@ mod tests {
             cut_edges: 40,
             cancelled_inserts: 1,
             delta_fallbacks: 0,
+            worker_errors: 0,
             reshard_count: 0,
             migrated_edges: 0,
             migration_bytes: 0,

@@ -1,0 +1,410 @@
+//! Deep invariant validators (the `audit` feature): Result-returning
+//! cross-checks of the structural guarantees the paper and DESIGN.md state
+//! but the fast paths only assert indirectly.
+//!
+//! Unlike [`GpmaStorage::check_invariants`](crate::storage::GpmaStorage::check_invariants)
+//! (which panics), every validator here returns a precise [`AuditError`] so
+//! tests can corrupt a structure and assert the *specific* rejection, and
+//! `repro -- audit` can report what failed mid-stream.
+//!
+//! Soundness note on the density checks: the per-level thresholds of
+//! Figure 3 gate *merge acceptance*, not steady state — two sibling leaves
+//! each at `tau_leaf` legally exceed their parent's `tau(l)`, and the even
+//! redistribution rounds up. The validator therefore checks the exact
+//! post-conditions the update paths guarantee: every leaf holds at most
+//! `ceil(tau_leaf * seg_len)` entries, every level-`l` window at most
+//! `2^l` times that, and the root stays above its lower density bound
+//! (or the array is at its minimum capacity).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use gpma_graph::edge::{Edge, GUARD_DST};
+
+use crate::delta::{apply_delta, DeltaLog, SnapshotDelta};
+use crate::framework::GraphSnapshot;
+use crate::gpma_plus::GpmaPlus;
+use crate::migration::MigrationPlan;
+use crate::multi::{PartitionEpoch, Partitioner};
+use crate::storage::EMPTY;
+
+/// A validator rejection: which structure failed and exactly how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// The PMA slot array violated a structural or density invariant.
+    Storage(String),
+    /// The delta publication ring violated the chain contract.
+    DeltaLog(String),
+    /// A partition plan is not total/consistent over the vertex space.
+    Partition(String),
+    /// A migration plan's moved set differs from the owner-diff.
+    Migration(String),
+    /// A cluster cut is inconsistent with its per-shard snapshots.
+    Cluster(String),
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Storage(m) => write!(f, "storage audit: {m}"),
+            AuditError::DeltaLog(m) => write!(f, "delta-log audit: {m}"),
+            AuditError::Partition(m) => write!(f, "partition audit: {m}"),
+            AuditError::Migration(m) => write!(f, "migration audit: {m}"),
+            AuditError::Cluster(m) => write!(f, "cluster audit: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl GpmaPlus {
+    /// Deep-validate the PMA state: sorted keys without duplicates, the len
+    /// counter in sync, one guard per vertex, a never-understated monotone
+    /// prefix-max index, and the density post-conditions above.
+    pub fn validate(&self) -> Result<(), AuditError> {
+        let s = &self.storage;
+        let geom = s.geometry();
+        let density = s.density_config();
+        let keys = s.keys.as_slice();
+
+        // Sorted with gaps, strictly increasing among live keys.
+        let mut prev: Option<u64> = None;
+        let mut live = 0usize;
+        let mut guards = 0usize;
+        for (i, &k) in keys.iter().enumerate() {
+            if k == EMPTY {
+                continue;
+            }
+            live += 1;
+            if (k as u32) == GUARD_DST {
+                guards += 1;
+            }
+            if let Some(p) = prev {
+                if p >= k {
+                    return Err(AuditError::Storage(format!(
+                        "keys out of order at slot {i}: {p:#x} !< {k:#x}"
+                    )));
+                }
+            }
+            prev = Some(k);
+        }
+        if live != s.len() {
+            return Err(AuditError::Storage(format!(
+                "len counter out of sync: counts {} live slots, counter says {}",
+                live,
+                s.len()
+            )));
+        }
+        if guards != s.num_vertices() as usize {
+            return Err(AuditError::Storage(format!(
+                "guards lost: {} present, {} vertices",
+                guards,
+                s.num_vertices()
+            )));
+        }
+
+        // Prefix-max index: never understated, monotone.
+        let seg_len = geom.seg_len;
+        let pm = s.leaf_max_prefix.as_slice();
+        let mut running = 0u64;
+        for l in 0..geom.num_segs {
+            let actual = keys[l * seg_len..(l + 1) * seg_len]
+                .iter()
+                .filter(|&&k| k != EMPTY)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            running = running.max(actual);
+            if pm[l] < running {
+                return Err(AuditError::Storage(format!(
+                    "leaf {l} prefix max understated: {:#x} < {running:#x}",
+                    pm[l]
+                )));
+            }
+            if l > 0 && pm[l] < pm[l - 1] {
+                return Err(AuditError::Storage(format!("prefix max not monotone at leaf {l}")));
+            }
+        }
+
+        // Density post-conditions (Figure 3 as the update paths enforce it).
+        let leaf_bound = (density.tau_leaf * seg_len as f64).ceil() as usize;
+        let per_leaf: Vec<usize> = keys
+            .chunks(seg_len)
+            .map(|c| c.iter().filter(|&&k| k != EMPTY).count())
+            .collect();
+        for (l, &n) in per_leaf.iter().enumerate() {
+            if n > leaf_bound {
+                return Err(AuditError::Storage(format!(
+                    "leaf {l} over-full: {n} entries > bound {leaf_bound} \
+                     (tau_leaf {} x seg_len {seg_len})",
+                    density.tau_leaf
+                )));
+            }
+        }
+        let height = geom.height();
+        for level in 1..=height {
+            let leaves = 1usize << level;
+            let bound = leaves * leaf_bound;
+            for (w, chunk) in per_leaf.chunks(leaves).enumerate() {
+                let n: usize = chunk.iter().sum();
+                if n > bound {
+                    return Err(AuditError::Storage(format!(
+                        "level {level} window {w} over-full: {n} entries > bound {bound}"
+                    )));
+                }
+            }
+        }
+        // Root lower bound: the shrink check of `apply_sorted` fires when
+        // the root drops below rho_root — unless the array is already at
+        // its minimum capacity, or the power-of-two rounding of the resize
+        // target means no smaller geometry could hold the entries (a fresh
+        // build/resize can legally sit just below rho_root for that
+        // reason).
+        let cap = geom.capacity();
+        let canonical = crate::storage::GpmaStorage::geometry_for(s.len()).capacity();
+        if !density.within_rho(s.len(), cap, height, height) && cap > 128 && cap != canonical {
+            return Err(AuditError::Storage(format!(
+                "root under-full: {} live in {cap} slots below rho_root with \
+                 room to shrink to {canonical}",
+                s.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl DeltaLog {
+    /// Validate the publication ring: within capacity, a gap-free epoch
+    /// chain above the rebase floor, each delta internally normalized
+    /// (sorted, duplicate-free, insert/delete key sets disjoint), and a
+    /// merge-associativity spot check over the oldest retained deltas.
+    pub fn validate(&self) -> Result<(), AuditError> {
+        if self.len() > self.capacity() {
+            return Err(AuditError::DeltaLog(format!(
+                "ring over capacity: {} retained > {}",
+                self.len(),
+                self.capacity()
+            )));
+        }
+        let chain: Vec<&Arc<SnapshotDelta>> = self.retained().collect();
+        for pair in chain.windows(2) {
+            if pair[1].epoch() != pair[0].epoch() + 1 {
+                return Err(AuditError::DeltaLog(format!(
+                    "epoch gap in ring: {} followed by {}",
+                    pair[0].epoch(),
+                    pair[1].epoch()
+                )));
+            }
+        }
+        if let Some(first) = chain.first() {
+            if first.epoch() <= self.rebase_floor() {
+                return Err(AuditError::DeltaLog(format!(
+                    "oldest retained epoch {} not above the rebase floor {}",
+                    first.epoch(),
+                    self.rebase_floor()
+                )));
+            }
+        }
+        for d in &chain {
+            let epoch = d.epoch();
+            if !d.inserted().windows(2).all(|w| w[0].key() < w[1].key()) {
+                return Err(AuditError::DeltaLog(format!(
+                    "epoch {epoch}: inserted edges not strictly key-sorted"
+                )));
+            }
+            if !d.deleted_keys().windows(2).all(|w| w[0] < w[1]) {
+                return Err(AuditError::DeltaLog(format!(
+                    "epoch {epoch}: deleted keys not strictly sorted"
+                )));
+            }
+            if d.deleted_keys()
+                .iter()
+                .any(|k| d.inserted().binary_search_by_key(k, Edge::key).is_ok())
+            {
+                return Err(AuditError::DeltaLog(format!(
+                    "epoch {epoch}: a key is both inserted and deleted"
+                )));
+            }
+        }
+        // Merge-associativity spot check: folding (a.b).c and a.(b.c) must
+        // replay identically on the empty base state.
+        if chain.len() >= 3 {
+            let (a, b, c) = (chain[0], chain[1], chain[2]);
+            let mut left = (**a).clone();
+            left.merge(b);
+            left.merge(c);
+            let mut bc = (**b).clone();
+            bc.merge(c);
+            let mut right = (**a).clone();
+            right.merge(&bc);
+            let nv = chain
+                .iter()
+                .flat_map(|d| d.inserted())
+                .map(|e| e.src.max(e.dst) + 1)
+                .max()
+                .unwrap_or(1);
+            let base = GraphSnapshot::from_edges(a.epoch() - 1, nv, Vec::new());
+            if apply_delta(&base, &left) != apply_delta(&base, &right) {
+                return Err(AuditError::DeltaLog(format!(
+                    "merge not associative over epochs {}..={}",
+                    a.epoch(),
+                    c.epoch()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PartitionEpoch {
+    /// Validate that the plan is total and consistent over its vertex
+    /// space: every vertex has a home shard in range, a non-empty row set,
+    /// and every (sampled) edge placement lands inside the row set of its
+    /// source — the disjoint-and-complete contract distributed analytics
+    /// rely on. Destinations are sampled (stride `max(1, nv/64)`) to keep
+    /// the audit O(V) rather than O(V^2).
+    pub fn validate(&self) -> Result<(), AuditError> {
+        let plan = self.plan();
+        let s = plan.num_shards();
+        let nv = plan.num_vertices();
+        if s == 0 {
+            return Err(AuditError::Partition("plan has zero shards".into()));
+        }
+        let stride = ((nv / 64).max(1)) as usize;
+        for src in 0..nv {
+            let home = plan.home_of_vertex(src);
+            if home >= s {
+                return Err(AuditError::Partition(format!(
+                    "{}: vertex {src} home {home} out of range ({s} shards)",
+                    plan.name()
+                )));
+            }
+            if !(0..s).any(|i| plan.stores_row(i, src)) {
+                return Err(AuditError::Partition(format!(
+                    "{}: vertex {src} has an empty row-shard set",
+                    plan.name()
+                )));
+            }
+            for dst in (0..nv).step_by(stride) {
+                let shard = plan.shard_of_edge(src, dst);
+                if shard >= s {
+                    return Err(AuditError::Partition(format!(
+                        "{}: edge ({src},{dst}) owner {shard} out of range",
+                        plan.name()
+                    )));
+                }
+                if !plan.stores_row(shard, src) {
+                    return Err(AuditError::Partition(format!(
+                        "{}: edge ({src},{dst}) stored on shard {shard} outside \
+                         the row set of {src}",
+                        plan.name()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl MigrationPlan {
+    /// Validate this plan against the inputs it was computed from: the
+    /// moved-edge set must equal the owner-diff (an edge moves iff its new
+    /// owner differs from its resident shard), the resident count must
+    /// match, and the moves must be grouped one list per `(from, to)` pair
+    /// with in-range destinations.
+    pub fn validate<E: AsRef<[Edge]>>(
+        &self,
+        per_shard: &[E],
+        new: &dyn Partitioner,
+    ) -> Result<(), AuditError> {
+        let to_shards = new.num_shards();
+        let mut expected: BTreeMap<(usize, usize), BTreeSet<u64>> = BTreeMap::new();
+        let mut resident = 0usize;
+        for (from, edges) in per_shard.iter().enumerate() {
+            for e in edges.as_ref() {
+                let to = new.shard_of_edge(e.src, e.dst);
+                if to == from {
+                    resident += 1;
+                } else {
+                    expected.entry((from, to)).or_default().insert(e.key());
+                }
+            }
+        }
+        if resident != self.resident_edges() {
+            return Err(AuditError::Migration(format!(
+                "resident count mismatch: plan says {}, owner-diff says {resident}",
+                self.resident_edges()
+            )));
+        }
+        let mut actual: BTreeMap<(usize, usize), BTreeSet<u64>> = BTreeMap::new();
+        for m in self.moves() {
+            if m.from == m.to {
+                return Err(AuditError::Migration(format!(
+                    "self-move scheduled on shard {}",
+                    m.from
+                )));
+            }
+            if m.to >= to_shards {
+                return Err(AuditError::Migration(format!(
+                    "move targets retired shard {} (new plan has {to_shards})",
+                    m.to
+                )));
+            }
+            if m.edges.is_empty() {
+                return Err(AuditError::Migration(format!(
+                    "empty move scheduled for pair ({}, {})",
+                    m.from, m.to
+                )));
+            }
+            let set = actual.entry((m.from, m.to)).or_default();
+            if !set.is_empty() {
+                return Err(AuditError::Migration(format!(
+                    "pair ({}, {}) appears in more than one move",
+                    m.from, m.to
+                )));
+            }
+            set.extend(m.edges.iter().map(Edge::key));
+        }
+        if actual != expected {
+            for ((from, to), keys) in &expected {
+                let got = actual.get(&(*from, *to));
+                if got != Some(keys) {
+                    return Err(AuditError::Migration(format!(
+                        "moved set for pair ({from}, {to}) differs from the \
+                         owner-diff ({} expected, {} planned)",
+                        keys.len(),
+                        got.map_or(0, BTreeSet::len)
+                    )));
+                }
+            }
+            let extra = actual.keys().find(|k| !expected.contains_key(k));
+            return Err(AuditError::Migration(format!(
+                "plan schedules moves outside the owner-diff (e.g. pair {:?})",
+                extra
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::VertexPartition;
+
+    #[test]
+    fn audit_error_displays_its_domain() {
+        let e = AuditError::Partition("bad".into());
+        assert_eq!(e.to_string(), "partition audit: bad");
+        assert!(AuditError::Storage("x".into()).to_string().starts_with("storage"));
+    }
+
+    #[test]
+    fn valid_partition_epoch_passes() {
+        let epoch = PartitionEpoch::new(Arc::new(VertexPartition {
+            num_vertices: 40,
+            num_shards: 4,
+        }));
+        epoch.validate().expect("vertex-range plan is total");
+    }
+}

@@ -284,6 +284,19 @@ impl DeltaLog {
         self.deltas.push_back(delta);
     }
 
+    /// All retained deltas, oldest first (audit access).
+    #[cfg(feature = "audit")]
+    pub(crate) fn retained(&self) -> impl Iterator<Item = &Arc<SnapshotDelta>> {
+        self.deltas.iter()
+    }
+
+    /// The rebase floor: the epoch readers are current at while the ring is
+    /// empty (audit access).
+    #[cfg(feature = "audit")]
+    pub(crate) fn rebase_floor(&self) -> u64 {
+        self.floor
+    }
+
     /// The chain of deltas for every epoch after `epoch`, oldest first.
     /// `None` when the ring no longer reaches back to epoch `epoch + 1` —
     /// the caller must rebase on a full snapshot.

@@ -18,10 +18,10 @@
 use gpma_graph::{Edge, UpdateBatch};
 use gpma_sim::{primitives, Device, DeviceBuffer};
 
-use crate::storage::{GpmaStorage, EMPTY};
+use crate::storage::{CompactScratch, GpmaStorage, EMPTY};
 use crate::update::{
-    merge_parallel, merge_window_serial_into, merged_count_serial, prepare_updates_parts,
-    with_merge_scratch, DeviceUpdates, UpdateScratch,
+    merge_parallel_into, merge_window_serial_into, merged_count_serial, prepare_updates_parts,
+    with_merge_scratch, DeviceUpdates, MergeScratch, UpdateScratch,
 };
 
 /// Windows with at most this many slots are merged by the warp/block tier
@@ -57,6 +57,12 @@ pub struct GpmaPlus {
     /// Reusable device buffers for the per-level survivor compaction in
     /// [`Self::apply_sorted`] (the ROADMAP `compact_flagged`-chain churn).
     level_scratch: LevelScratch,
+    /// Reusable window-compaction buffers for the device merge tier and the
+    /// resize path (kills `compact_window`'s per-call flag/scan churn).
+    compact_scratch: CompactScratch,
+    /// Reusable parallel-merge staging for the device tier and the resize
+    /// path (kills `merge_parallel`'s per-call output churn).
+    merge_scratch: MergeScratch,
 }
 
 /// Device-buffer set the level loop ping-pongs survivors through instead
@@ -126,6 +132,8 @@ impl GpmaPlus {
             tier_max: SMALL_WINDOW_MAX,
             scratch: UpdateScratch::default(),
             level_scratch: LevelScratch::default(),
+            compact_scratch: CompactScratch::default(),
+            merge_scratch: MergeScratch::default(),
         }
     }
 
@@ -161,6 +169,7 @@ impl GpmaPlus {
     }
 
     /// Algorithm 4: `GpmaPlusInsertion`, generalized to mixed updates.
+    // lint: hot-path
     fn apply_sorted(&mut self, dev: &Device, updates: DeviceUpdates, lazy: usize) -> PlusStats {
         let mut stats = PlusStats {
             lazy_deletes: lazy,
@@ -276,6 +285,7 @@ impl GpmaPlus {
     /// One level of Algorithm 4's loop: group updates into unique segments,
     /// run `TryInsert+` on each, and fill the per-update consumed flags
     /// (`level_scratch.consumed`, pre-sized by the caller's `ensure`).
+    // lint: hot-path
     fn process_level(
         &mut self,
         dev: &Device,
@@ -288,6 +298,8 @@ impl GpmaPlus {
             storage,
             tier_max,
             level_scratch,
+            compact_scratch,
+            merge_scratch,
             ..
         } = self;
         let geom = storage.geometry();
@@ -343,14 +355,14 @@ impl GpmaPlus {
                 let g = unique.get(lane, j) as usize;
                 let s = starts.get(lane, j) as usize;
                 let c = counts.get(lane, j) as usize;
-                let window = g * window_slots..(g + 1) * window_slots;
-                let before = storage.count_window(lane, window.clone());
+                let ws = g * window_slots;
+                let before = storage.count_window(lane, ws..ws + window_slots);
                 // The merge stages through the worker's reusable scratch
                 // (modeled shared memory) instead of a fresh Vec per
                 // accepted segment — the merge-tier hot path stays
                 // allocation-free in steady state.
                 let n = with_merge_scratch(|merged| {
-                    merge_window_serial_into(lane, storage, window.clone(), cur, s..s + c, merged);
+                    merge_window_serial_into(lane, storage, ws..ws + window_slots, cur, s..s + c, merged);
                     // Redispatch evenly across the window's leaves,
                     // left-packed.
                     let leaves = window_slots / seg_len;
@@ -360,7 +372,7 @@ impl GpmaPlus {
                     let mut it = merged.iter().copied();
                     for leaf in 0..leaves {
                         let take = base + usize::from(leaf < extra);
-                        let start = window.start + leaf * seg_len;
+                        let start = ws + leaf * seg_len;
                         for i in 0..seg_len {
                             if i < take {
                                 let (k, v) = it.next().expect("merge count mismatch");
@@ -382,20 +394,34 @@ impl GpmaPlus {
             // parallel kernels (compaction + rank merge + redispatch). Host
             // views (free) instead of per-level `to_vec` copies; only the
             // first `nseg` entries of the reused buffers are meaningful.
-            let accept_host: Vec<u32> = accept.as_slice()[..nseg].to_vec();
-            let unique_host: Vec<u32> = rle.unique.as_slice()[..nseg].to_vec();
-            let starts_host: Vec<u32> = rle.starts.as_slice()[..nseg].to_vec();
-            let counts_host: Vec<u32> = rle.counts.as_slice()[..nseg].to_vec();
+            let accept_host = &accept.as_slice()[..nseg];
+            let unique_host = &rle.unique.as_slice()[..nseg];
+            let starts_host = &rle.starts.as_slice()[..nseg];
+            let counts_host = &rle.counts.as_slice()[..nseg];
             for j in 0..nseg {
                 if accept_host[j] == 0 {
                     continue;
                 }
                 let g = unique_host[j] as usize;
-                let window = g * window_slots..(g + 1) * window_slots;
+                let ws = g * window_slots;
                 let ur = starts_host[j] as usize..(starts_host[j] + counts_host[j]) as usize;
-                let (a_keys, a_vals, before) = storage.compact_window(dev, window.clone());
-                let (mk, mv, n) = merge_parallel(dev, &a_keys, &a_vals, cur, ur);
-                storage.redispatch_window(dev, window, &mk, &mv, n);
+                let before = storage.compact_window_into(dev, ws..ws + window_slots, compact_scratch);
+                let n = merge_parallel_into(
+                    dev,
+                    &compact_scratch.keys,
+                    &compact_scratch.vals,
+                    before,
+                    cur,
+                    ur,
+                    merge_scratch,
+                );
+                storage.redispatch_window(
+                    dev,
+                    ws..ws + window_slots,
+                    &merge_scratch.out_keys,
+                    &merge_scratch.out_vals,
+                    n,
+                );
                 storage.host_adjust_len(n as i64 - before as i64);
                 stats.device_merges += 1;
             }
@@ -430,10 +456,24 @@ impl GpmaPlus {
     /// Root overflow/underflow: rebuild the whole array at ~60% density,
     /// folding any remaining updates in via the parallel merge.
     fn resize_with_updates(&mut self, dev: &Device, cur: &DeviceUpdates) {
-        let cap = self.storage.capacity();
-        let (a_keys, a_vals, _) = self.storage.compact_window(dev, 0..cap);
-        let (mk, mv, n) = merge_parallel(dev, &a_keys, &a_vals, cur, 0..cur.len);
-        self.storage.resize_to(dev, &mk, &mv, n);
+        let GpmaPlus {
+            storage,
+            compact_scratch,
+            merge_scratch,
+            ..
+        } = self;
+        let cap = storage.capacity();
+        let before = storage.compact_window_into(dev, 0..cap, compact_scratch);
+        let n = merge_parallel_into(
+            dev,
+            &compact_scratch.keys,
+            &compact_scratch.vals,
+            before,
+            cur,
+            0..cur.len,
+            merge_scratch,
+        );
+        storage.resize_to(dev, &merge_scratch.out_keys, &merge_scratch.out_vals, n);
     }
 }
 

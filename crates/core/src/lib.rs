@@ -38,6 +38,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod csr;
 pub mod delta;
 pub mod framework;
@@ -48,6 +50,8 @@ pub mod multi;
 pub mod storage;
 pub mod update;
 
+#[cfg(feature = "audit")]
+pub use audit::AuditError;
 pub use csr::CsrView;
 pub use delta::{apply_delta, DeltaCatchUp, DeltaLog, SnapshotDelta};
 pub use gpma::{Gpma, LockStats};

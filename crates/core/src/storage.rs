@@ -79,7 +79,7 @@ impl GpmaStorage {
     }
 
     /// Geometry for `n` live entries at ~60% root density.
-    fn geometry_for(n: usize) -> Geometry {
+    pub(crate) fn geometry_for(n: usize) -> Geometry {
         let min_slots = ((n as f64 / 0.6).ceil() as usize).max(64);
         Geometry::for_capacity(min_slots)
     }
@@ -327,6 +327,48 @@ impl GpmaStorage {
         (out_keys, out_vals, count as usize)
     }
 
+    /// [`Self::compact_window`] into caller-owned scratch instead of fresh
+    /// buffers — the allocation-free variant the GPMA+ device tier reuses
+    /// across segments. Returns the live-entry count; the entries live in
+    /// `scratch.keys` / `scratch.vals` (over-sized: only the first `count`
+    /// slots are meaningful). The kernel sequence matches the allocating
+    /// variant exactly, so simulated times are bit-identical to it.
+    // lint: hot-path
+    pub fn compact_window_into(
+        &self,
+        dev: &Device,
+        window: std::ops::Range<usize>,
+        scratch: &mut CompactScratch,
+    ) -> usize {
+        let len = window.len();
+        let start = window.start;
+        scratch.ensure(len);
+        let CompactScratch {
+            flags,
+            positions,
+            keys: out_keys,
+            vals: out_vals,
+        } = &*scratch;
+        let keys = &self.keys;
+        dev.launch("window_flags", len, |lane| {
+            let occupied = keys.get(lane, start + lane.tid) != EMPTY;
+            flags.set(lane, lane.tid, occupied as u32);
+        });
+        let count = primitives::exclusive_scan_u32_into(dev, flags, len, positions);
+        let vals = &self.vals;
+        dev.launch("window_compact", len, |lane| {
+            let i = lane.tid;
+            if flags.get(lane, i) != 0 {
+                let p = positions.get(lane, i) as usize;
+                let k = keys.get(lane, start + i);
+                let v = vals.get(lane, start + i);
+                out_keys.set(lane, p, k);
+                out_vals.set(lane, p, v);
+            }
+        });
+        count as usize
+    }
+
     /// Replace the whole array with `entries` (sorted, deduplicated) under a
     /// new geometry — the grow/shrink path ("double the space of the root").
     pub fn resize_to(
@@ -414,6 +456,46 @@ impl GpmaStorage {
             assert!(pm[l] >= running, "leaf {l} prefix max understated");
             assert!(l == 0 || pm[l] >= pm[l - 1], "prefix max not monotone");
         }
+    }
+}
+
+/// Reusable buffer set for [`GpmaStorage::compact_window_into`]: the
+/// occupancy mask, its scan, and the compacted output pair (sized to the
+/// window length, an upper bound on the live count). Capacities only grow,
+/// so a steady-state stream of equally sized windows allocates nothing
+/// after the first call.
+pub struct CompactScratch {
+    flags: DeviceBuffer<u32>,
+    positions: DeviceBuffer<u32>,
+    /// Compacted live keys, valid for the count returned by the call that
+    /// filled this scratch.
+    pub keys: DeviceBuffer<u64>,
+    /// Compacted live values, index-aligned with [`Self::keys`].
+    pub vals: DeviceBuffer<u64>,
+}
+
+impl Default for CompactScratch {
+    fn default() -> Self {
+        CompactScratch {
+            flags: DeviceBuffer::new(0),
+            positions: DeviceBuffer::new(0),
+            keys: DeviceBuffer::new(0),
+            vals: DeviceBuffer::new(0),
+        }
+    }
+}
+
+impl CompactScratch {
+    fn ensure(&mut self, n: usize) {
+        fn grow<T: gpma_sim::DevicePod>(buf: &mut DeviceBuffer<T>, n: usize) {
+            if buf.len() < n {
+                *buf = DeviceBuffer::new(n);
+            }
+        }
+        grow(&mut self.flags, n);
+        grow(&mut self.positions, n);
+        grow(&mut self.keys, n);
+        grow(&mut self.vals, n);
     }
 }
 
@@ -521,6 +603,34 @@ mod tests {
         s.redispatch_window(&d, 0..cap, &ck, &cv, n);
         assert_eq!(s.host_entries(), before);
         s.check_invariants();
+    }
+
+    #[test]
+    fn compact_window_scratch_matches_allocating_variant() {
+        let d = dev();
+        let s = GpmaStorage::build(&d, 8, &edges(&[(0, 1), (1, 2), (3, 4), (5, 6), (7, 0)]));
+        let cap = s.capacity();
+        let mut scratch = CompactScratch::default();
+        // Shrinking windows across calls: the reused buffers keep stale
+        // tails that the bounded `n` must mask out.
+        for window in [0..cap, 0..cap / 2, cap / 2..cap] {
+            let (ck, cv, n) = s.compact_window(&d, window.clone());
+            let n2 = s.compact_window_into(&d, window, &mut scratch);
+            assert_eq!(n2, n);
+            assert_eq!(&scratch.keys.to_vec()[..n], ck.to_vec());
+            assert_eq!(&scratch.vals.to_vec()[..n], cv.to_vec());
+        }
+        // Sim cost parity: identical kernel sequence, so two fresh devices
+        // running the same compaction end at the same simulated clock.
+        let d1 = dev();
+        let s1 = GpmaStorage::build(&d1, 8, &edges(&[(0, 1), (1, 2), (3, 4)]));
+        let cap1 = s1.capacity();
+        let _ = s1.compact_window(&d1, 0..cap1);
+        let d2 = dev();
+        let s2 = GpmaStorage::build(&d2, 8, &edges(&[(0, 1), (1, 2), (3, 4)]));
+        let mut sc2 = CompactScratch::default();
+        let _ = s2.compact_window_into(&d2, 0..cap1, &mut sc2);
+        assert_eq!(d1.elapsed().secs().to_bits(), d2.elapsed().secs().to_bits());
     }
 
     #[test]

@@ -170,6 +170,7 @@ pub fn merge_window_serial(
 }
 
 /// [`merge_window_serial`] into a caller-owned buffer (cleared first).
+// lint: hot-path
 pub fn merge_window_serial_into(
     lane: &mut Lane,
     storage: &GpmaStorage,
@@ -205,7 +206,7 @@ pub fn merge_window_serial_into(
         };
     }
 
-    for i in window.clone() {
+    for i in window {
         let k = storage.keys.get(lane, i);
         if k == EMPTY {
             continue;
@@ -260,7 +261,7 @@ pub fn merged_count_serial(
             }
         };
     }
-    for i in window.clone() {
+    for i in window {
         let k = storage.keys.get(lane, i);
         if k == EMPTY {
             continue;
@@ -382,11 +383,197 @@ pub fn merge_parallel(
     (out_keys, out_vals, total)
 }
 
+/// Reusable buffer set for [`merge_parallel_into`]: the update slice, both
+/// flag masks, the shared scan buffer, the two compacted sides and the
+/// merged output. Capacities only grow, so a steady-state stream of device-
+/// tier merges allocates nothing after the first — the last piece of the
+/// ROADMAP allocation de-churn item. Only the first `count` entries of
+/// [`Self::out_keys`] / [`Self::out_vals`] are meaningful after a call.
+pub struct MergeScratch {
+    u_keys: DeviceBuffer<u64>,
+    u_vals: DeviceBuffer<u64>,
+    u_ops: DeviceBuffer<u32>,
+    u_flags: DeviceBuffer<u32>,
+    a_flags: DeviceBuffer<u32>,
+    positions: DeviceBuffer<u32>,
+    a2_keys: DeviceBuffer<u64>,
+    a2_vals: DeviceBuffer<u64>,
+    u2_keys: DeviceBuffer<u64>,
+    u2_vals: DeviceBuffer<u64>,
+    /// Merged keys, valid for the count returned by the call that filled
+    /// this scratch.
+    pub out_keys: DeviceBuffer<u64>,
+    /// Merged values, index-aligned with [`Self::out_keys`].
+    pub out_vals: DeviceBuffer<u64>,
+}
+
+impl Default for MergeScratch {
+    fn default() -> Self {
+        MergeScratch {
+            u_keys: DeviceBuffer::new(0),
+            u_vals: DeviceBuffer::new(0),
+            u_ops: DeviceBuffer::new(0),
+            u_flags: DeviceBuffer::new(0),
+            a_flags: DeviceBuffer::new(0),
+            positions: DeviceBuffer::new(0),
+            a2_keys: DeviceBuffer::new(0),
+            a2_vals: DeviceBuffer::new(0),
+            u2_keys: DeviceBuffer::new(0),
+            u2_vals: DeviceBuffer::new(0),
+            out_keys: DeviceBuffer::new(0),
+            out_vals: DeviceBuffer::new(0),
+        }
+    }
+}
+
+impl MergeScratch {
+    /// Grow every buffer to cover `na` compacted entries and `m` updates.
+    fn ensure(&mut self, na: usize, m: usize) {
+        fn grow<T: gpma_sim::DevicePod>(buf: &mut DeviceBuffer<T>, n: usize) {
+            if buf.len() < n {
+                *buf = DeviceBuffer::new(n);
+            }
+        }
+        grow(&mut self.u_keys, m);
+        grow(&mut self.u_vals, m);
+        grow(&mut self.u_ops, m);
+        grow(&mut self.u_flags, m);
+        grow(&mut self.a_flags, na);
+        grow(&mut self.positions, na.max(m));
+        grow(&mut self.a2_keys, na);
+        grow(&mut self.a2_vals, na);
+        grow(&mut self.u2_keys, m);
+        grow(&mut self.u2_vals, m);
+        grow(&mut self.out_keys, na + m);
+        grow(&mut self.out_vals, na + m);
+    }
+}
+
+/// [`merge_parallel`] over the first `na` entries of `a_keys`/`a_vals`,
+/// staging through caller-owned scratch instead of fresh device buffers —
+/// the allocation-free variant the GPMA+ device tier reuses across
+/// segments. Returns the merged count; the result lives in
+/// `scratch.out_keys` / `scratch.out_vals` (over-sized: only the first
+/// `count` entries are meaningful). The kernel launch sequence and every
+/// modeled memory access match the allocating variant exactly, so simulated
+/// times are bit-identical to it.
+// lint: hot-path
+pub fn merge_parallel_into(
+    dev: &Device,
+    a_keys: &DeviceBuffer<u64>,
+    a_vals: &DeviceBuffer<u64>,
+    na: usize,
+    u: &DeviceUpdates,
+    ur: std::ops::Range<usize>,
+    scratch: &mut MergeScratch,
+) -> usize {
+    assert!(a_keys.len() >= na && a_vals.len() >= na);
+    let m = ur.len();
+    let ustart = ur.start;
+    scratch.ensure(na, m);
+    let MergeScratch {
+        u_keys,
+        u_vals,
+        u_ops,
+        u_flags,
+        a_flags,
+        positions,
+        a2_keys,
+        a2_vals,
+        u2_keys,
+        u2_vals,
+        out_keys,
+        out_vals,
+    } = &*scratch;
+
+    // 1. Slice the updates into the contiguous staging buffers.
+    if m > 0 {
+        let uk = &u.keys;
+        let uv = &u.vals;
+        let uo = &u.ops;
+        dev.launch("slice_updates", m, |lane| {
+            let i = lane.tid;
+            let k = uk.get(lane, ustart + i);
+            let v = uv.get(lane, ustart + i);
+            let o = uo.get(lane, ustart + i);
+            u_keys.set(lane, i, k);
+            u_vals.set(lane, i, v);
+            u_ops.set(lane, i, o);
+        });
+    }
+
+    // 2. Last-wins dedup of the updates, dropping effective DELETEs.
+    if m > 0 {
+        dev.launch("dedup_updates", m, |lane| {
+            let i = lane.tid;
+            let k = u_keys.get(lane, i);
+            let is_last = i + 1 >= m || u_keys.get(lane, i + 1) != k;
+            let keep = is_last && u_ops.get(lane, i) == OP_INSERT;
+            u_flags.set(lane, i, keep as u32);
+        });
+    }
+
+    // 3. Mark surviving A entries (length-bounded search: the staging
+    //    buffers may be over-sized).
+    if na > 0 {
+        dev.launch("a_survivors", na, |lane| {
+            let i = lane.tid;
+            let k = a_keys.get(lane, i);
+            let overridden = m > 0 && binary_search_contains_n(lane, u_keys, m, k);
+            a_flags.set(lane, i, (!overridden) as u32);
+        });
+    }
+
+    // 4. Compact both sides. One scan per compaction, exactly like the
+    //    allocating `compact_flagged` chain it replaces (sim-cost parity).
+    let na2 = primitives::exclusive_scan_u32_into(dev, a_flags, na, positions) as usize;
+    primitives::compact_flagged_into(dev, a_keys, a_flags, na, positions, a2_keys);
+    primitives::exclusive_scan_u32_into(dev, a_flags, na, positions);
+    primitives::compact_flagged_into(dev, a_vals, a_flags, na, positions, a2_vals);
+    let m2 = primitives::exclusive_scan_u32_into(dev, u_flags, m, positions) as usize;
+    primitives::compact_flagged_into(dev, u_keys, u_flags, m, positions, u2_keys);
+    primitives::exclusive_scan_u32_into(dev, u_flags, m, positions);
+    primitives::compact_flagged_into(dev, u_vals, u_flags, m, positions, u2_vals);
+    let total = na2 + m2;
+
+    // 5. Rank-merge scatter with length-bounded ranks.
+    if na2 > 0 {
+        dev.launch("rank_scatter_a", na2, |lane| {
+            let i = lane.tid;
+            let k = a2_keys.get(lane, i);
+            let r = lower_bound_dev_n(lane, u2_keys, m2, k);
+            let v = a2_vals.get(lane, i);
+            out_keys.set(lane, i + r, k);
+            out_vals.set(lane, i + r, v);
+        });
+    }
+    if m2 > 0 {
+        dev.launch("rank_scatter_u", m2, |lane| {
+            let i = lane.tid;
+            let k = u2_keys.get(lane, i);
+            let r = lower_bound_dev_n(lane, a2_keys, na2, k);
+            let v = u2_vals.get(lane, i);
+            out_keys.set(lane, i + r, k);
+            out_vals.set(lane, i + r, v);
+        });
+    }
+    total
+}
+
 /// Device binary search: first index with `buf[i] >= key`.
 #[inline]
 pub fn lower_bound_dev(lane: &mut Lane, buf: &DeviceBuffer<u64>, key: u64) -> usize {
+    lower_bound_dev_n(lane, buf, buf.len(), key)
+}
+
+/// [`lower_bound_dev`] over the first `n` elements — for reused over-sized
+/// scratch buffers whose tails hold stale data. Probes the identical index
+/// sequence an exactly-sized buffer of length `n` would, so the modeled
+/// memory traffic matches the allocating variants bit for bit.
+#[inline]
+pub fn lower_bound_dev_n(lane: &mut Lane, buf: &DeviceBuffer<u64>, n: usize, key: u64) -> usize {
     let mut lo = 0usize;
-    let mut hi = buf.len();
+    let mut hi = n;
     while lo < hi {
         let mid = (lo + hi) / 2;
         if buf.get(lane, mid) < key {
@@ -400,8 +587,13 @@ pub fn lower_bound_dev(lane: &mut Lane, buf: &DeviceBuffer<u64>, key: u64) -> us
 
 #[inline]
 fn binary_search_contains(lane: &mut Lane, buf: &DeviceBuffer<u64>, key: u64) -> bool {
-    let i = lower_bound_dev(lane, buf, key);
-    i < buf.len() && buf.get(lane, i) == key
+    binary_search_contains_n(lane, buf, buf.len(), key)
+}
+
+#[inline]
+fn binary_search_contains_n(lane: &mut Lane, buf: &DeviceBuffer<u64>, n: usize, key: u64) -> bool {
+    let i = lower_bound_dev_n(lane, buf, n, key);
+    i < n && buf.get(lane, i) == key
 }
 
 #[cfg(test)]
@@ -496,6 +688,72 @@ mod tests {
         let (mk, _, n) = merge_parallel(&d, &a_keys, &a_vals, &u, 0..1);
         assert_eq!(n, 1);
         assert_eq!(mk.to_vec(), vec![7]);
+    }
+
+    #[test]
+    fn merge_parallel_scratch_matches_allocating_variant() {
+        fn updates(keys: &[u64], vals: &[u64], ops: &[u32]) -> DeviceUpdates {
+            DeviceUpdates {
+                keys: DeviceBuffer::from_slice(keys),
+                vals: DeviceBuffer::from_slice(vals),
+                ops: DeviceBuffer::from_slice(ops),
+                len: keys.len(),
+            }
+        }
+        let d = dev();
+        let mut scratch = MergeScratch::default();
+        // Shrinking inputs across calls: the reused, over-sized scratch
+        // keeps stale tails the length-bounded searches must ignore.
+        type Case<'a> = (&'a [u64], &'a [u64], (&'a [u64], &'a [u64], &'a [u32]));
+        let cases: [Case; 3] = [
+            (
+                &[10, 20, 30, 50, 60],
+                &[1, 2, 3, 5, 6],
+                (
+                    &[10, 20, 25, 40],
+                    &[99, 0, 5, 7],
+                    &[OP_INSERT, OP_DELETE, OP_INSERT, OP_INSERT],
+                ),
+            ),
+            (&[7], &[1], (&[3], &[0], &[OP_DELETE])),
+            (&[], &[], (&[5, 5, 5], &[1, 0, 42], &[OP_INSERT, OP_DELETE, OP_INSERT])),
+        ];
+        for (ak, av, (uk, uv, uo)) in cases {
+            let a_keys = DeviceBuffer::from_slice(ak);
+            let a_vals = DeviceBuffer::from_slice(av);
+            let u = updates(uk, uv, uo);
+            let (mk, mv, n) = merge_parallel(&d, &a_keys, &a_vals, &u, 0..u.len);
+            let n2 = merge_parallel_into(&d, &a_keys, &a_vals, ak.len(), &u, 0..u.len, &mut scratch);
+            assert_eq!(n2, n);
+            assert_eq!(&scratch.out_keys.to_vec()[..n], mk.to_vec());
+            assert_eq!(&scratch.out_vals.to_vec()[..n], mv.to_vec());
+        }
+        // Sim cost parity: the scratch variant issues the identical kernel
+        // sequence, so two fresh devices end at the same simulated clock.
+        let ak = [10u64, 20, 30];
+        let av = [1u64, 2, 3];
+        let d1 = dev();
+        let u1 = updates(&[15, 20], &[4, 0], &[OP_INSERT, OP_DELETE]);
+        let _ = merge_parallel(
+            &d1,
+            &DeviceBuffer::from_slice(&ak),
+            &DeviceBuffer::from_slice(&av),
+            &u1,
+            0..2,
+        );
+        let d2 = dev();
+        let u2 = updates(&[15, 20], &[4, 0], &[OP_INSERT, OP_DELETE]);
+        let mut s2 = MergeScratch::default();
+        let _ = merge_parallel_into(
+            &d2,
+            &DeviceBuffer::from_slice(&ak),
+            &DeviceBuffer::from_slice(&av),
+            3,
+            &u2,
+            0..2,
+            &mut s2,
+        );
+        assert_eq!(d1.elapsed().secs().to_bits(), d2.elapsed().secs().to_bits());
     }
 
     #[test]

@@ -20,13 +20,18 @@ use crate::stream::GraphStream;
 /// The four datasets of Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DatasetKind {
+    /// Reddit-like: skewed interaction stream in timestamp order.
     RedditLike,
+    /// Pokec-like: social network with shuffled timestamps.
     PokecLike,
+    /// Graph500 RMAT.
     Graph500,
+    /// Uniform random (Erdős–Rényi).
     UniformRandom,
 }
 
 impl DatasetKind {
+    /// The four Table 2 datasets.
     pub const ALL: [DatasetKind; 4] = [
         DatasetKind::RedditLike,
         DatasetKind::PokecLike,
@@ -34,6 +39,7 @@ impl DatasetKind {
         DatasetKind::UniformRandom,
     ];
 
+    /// Display name used in tables and reports.
     pub fn name(&self) -> &'static str {
         match self {
             DatasetKind::RedditLike => "Reddit",
@@ -57,15 +63,22 @@ impl DatasetKind {
 /// Statistics row of Table 2 for a generated stream.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DatasetStats {
+    /// Dataset name.
     pub name: String,
+    /// `|V|`.
     pub vertices: u64,
+    /// `|E|`: total stream length.
     pub edges: u64,
+    /// `|E| / |V|`.
     pub avg_degree: f64,
+    /// `|Es|`: initial-graph size (half the stream).
     pub initial_edges: u64,
+    /// `|Es| / |V|`.
     pub initial_avg_degree: f64,
 }
 
 impl DatasetStats {
+    /// Compute the Table 2 statistics of a generated stream.
     pub fn of(stream: &GraphStream) -> DatasetStats {
         let v = stream.num_vertices as u64;
         let e = stream.len() as u64;

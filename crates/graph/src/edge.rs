@@ -19,16 +19,21 @@ pub const MAX_DST: u32 = u32::MAX - 1;
 /// A weighted directed edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Edge {
+    /// Source vertex.
     pub src: VertexId,
+    /// Destination vertex.
     pub dst: VertexId,
+    /// Edge weight (1 when unweighted).
     pub weight: u64,
 }
 
 impl Edge {
+    /// An edge with the default weight 1.
     pub fn new(src: VertexId, dst: VertexId) -> Self {
         Edge { src, dst, weight: 1 }
     }
 
+    /// An edge with an explicit weight.
     pub fn weighted(src: VertexId, dst: VertexId, weight: u64) -> Self {
         Edge { src, dst, weight }
     }

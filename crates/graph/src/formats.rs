@@ -7,15 +7,19 @@ use crate::edge::{decode_key, Edge, VertexId};
 /// Coordinate-format edge list (sorted or not).
 #[derive(Debug, Clone, Default)]
 pub struct Coo {
+    /// Number of vertices.
     pub num_vertices: u32,
+    /// Edge list, in arbitrary order.
     pub edges: Vec<Edge>,
 }
 
 impl Coo {
+    /// A COO over `num_vertices` vertices with the given edge list.
     pub fn new(num_vertices: u32, edges: Vec<Edge>) -> Self {
         Coo { num_vertices, edges }
     }
 
+    /// Number of stored (possibly duplicate) edges.
     pub fn num_edges(&self) -> usize {
         self.edges.len()
     }
@@ -31,6 +35,7 @@ impl Coo {
         self
     }
 
+    /// Convert to CSR (sorts and deduplicates internally).
     pub fn to_csr(&self) -> Csr {
         Csr::from_coo(self)
     }
@@ -41,15 +46,19 @@ impl Coo {
 pub struct Csr {
     /// `offsets.len() == num_vertices + 1`.
     pub offsets: Vec<u32>,
+    /// Column (destination) ids, row-major.
     pub dsts: Vec<u32>,
+    /// Weights aligned with `dsts`.
     pub weights: Vec<u64>,
 }
 
 impl Csr {
+    /// Number of vertices (`offsets.len() - 1`).
     pub fn num_vertices(&self) -> u32 {
         (self.offsets.len().saturating_sub(1)) as u32
     }
 
+    /// Number of edges.
     pub fn num_edges(&self) -> usize {
         self.dsts.len()
     }
@@ -83,6 +92,7 @@ impl Csr {
             .map(|(&d, &w)| (d, w))
     }
 
+    /// Out-degree of `u` from the offset array.
     pub fn out_degree(&self, u: VertexId) -> u32 {
         self.offsets[u as usize + 1] - self.offsets[u as usize]
     }

@@ -27,6 +27,8 @@
 //! assert_eq!(slide.deletions, vec![Edge::new(0, 1), Edge::new(1, 2)]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod datasets;
 pub mod edge;
 pub mod formats;

@@ -16,15 +16,19 @@ use crate::formats::Coo;
 /// One update batch handed to a dynamic graph store.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct UpdateBatch {
+    /// Edges to insert (or overwrite).
     pub insertions: Vec<Edge>,
+    /// Edges to delete.
     pub deletions: Vec<Edge>,
 }
 
 impl UpdateBatch {
+    /// Total updates in the batch (insertions plus deletions).
     pub fn len(&self) -> usize {
         self.insertions.len() + self.deletions.len()
     }
 
+    /// Whether the batch holds no updates.
     pub fn is_empty(&self) -> bool {
         self.insertions.is_empty() && self.deletions.is_empty()
     }
@@ -33,13 +37,16 @@ impl UpdateBatch {
 /// An edge stream in arrival (timestamp) order.
 #[derive(Debug, Clone)]
 pub struct GraphStream {
+    /// Dataset name, used in reports.
     pub name: String,
+    /// Number of vertices.
     pub num_vertices: u32,
     /// Edges in timestamp order.
     pub edges: Vec<Edge>,
 }
 
 impl GraphStream {
+    /// A stream from edges already in arrival order.
     pub fn new(name: impl Into<String>, num_vertices: u32, edges: Vec<Edge>) -> Self {
         GraphStream {
             name: name.into(),
@@ -62,10 +69,12 @@ impl GraphStream {
         GraphStream::new(name, coo.num_vertices, edges)
     }
 
+    /// Total number of edges in the stream.
     pub fn len(&self) -> usize {
         self.edges.len()
     }
 
+    /// Whether the stream holds no edges.
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
     }

@@ -1,0 +1,28 @@
+//! The `gpma-lint` binary: lint a workspace root (default `.`) against the
+//! rules in [`gpma_lint`], configured by `<root>/lint.toml`. Exits 0 when
+//! clean, 1 when any violation survives the allowlist, 2 on I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| ".".to_string()));
+    let cfg = gpma_lint::Config::load(&root.join("lint.toml"));
+    let violations = match gpma_lint::lint_root(&root, &cfg) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("gpma-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("gpma-lint: clean ({} roots: {})", cfg.roots.len(), cfg.roots.join(", "));
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("gpma-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,50 @@
+//! End-to-end acceptance for `gpma-lint`: the committed fixture crate must
+//! trip every rule class, and the real workspace must scan clean.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // crates/lint -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root above crates/lint")
+        .to_path_buf()
+}
+
+fn lint(root: &Path) -> Vec<gpma_lint::Violation> {
+    let cfg = gpma_lint::Config::load(&root.join("lint.toml"));
+    gpma_lint::lint_root(root, &cfg).expect("scan succeeds")
+}
+
+#[test]
+fn fixture_trips_every_rule_class() {
+    let violations = lint(&repo_root().join("tools/lint-fixture"));
+    for rule in [
+        "hot-path-alloc",
+        "worker-panic",
+        "lock-order",
+        "missing-docs",
+        "missing-docs-attr",
+        "thread-sleep",
+    ] {
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "fixture did not trip `{rule}`; got: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn workspace_is_clean() {
+    let violations = lint(&repo_root());
+    assert!(
+        violations.is_empty(),
+        "workspace lint regressions:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -9,9 +9,13 @@
 /// Density threshold schedule, parameterized by tree height.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DensityConfig {
+    /// Lower density bound at the leaves.
     pub rho_leaf: f64,
+    /// Lower density bound at the root.
     pub rho_root: f64,
+    /// Upper density bound at the leaves.
     pub tau_leaf: f64,
+    /// Upper density bound at the root.
     pub tau_root: f64,
 }
 
@@ -70,6 +74,7 @@ pub struct Geometry {
 }
 
 impl Geometry {
+    /// A geometry from explicit segment length and count (both powers of two).
     pub fn new(seg_len: usize, num_segs: usize) -> Self {
         assert!(seg_len.is_power_of_two(), "seg_len must be a power of two");
         assert!(num_segs.is_power_of_two(), "num_segs must be a power of two");

@@ -23,6 +23,8 @@
 //! assert_eq!(pma.len(), 4);
 //! ```
 
+#![warn(missing_docs)]
+
 mod density;
 mod pma;
 

@@ -20,10 +20,13 @@ pub const MAX_KEY: u64 = u64::MAX - 1;
 /// benchmark harness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PmaStats {
+    /// Rebalances performed.
     pub rebalances: u64,
     /// Total slots touched by redistributions (the amortized-cost quantity).
     pub slots_moved: u64,
+    /// Capacity doublings.
     pub grows: u64,
+    /// Capacity halvings.
     pub shrinks: u64,
 }
 
@@ -84,26 +87,32 @@ impl<V: Copy + Default> Pma<V> {
         pma
     }
 
+    /// Number of stored entries.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// Whether the array holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
+    /// Total slots, including gaps.
     pub fn capacity(&self) -> usize {
         self.keys.len()
     }
 
+    /// Current segment geometry.
     pub fn geometry(&self) -> Geometry {
         self.geom
     }
 
+    /// Lifetime rebalance/resize counters.
     pub fn stats(&self) -> PmaStats {
         self.stats
     }
 
+    /// Slot range of the most recent rebalance, if any (test hook).
     pub fn last_rebalance(&self) -> Option<std::ops::Range<usize>> {
         self.last_rebalance.clone()
     }
@@ -114,6 +123,7 @@ impl<V: Copy + Default> Pma<V> {
         &self.keys
     }
 
+    /// Raw value slots, aligned with [`Pma::raw_keys`].
     pub fn raw_vals(&self) -> &[V] {
         &self.vals
     }
@@ -177,6 +187,7 @@ impl<V: Copy + Default> Pma<V> {
         None
     }
 
+    /// Whether `key` is present.
     pub fn contains(&self, key: u64) -> bool {
         self.get(key).is_some()
     }

@@ -65,6 +65,10 @@ pub struct ServiceMetrics {
     pub elapsed_secs: f64,
     /// Delta-vs-snapshot publication accounting.
     pub publication: PublicationStats,
+    /// Errors the worker thread recovered from instead of panicking.
+    /// Non-zero means the worker degraded gracefully somewhere — worth
+    /// investigating, never fatal.
+    pub worker_errors: u64,
 }
 
 impl ServiceMetrics {
@@ -116,11 +120,12 @@ impl std::fmt::Display for ServiceMetrics {
         )?;
         write!(
             f,
-            ", published {} deltas ({} B) / {} snapshots ({} B)",
+            ", published {} deltas ({} B) / {} snapshots ({} B), worker errors {}",
             self.publication.deltas,
             self.publication.delta_bytes,
             self.publication.snapshots,
             self.publication.snapshot_bytes,
+            self.worker_errors,
         )
     }
 }
@@ -149,6 +154,7 @@ mod tests {
                 snapshots: 2,
                 snapshot_bytes: 1000,
             },
+            worker_errors: 0,
         }
     }
 
@@ -173,6 +179,7 @@ mod tests {
             latest_epoch: 0,
             elapsed_secs: 0.0,
             publication: PublicationStats::default(),
+            worker_errors: 0,
         };
         assert_eq!(m.ingest_throughput(), 0.0);
         assert_eq!(m.drop_rate(), 0.0);

@@ -149,6 +149,10 @@ struct Shared {
     published_snapshots: AtomicU64,
     /// Modeled bytes copied by full-snapshot publication (O(E) per copy).
     snapshot_bytes: AtomicU64,
+    /// Errors the worker thread recovered from instead of panicking (a
+    /// misdispatched control command); surfaced as
+    /// [`ServiceMetrics::worker_errors`].
+    worker_errors: AtomicU64,
     started: Instant,
 }
 
@@ -350,6 +354,7 @@ impl StreamingService {
             delta_bytes: AtomicU64::new(0),
             published_snapshots: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
+            worker_errors: AtomicU64::new(0),
             started: Instant::now(),
         });
 
@@ -477,6 +482,7 @@ impl StreamingService {
             latest_epoch: self.shared.latest().epoch(),
             elapsed_secs: self.shared.started.elapsed().as_secs_f64(),
             publication: self.shared.publication_stats(),
+            worker_errors: self.shared.worker_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -506,6 +512,7 @@ impl StreamingService {
                 latest_epoch: self.shared.latest().epoch(),
                 elapsed_secs: self.shared.started.elapsed().as_secs_f64(),
                 publication: self.shared.publication_stats(),
+                worker_errors: self.shared.worker_errors.load(Ordering::Relaxed),
             },
             system,
             delta_monitors,
@@ -661,7 +668,11 @@ fn buffer_update(cmd: Command, sys: &mut DynamicGraphSystem, shared: &Shared) {
             sys.stream.offer_batch(&b);
         }
         Command::Barrier(_) | Command::AdHoc(_) | Command::Shutdown => {
-            unreachable!("buffer_update only receives update commands")
+            // Control commands are dispatched in `handle_command`; reaching
+            // here is a dispatch bug — but the worker thread must not panic
+            // over it (a dead worker closes every handle). Log, count, drop.
+            shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("gpma-service: control command reached the update buffer; dropped");
         }
     }
 }

@@ -84,10 +84,12 @@ impl<T: DevicePod> DeviceBuffer<T> {
         }
     }
 
+    /// Number of elements in the buffer.
     pub fn len(&self) -> usize {
         self.cells.len()
     }
 
+    /// Whether the buffer holds no elements.
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
     }
@@ -127,17 +129,20 @@ impl<T: DevicePod> DeviceBuffer<T> {
     // Host (free) access — like reading mapped memory outside a launch.
     // ------------------------------------------------------------------
 
+    /// Read element `i` from the host, outside any launch (free).
     pub fn host_read(&self, i: usize) -> T {
         // SAFETY: no launch is running when host code holds `&self` and
         // reads; races with an in-flight kernel would be a framework misuse.
         unsafe { *self.ptr(i) }
     }
 
+    /// Write element `i` from the host, outside any launch (free).
     pub fn host_write(&mut self, i: usize, v: T) {
         // SAFETY: `&mut self` guarantees exclusivity.
         unsafe { *self.ptr(i) = v }
     }
 
+    /// Copy the whole buffer into a host `Vec` (free host access).
     pub fn to_vec(&self) -> Vec<T> {
         (0..self.len()).map(|i| self.host_read(i)).collect()
     }
@@ -156,11 +161,13 @@ impl<T: DevicePod> DeviceBuffer<T> {
         unsafe { std::slice::from_raw_parts(self.cells.as_ptr() as *const T, self.cells.len()) }
     }
 
+    /// Overwrite the range starting at `offset` with `data` (host side).
     pub fn copy_from_slice(&mut self, offset: usize, data: &[T]) {
         assert!(offset + data.len() <= self.len());
         self.as_mut_slice()[offset..offset + data.len()].copy_from_slice(data);
     }
 
+    /// Fill every slot with `v` (host side).
     pub fn fill_host(&mut self, v: T) {
         self.as_mut_slice().fill(v);
     }

@@ -115,6 +115,7 @@ impl Default for Device {
 }
 
 impl Device {
+    /// A device with the given configuration, named `gpu0`.
     pub fn new(cfg: DeviceConfig) -> Self {
         let pool = Pool::new(cfg.host_parallelism);
         Device {
@@ -125,16 +126,19 @@ impl Device {
         }
     }
 
+    /// A device with an explicit name (multi-GPU experiments).
     pub fn named(cfg: DeviceConfig, name: impl Into<String>) -> Self {
         let mut d = Device::new(cfg);
         d.name = name.into();
         d
     }
 
+    /// The device's name, as shown in metrics output.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// The configuration this device was built with.
     pub fn config(&self) -> &DeviceConfig {
         &self.cfg
     }

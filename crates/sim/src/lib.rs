@@ -39,6 +39,8 @@
 //! assert!(dev.elapsed().secs() > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod buffer;
 mod config;
 mod device;

@@ -5,8 +5,11 @@ use serde::{Deserialize, Serialize};
 /// Statistics for a single kernel launch, produced by the cost model.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KernelStats {
+    /// Kernel name.
     pub name: String,
+    /// Logical lanes launched.
     pub threads: usize,
+    /// Warps covering those lanes.
     pub warps: usize,
     /// Total device cycles this launch consumed (including launch overhead).
     pub cycles: u64,
@@ -30,10 +33,15 @@ pub struct KernelStats {
 /// Aggregate metrics for a device since the last clock reset.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DeviceMetrics {
+    /// Kernel launches.
     pub launches: u64,
+    /// Cycles across all launches.
     pub total_cycles: u64,
+    /// Coalesced memory transactions.
     pub total_mem_transactions: u64,
+    /// Atomic operations executed.
     pub total_atomic_ops: u64,
+    /// Atomics serialized by a same-address conflict.
     pub total_atomic_conflicts: u64,
     /// Ring of the most recent kernels (bounded so long benches do not
     /// accumulate unbounded logs).
@@ -153,16 +161,20 @@ impl ServiceCounters {
 pub struct SimTime(pub f64);
 
 impl SimTime {
+    /// Zero simulated seconds.
     pub const ZERO: SimTime = SimTime(0.0);
 
+    /// The span in seconds.
     pub fn secs(self) -> f64 {
         self.0
     }
 
+    /// The span in milliseconds.
     pub fn millis(self) -> f64 {
         self.0 * 1e3
     }
 
+    /// The span in microseconds.
     pub fn micros(self) -> f64 {
         self.0 * 1e6
     }

@@ -18,10 +18,12 @@ pub struct Pcie {
 }
 
 impl Pcie {
+    /// A link with the given configuration.
     pub fn new(cfg: PcieConfig) -> Self {
         Pcie { cfg }
     }
 
+    /// The configuration this link was built with.
     pub fn config(&self) -> &PcieConfig {
         &self.cfg
     }
@@ -72,15 +74,20 @@ impl TransferLedger {
 /// the device, run the analytic kernel, and fetch its result (D2H).
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct StepCosts {
+    /// H2D transfer of the update batch.
     pub h2d_updates: SimTime,
+    /// Device time applying the batch.
     pub update_compute: SimTime,
+    /// Device time for the analytic kernel.
     pub analytics_compute: SimTime,
+    /// D2H transfer of the analytic results.
     pub d2h_results: SimTime,
 }
 
 /// Outcome of scheduling one steady-state step with asynchronous streams.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct StepSchedule {
+    /// The component costs of the step.
     pub costs: StepCosts,
     /// Wall time of the step with async streams (compute serializes
     /// update→analytics; copies run concurrently on their own streams).
@@ -99,10 +106,12 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
+    /// A pipeline over the given link.
     pub fn new(pcie: Pcie) -> Self {
         Pipeline { pcie }
     }
 
+    /// The underlying PCIe link.
     pub fn pcie(&self) -> &Pcie {
         &self.pcie
     }

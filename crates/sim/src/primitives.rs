@@ -32,6 +32,7 @@ pub fn exclusive_scan_u32(dev: &Device, input: &DeviceBuffer<u32>) -> (DeviceBuf
 /// caller-owned output buffer (which may be larger than `n`) — the
 /// allocation-free variant hot loops reuse across launches. Returns the
 /// grand total.
+// lint: hot-path
 pub fn exclusive_scan_u32_into(
     dev: &Device,
     input: &DeviceBuffer<u32>,
@@ -129,10 +130,13 @@ pub fn reduce_u64(dev: &Device, input: &DeviceBuffer<u64>) -> u64 {
 /// Output of [`run_length_encode_u32`]: `unique[j]` repeats `counts[j]`
 /// times starting at input index `starts[j]`.
 pub struct Rle {
+    /// Distinct values, in first-occurrence order.
     pub unique: DeviceBuffer<u32>,
+    /// Run length per distinct value.
     pub counts: DeviceBuffer<u32>,
     /// Exclusive scan of `counts` — the index set `I` of Algorithm 4.
     pub starts: DeviceBuffer<u32>,
+    /// Number of runs; only `[..num_runs]` of each buffer is valid.
     pub num_runs: usize,
 }
 
@@ -220,6 +224,7 @@ pub fn run_length_encode_u32_n(dev: &Device, input: &DeviceBuffer<u32>, n: usize
 /// `scratch.counts` / `scratch.starts` (over-sized: only the first
 /// `num_runs` entries are meaningful). The kernel sequence is identical to
 /// the allocating variant, so simulated times match it bit for bit.
+// lint: hot-path
 pub fn run_length_encode_u32_into(
     dev: &Device,
     input: &DeviceBuffer<u32>,
@@ -327,6 +332,7 @@ pub fn compact_flagged<T: DevicePod>(
 /// `out` must have room for every kept element. Several streams flagged by
 /// the same mask can reuse one scan — the allocation-free (and
 /// scan-sharing) shape the GPMA+ level loop uses.
+// lint: hot-path
 pub fn compact_flagged_into<T: DevicePod>(
     dev: &Device,
     data: &DeviceBuffer<T>,

@@ -1,0 +1,47 @@
+// Seeded gpma-lint violations, one per rule class. This crate is excluded
+// from the workspace and never compiled; it only exists to be scanned.
+// NOTE: deliberately no missing_docs warn attribute here — that absence is
+// the seeded `missing-docs-attr` violation (and the check is textual, so
+// this comment must not spell the attribute out).
+
+use std::sync::Mutex;
+
+/// Holds two locks whose declared order (lint.toml) is alpha before beta.
+pub struct Pair {
+    /// Outermost lock in the declared hierarchy.
+    pub alpha: Mutex<u64>,
+    /// Innermost lock in the declared hierarchy.
+    pub beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// Seeded `lock-order` violation: acquires beta, then alpha while beta
+    /// is still held — the inverse of the declared hierarchy.
+    pub fn inverted(&self) -> u64 {
+        let beta = self.beta.lock();
+        let alpha = self.alpha.lock();
+        *beta.unwrap_or_else(|e| e.into_inner()) + *alpha.unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Seeded `hot-path-alloc` violation: allocates inside an annotated hot path.
+// lint: hot-path
+pub fn hot_collects(xs: &[u64]) -> u64 {
+    let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+    doubled.iter().sum()
+}
+
+/// Seeded `worker-panic` violation: unwraps inside a spawned thread body.
+pub fn spawn_and_unwrap(tx: std::sync::mpsc::Sender<u64>) {
+    std::thread::spawn(move || {
+        tx.send(42).unwrap();
+    });
+}
+
+/// Seeded `thread-sleep` violation: sleeps in library code.
+pub fn lazy_wait() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+// Seeded `missing-docs` violation: a public function with no doc comment.
+pub fn undocumented() {}
