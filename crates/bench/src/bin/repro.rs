@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENT: all | table1 | table2 | fig7 | fig8 | fig9 | fig10 | fig11 |
 //!             fig12 | sorted | explicit | ablation | service | cluster |
-//!             incremental | elastic | audit
+//!             incremental | elastic | audit | recovery
 //! ```
 
 use gpma_bench::apps::App;
@@ -53,6 +53,7 @@ fn main() {
         selected = [
             "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sorted",
             "explicit", "ablation", "service", "cluster", "incremental", "elastic", "audit",
+            "recovery",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -86,6 +87,7 @@ fn main() {
             "incremental" => exp::incremental(&cfg),
             "elastic" => exp::elastic(&cfg),
             "audit" => exp::audit(&cfg),
+            "recovery" => exp::recovery(&cfg),
             other => eprintln!("unknown experiment: {other} (see --help)"),
         }
         eprintln!("[{s} finished in {:.1}s]", t0.elapsed().as_secs_f64());
@@ -96,7 +98,7 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's evaluation\n\
          usage: repro [EXPERIMENT ...] [--scale F] [--seed N] [--slides N] [--quick]\n\
-         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation service cluster incremental elastic audit\n\
+         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation service cluster incremental elastic audit recovery\n\
          defaults: --scale 0.005 --seed 42 --slides 3\n\
          --quick: scale 0.001, 1 slide per configuration"
     );

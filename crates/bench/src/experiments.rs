@@ -1385,3 +1385,314 @@ pub fn audit(cfg: &ExpConfig) {
         &rows,
     );
 }
+
+// ----------------------------------------------------------------------
+// Recovery — durable checkpoints, failover and follower replicas
+// ----------------------------------------------------------------------
+
+/// `recovery`: three measurements of the durability layer. (a) Crash
+/// recovery cost vs the checkpoint's trailing delta-chain length — a longer
+/// chain makes checkpoints cheaper to take but a restart pays decode plus
+/// chain replay plus respawn. (b) A live cluster failover: a `FaultPlan`
+/// kills a shard worker mid-stream and the `RecoveryStats` counters report
+/// what the respawn cost. (c) Follower staleness vs read throughput as the
+/// replica's sync cadence stretches — the replication trade every read-only
+/// follower makes.
+pub fn recovery(cfg: &ExpConfig) {
+    use gpma_cluster::{
+        ClusterConfig, FaultPlan, GraphCluster, MemoryCheckpointStore, PartitionPolicy,
+        RecoveryPolicy,
+    };
+    use gpma_core::checkpoint::Checkpoint;
+    use gpma_graph::Edge;
+    use gpma_service::{ServiceConfig, StreamingService};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
+    let nv = stream.num_vertices;
+    let batch = stream.slide_batch_size(0.01).max(1);
+    let tail = &stream.edges[stream.initial_size()..];
+    assert!(!tail.is_empty(), "recovery needs a streamed tail");
+
+    // One flush-sized update batch, cycling over the streamed tail and
+    // re-weighting so repeated passes still change state (upserts).
+    let step_batch = |step: usize| -> UpdateBatch {
+        let mut b = UpdateBatch::default();
+        for i in 0..batch {
+            let e = tail[(step * batch + i) % tail.len()];
+            b.insertions
+                .push(Edge::weighted(e.src, e.dst, (step * batch + i + 1) as u64));
+        }
+        b
+    };
+
+    // (a) Recovery time vs delta-chain length. The leader publishes its
+    // full snapshot as rarely as the ring allows, so the checkpoint's chain
+    // grows with the stream; we then kill the worker and measure the whole
+    // recovery path: decode the durable bytes, replay the chain, respawn.
+    let chain_lens: &[usize] = if cfg.max_slides <= 1 {
+        &[0, 8, 32]
+    } else {
+        &[0, 16, 64, 256]
+    };
+    let mut rows = Vec::new();
+    let mut chain_json: Vec<String> = Vec::new();
+    for &len in chain_lens {
+        let cap = (2 * len).max(4);
+        let svc_cfg = ServiceConfig {
+            delta_log_capacity: cap,
+            snapshot_interval: cap,
+            ..ServiceConfig::default()
+        };
+        let dev = Device::new(cfg.device_cfg.clone());
+        let sys = DynamicGraphSystem::new(dev, nv, stream.initial_edges(), batch);
+        let svc = StreamingService::spawn(svc_cfg.clone(), sys);
+        let h = svc.handle();
+        for step in 0..len {
+            h.ingest(step_batch(step)).expect("service alive");
+        }
+        drop(h);
+        // Serialize behind the queued batches without forcing a fresh
+        // snapshot publication (a barrier would collapse the chain).
+        svc.ad_hoc(|_| ()).expect("service alive");
+
+        let ckpt = svc.checkpoint();
+        let t_enc = Instant::now();
+        let bytes = ckpt.encode();
+        let encode_secs = t_enc.elapsed().as_secs_f64();
+
+        svc.inject_failure().expect("fault injection lands");
+        let t_rec = Instant::now();
+        let durable = Checkpoint::decode(&bytes).expect("durable bytes decode");
+        let fresh = StreamingService::spawn_from_checkpoint(
+            svc_cfg,
+            Device::new(cfg.device_cfg.clone()),
+            &durable,
+            batch,
+        );
+        let snap = fresh.barrier().expect("respawned service alive");
+        let recover_secs = t_rec.elapsed().as_secs_f64();
+        assert_eq!(
+            snap.edges(),
+            durable.restore().edges(),
+            "respawned service serves exactly the checkpointed state"
+        );
+        drop(fresh.shutdown());
+        drop(svc.shutdown());
+
+        rows.push(vec![
+            format!("{}", ckpt.chain_len()),
+            format!("{}", snap.num_edges()),
+            format!("{}", bytes.len() / 1024),
+            fmt_ms(encode_secs),
+            fmt_ms(recover_secs),
+        ]);
+        chain_json.push(format!(
+            concat!(
+                "    {{\"chain_len\": {}, \"edges\": {}, \"checkpoint_bytes\": {}, ",
+                "\"encode_secs\": {:.6}, \"recover_secs\": {:.6}}}"
+            ),
+            ckpt.chain_len(),
+            snap.num_edges(),
+            bytes.len(),
+            encode_secs,
+            recover_secs,
+        ));
+        eprintln!(
+            "recovery: chain {} recovered in {:.2} ms",
+            ckpt.chain_len(),
+            recover_secs * 1e3
+        );
+    }
+    emit(
+        "recovery",
+        "Recovery time vs checkpointed delta-chain length (Graph500, kill + respawn)",
+        &["ChainLen", "Edges", "CkptKB", "EncodeMs", "RecoverMs"],
+        &rows,
+    );
+
+    // (b) Cluster failover under a FaultPlan: one shard dies mid-stream,
+    // the router detects it on the next forward and respawns it from the
+    // latest checkpoint + delta ring + replay log.
+    let failover_json = {
+        let n_updates = (batch * 8 * cfg.max_slides.max(1)).min(tail.len());
+        let store = Arc::new(MemoryCheckpointStore::new());
+        let cluster = GraphCluster::spawn(
+            ClusterConfig {
+                flush_threshold: batch,
+                recovery: Some(RecoveryPolicy {
+                    store: store.clone(),
+                    checkpoint_every_cuts: 1,
+                }),
+                fault: Some(FaultPlan {
+                    kill_shard: 1,
+                    after_routed_updates: (n_updates / 2) as u64,
+                }),
+                ..Default::default()
+            },
+            &cfg.device_cfg,
+            PartitionPolicy::VertexHash.build(nv, 4),
+            stream.initial_edges(),
+        );
+        let h = cluster.handle();
+        for (i, e) in tail[..n_updates].iter().enumerate() {
+            h.insert(*e).expect("cluster alive");
+            if i == n_updates / 4 {
+                // A mid-stream cut so checkpoints + delta chains exist
+                // before the fault fires.
+                cluster.epoch_cut().expect("cluster alive");
+            }
+        }
+        let snap = cluster.epoch_cut().expect("cluster alive");
+        let final_edges = snap.num_edges();
+        let report = cluster.shutdown();
+        let rs = report.metrics.recovery_stats();
+        assert!(rs.recoveries >= 1, "the fault plan must have fired");
+        eprintln!(
+            "recovery: failover x{} in {:.2} ms avg ({} updates replayed, {} ckpts, {} B)",
+            rs.recoveries,
+            rs.avg_recovery_secs * 1e3,
+            rs.replayed_updates,
+            rs.checkpoints_taken,
+            rs.checkpoint_bytes,
+        );
+        format!(
+            concat!(
+                "  \"failover\": {{\"shards\": 4, \"streamed_updates\": {}, ",
+                "\"recoveries\": {}, \"recovery_secs\": {:.6}, ",
+                "\"replayed_deltas\": {}, \"replayed_updates\": {}, ",
+                "\"snapshot_fallbacks\": {}, \"checkpoints_taken\": {}, ",
+                "\"checkpoint_bytes\": {}, \"final_edges\": {}}}"
+            ),
+            n_updates,
+            rs.recoveries,
+            rs.recovery_secs,
+            rs.replayed_deltas,
+            rs.replayed_updates,
+            rs.snapshot_fallbacks,
+            rs.checkpoints_taken,
+            rs.checkpoint_bytes,
+            final_edges,
+        )
+    };
+
+    // (c) Follower staleness vs read throughput: a producer thread streams
+    // continuously while a read-only follower serves queries from local
+    // state, syncing from the leader's delta ring every `sync_every` reads.
+    let mut follower_rows = Vec::new();
+    let mut follower_json: Vec<String> = Vec::new();
+    {
+        // Small fixed flush batches so leader epochs advance on the read
+        // loop's timescale — otherwise every sync observes zero staleness.
+        let fthresh = 64usize;
+        let dev = Device::new(cfg.device_cfg.clone());
+        let sys = DynamicGraphSystem::new(dev, nv, stream.initial_edges(), fthresh);
+        let svc = StreamingService::spawn(ServiceConfig::default(), sys);
+        let stop = Arc::new(AtomicBool::new(false));
+        let producer = {
+            let h = svc.handle();
+            let stop = stop.clone();
+            let feed: Vec<Edge> = tail.to_vec();
+            std::thread::spawn(move || {
+                let mut step = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut b = UpdateBatch::default();
+                    for i in 0..fthresh {
+                        let n = step * fthresh + i;
+                        let e = feed[n % feed.len()];
+                        b.insertions.push(Edge::weighted(e.src, e.dst, (n + 1) as u64));
+                    }
+                    if h.ingest(b).is_err() {
+                        return;
+                    }
+                    step += 1;
+                }
+            })
+        };
+        let reads = if cfg.max_slides <= 1 { 2_000usize } else { 10_000 };
+        for &sync_every in &[1usize, 8, 64, 512] {
+            let mut follower = svc.spawn_follower();
+            let t0 = Instant::now();
+            for i in 0..reads {
+                if i % sync_every == 0 {
+                    follower.sync(&svc);
+                }
+                // A full-scan aggregate (total edge weight) — the analytic
+                // read a replica typically serves.
+                std::hint::black_box(
+                    follower.query(|s| s.edges().iter().map(|e| e.weight).sum::<u64>()),
+                );
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            let stats = follower.stats();
+            follower_rows.push(vec![
+                format!("{sync_every}"),
+                format!("{reads}"),
+                format!("{:.0}", reads as f64 / wall.max(1e-12)),
+                format!("{:.2}", stats.avg_staleness),
+                format!("{}", stats.max_staleness),
+                format!("{}", stats.rebases),
+            ]);
+            follower_json.push(format!(
+                concat!(
+                    "    {{\"sync_every\": {}, \"reads\": {}, \"wall_secs\": {:.6}, ",
+                    "\"reads_per_sec\": {:.1}, \"avg_staleness\": {:.3}, ",
+                    "\"max_staleness\": {}, \"deltas_applied\": {}, \"rebases\": {}}}"
+                ),
+                sync_every,
+                reads,
+                wall,
+                reads as f64 / wall.max(1e-12),
+                stats.avg_staleness,
+                stats.max_staleness,
+                stats.deltas_applied,
+                stats.rebases,
+            ));
+        }
+        stop.store(true, Ordering::Relaxed);
+        producer.join().expect("producer thread");
+        drop(svc.shutdown());
+    }
+    emit(
+        "recovery_follower",
+        "Follower staleness vs read throughput (reads served locally, sync every k reads)",
+        &[
+            "SyncEvery",
+            "Reads",
+            "Reads/s",
+            "AvgStaleEpochs",
+            "MaxStale",
+            "Rebases",
+        ],
+        &follower_rows,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"recovery\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"scale\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"num_vertices\": {},\n",
+            "  \"flush_batch\": {},\n",
+            "  \"chain\": [\n{}\n  ],\n",
+            "{},\n",
+            "  \"follower\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        crate::report::json_escape(&stream.name),
+        cfg.scale,
+        cfg.seed,
+        nv,
+        batch,
+        chain_json.join(",\n"),
+        failover_json,
+        follower_json.join(",\n"),
+    );
+    if let Err(e) = crate::report::save_json("BENCH_recovery", &json) {
+        eprintln!("(json save failed for recovery: {e})");
+    }
+}

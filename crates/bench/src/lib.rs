@@ -10,7 +10,8 @@
 //! `fig11` (PCIe overlap), `fig12` (multi-GPU), `sorted`, `explicit`,
 //! `ablation`, `service` (the concurrent streaming facade), `cluster`
 //! (sharded scaling), `incremental` (delta-fed analytics), `elastic`
-//! (live resharding + skew-driven rebalance).
+//! (live resharding + skew-driven rebalance), `recovery` (durable
+//! checkpoints, shard failover, follower replicas).
 //!
 //! ## Quick example
 //!

@@ -8,7 +8,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use gpma_core::delta::{DeltaCatchUp, DeltaLog, SnapshotDelta};
+use gpma_core::checkpoint::{Checkpoint, CheckpointStore, MemoryCheckpointStore};
+use gpma_core::delta::{apply_delta, DeltaCatchUp, DeltaLog, SnapshotDelta};
 use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot, BYTES_PER_UPDATE};
 use gpma_core::migration::MigrationPlan;
 use gpma_core::multi::{DegreePartition, PartitionEpoch, Partitioner};
@@ -50,6 +51,19 @@ pub struct ClusterConfig {
     /// [`routing_skew`](crate::ClusterMetrics::routing_skew) and migrate
     /// onto a degree-aware plan when the threshold is crossed.
     pub rebalance: Option<RebalancePolicy>,
+    /// Durability and failover. `None` (the default) keeps PR-6 behavior: a
+    /// dead shard degrades cuts to its last published snapshot. `Some`
+    /// makes the router checkpoint every shard to the policy's
+    /// [`CheckpointStore`] at the configured cut cadence, keep per-shard
+    /// replay logs of forwarded sub-batches, and — when a dead worker is
+    /// detected — respawn it from the latest checkpoint, replay the flush
+    /// gap from the dead worker's delta ring (published-snapshot fallback
+    /// if outrun) and re-ingest the replay log, rejoining oracle-exact.
+    pub recovery: Option<RecoveryPolicy>,
+    /// Fault injection for crash-recovery tests: kill one shard worker once
+    /// a routed-update threshold is crossed. `None` (the default) injects
+    /// nothing.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -62,8 +76,57 @@ impl Default for ClusterConfig {
             delta_log_capacity: 256,
             shard_delta_log_capacity: 4096,
             rebalance: None,
+            recovery: None,
+            fault: None,
         }
     }
+}
+
+/// Durability and failover policy (see [`ClusterConfig::recovery`]).
+#[derive(Clone)]
+pub struct RecoveryPolicy {
+    /// Where per-shard checkpoints are persisted. "Latest" means most
+    /// recently *saved* — epochs restart when a shard worker is respawned,
+    /// so save order, not epoch order, identifies the newest incarnation.
+    pub store: Arc<dyn CheckpointStore>,
+    /// Checkpoint every shard at every `n`-th coordinated cut (clamped to
+    /// ≥ 1). Sparser cadences trade checkpoint bandwidth for longer
+    /// delta-chain / replay-log recovery.
+    pub checkpoint_every_cuts: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            store: Arc::new(MemoryCheckpointStore::new()),
+            checkpoint_every_cuts: 1,
+        }
+    }
+}
+
+impl std::fmt::Debug for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryPolicy")
+            .field("store", &"Arc<dyn CheckpointStore>")
+            .field("checkpoint_every_cuts", &self.checkpoint_every_cuts)
+            .finish()
+    }
+}
+
+/// One-shot fault injection (see [`ClusterConfig::fault`]): the router
+/// kills `kill_shard`'s worker — no drain, no final flush, exactly
+/// [`StreamingService::inject_failure`] — right after the burst in which
+/// the cluster-lifetime routed-update count crosses
+/// `after_routed_updates`. [`GraphCluster::kill_shard`] is the imperative
+/// equivalent for tests that want to pick the moment themselves.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Shard whose worker dies (out-of-range plans are logged and counted
+    /// as [`ClusterMetrics::worker_errors`], never fatal).
+    pub kill_shard: usize,
+    /// Routed-update count (cluster lifetime, all shards) at which the
+    /// kill fires.
+    pub after_routed_updates: u64,
 }
 
 /// When (and toward what) the router reshards on its own: after at least
@@ -196,6 +259,9 @@ enum Command {
     Rebalance(Option<usize>, Sender<Result<ReshardReport, ReshardError>>),
     /// Reply with each shard service's live metrics.
     Stats(Sender<Vec<gpma_service::ServiceMetrics>>),
+    /// Fault injection: kill one shard's worker mid-stream; ack whether the
+    /// kill landed.
+    Kill(usize, Sender<bool>),
     /// Drain everything queued, final-cut, stop the shard services, exit.
     Shutdown,
 }
@@ -231,6 +297,20 @@ pub(crate) struct RouterCounters {
     pub migration_bytes: u64,
     /// Total wall-clock seconds ingest was paused by reshards.
     pub migration_pause_secs: f64,
+    /// Dead shard workers detected and respawned.
+    pub recoveries: u64,
+    /// Total wall-clock seconds spent recovering.
+    pub recovery_secs: f64,
+    /// Epoch deltas replayed from dead rings onto restored checkpoints.
+    pub recovery_replayed_deltas: u64,
+    /// Routed updates re-ingested from the router's replay logs.
+    pub recovery_replayed_updates: u64,
+    /// Recoveries forced onto a published-snapshot rebase.
+    pub recovery_snapshot_fallbacks: u64,
+    /// Checkpoints persisted to the recovery policy's store.
+    pub checkpoints_taken: u64,
+    /// Encoded bytes those checkpoints wrote.
+    pub checkpoint_bytes: u64,
 }
 
 /// State shared between producers, the router, and the front object.
@@ -536,6 +616,23 @@ impl GraphCluster {
         ack_rx.recv().map_err(|_| ClusterClosed)
     }
 
+    /// Fault injection: kill `shard`'s worker mid-stream — no drain, no
+    /// final flush ([`StreamingService::inject_failure`]). Returns
+    /// `Ok(true)` when the kill landed, `Ok(false)` when the shard was out
+    /// of range (logged, counted as a worker error) or already dead. With
+    /// [`ClusterConfig::recovery`] set the router detects the corpse at the
+    /// next touch (a forwarded burst, cut, or reshard) and respawns it from
+    /// the latest checkpoint; without it, cuts degrade to the dead shard's
+    /// last published snapshot. Test/chaos hook — see also
+    /// [`ClusterConfig::fault`] for the declarative variant.
+    pub fn kill_shard(&self, shard: usize) -> Result<bool, ClusterClosed> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Command::Kill(shard, ack_tx))
+            .map_err(|_| ClusterClosed)?;
+        ack_rx.recv().map_err(|_| ClusterClosed)
+    }
+
     /// Current cluster metrics; fetching per-shard service metrics round-
     /// trips through the router, so this queues behind in-flight updates.
     pub fn metrics(&self) -> Result<ClusterMetrics, ClusterClosed> {
@@ -580,6 +677,13 @@ impl GraphCluster {
             migrated_edges: router.migrated_edges,
             migration_bytes: router.migration_bytes,
             migration_pause_secs: router.migration_pause_secs,
+            recoveries: router.recoveries,
+            recovery_secs: router.recovery_secs,
+            recovery_replayed_deltas: router.recovery_replayed_deltas,
+            recovery_replayed_updates: router.recovery_replayed_updates,
+            recovery_snapshot_fallbacks: router.recovery_snapshot_fallbacks,
+            checkpoints_taken: router.checkpoints_taken,
+            checkpoint_bytes: router.checkpoint_bytes,
             shards,
         }
     }
@@ -793,6 +897,26 @@ struct Router {
     last_cut_epochs: Vec<u64>,
     /// Feed to the cluster delta-monitor thread, when one exists.
     cut_tx: Option<Sender<CutEvent>>,
+    /// Durability/failover policy ([`ClusterConfig::recovery`]); `None`
+    /// disables detection, checkpointing and the replay logs entirely.
+    recovery: Option<RecoveryPolicy>,
+    /// One-shot fault plan ([`ClusterConfig::fault`]); taken when it fires.
+    fault: Option<FaultPlan>,
+    /// Updates routed over the cluster lifetime — never reset (unlike the
+    /// per-plan skew window in [`RouterCounters::routed`]); the fault
+    /// plan's trigger clock.
+    lifetime_routed: u64,
+    /// Per-shard sub-batches forwarded since that shard's last checkpoint
+    /// (maintained only under a recovery policy). Re-ingested verbatim into
+    /// a respawned worker after its checkpoint + ring-gap state: replaying
+    /// a suffix the restored state already includes is idempotent, because
+    /// FIFO order makes each key's final presence the batch sequence's last
+    /// word on it.
+    replay: Vec<Vec<UpdateBatch>>,
+    /// Set by a recovery: the respawned incarnation's epochs restart at 0,
+    /// so the next cut's delta cannot be stitched across the crash — force
+    /// that one cut to publish as a full-snapshot rebase.
+    force_rebase: bool,
 }
 
 impl Router {
@@ -825,6 +949,7 @@ impl Router {
             | Command::Reshard(..)
             | Command::Rebalance(..)
             | Command::Stats(_)
+            | Command::Kill(..)
             | Command::Shutdown => {
                 // Control commands are dispatched by the router loop, not
                 // routed; reaching here is a dispatch bug — but the router
@@ -880,12 +1005,205 @@ impl Router {
                 c.transfer[*i].record(&self.link, b.len() * BYTES_PER_UPDATE);
             }
         }
-        for (i, b) in outgoing {
-            // A closed shard only happens mid-teardown; drop silently like
-            // any send into a stopping server.
-            let _ = self.handles[i].ingest(b);
+        if self.recovery.is_some() {
+            // Log before sending: a batch whose send fails (dead shard) is
+            // recovered from the log, never re-sent inline.
+            for (i, b) in &outgoing {
+                self.replay[*i].push(b.clone());
+            }
         }
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, b) in outgoing {
+            if self.handles[i].ingest(b).is_err() {
+                // Without a recovery policy a closed shard only happens
+                // mid-teardown; drop silently like any send into a stopping
+                // server. With one, a failed send IS the failure detector.
+                if self.recovery.is_some() {
+                    dead.push(i);
+                }
+            }
+        }
+        self.lifetime_routed += self.pending_len as u64;
         self.pending_len = 0;
+        // The one-shot fault plan fires right after the burst that crossed
+        // its threshold: the victim's queued updates die unflushed, exactly
+        // like a process kill between flushes.
+        if let Some(plan) = self.fault {
+            if self.lifetime_routed >= plan.after_routed_updates {
+                self.fault = None;
+                if plan.kill_shard < self.services.len() {
+                    let _ = self.services[plan.kill_shard].inject_failure();
+                } else {
+                    self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "gpma-cluster: fault plan names shard {} of {}; ignored",
+                        plan.kill_shard,
+                        self.services.len()
+                    );
+                }
+            }
+        }
+        for i in dead {
+            self.recover_shard(i);
+        }
+    }
+
+    /// Failure detection for shards with no in-flight traffic: probe every
+    /// worker and recover the dead ones. Called on the control paths (cut,
+    /// reshard) that need all shards answering barriers exactly; no-op
+    /// without a recovery policy (PR-6 degraded-cut behavior stands).
+    fn ensure_shards_alive(&mut self) {
+        if self.recovery.is_none() {
+            return;
+        }
+        for i in 0..self.services.len() {
+            if !self.services[i].is_alive() {
+                self.recover_shard(i);
+            }
+        }
+    }
+
+    /// The failover protocol, one shard at a time:
+    ///
+    /// 1. **Restore** — decode the latest durable checkpoint for this shard
+    ///    slot and fold its trailing delta chain (corrupt/missing
+    ///    checkpoints fall through to step 3's snapshot fallback).
+    /// 2. **Ring replay** — catch the restored state up through the dead
+    ///    worker's surviving delta ring (`deltas_since` on its front
+    ///    object), covering every flush after the checkpoint.
+    /// 3. **Snapshot fallback** — if the ring was outrun (or step 1 found
+    ///    nothing usable), rebase on the dead worker's last *published*
+    ///    snapshot instead; counted in
+    ///    [`ClusterMetrics::recovery_snapshot_fallbacks`].
+    /// 4. **Respawn + log replay** — build a fresh service from the
+    ///    recovered edge set (epochs restart at 0), re-ingest this shard's
+    ///    replay log (idempotent; covers updates that died unflushed),
+    ///    barrier it settled, and swap it into the routing tables.
+    /// 5. **Re-checkpoint** — persist the recovered incarnation immediately
+    ///    so the store's "latest" always matches the live epoch space, and
+    ///    force the next cut to publish as a rebase (cross-incarnation
+    ///    deltas cannot be stitched).
+    fn recover_shard(&mut self, i: usize) {
+        let Some(policy) = self.recovery.clone() else {
+            return;
+        };
+        let t0 = Instant::now();
+        let nv = self.part.plan().num_vertices();
+        let mut fallback = false;
+        let mut replayed_deltas = 0u64;
+
+        let restored_ckpt: Option<GraphSnapshot> = match policy.store.load_latest(i) {
+            Ok(Some(bytes)) => match Checkpoint::decode(&bytes) {
+                Ok(ckpt) => Some(ckpt.restore()),
+                Err(e) => {
+                    self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("gpma-cluster: shard {i} checkpoint corrupt ({e}); falling back");
+                    None
+                }
+            },
+            Ok(None) => None,
+            Err(e) => {
+                self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("gpma-cluster: shard {i} checkpoint load failed ({e}); falling back");
+                None
+            }
+        };
+        let dead = &self.services[i];
+        let recovered = match restored_ckpt {
+            Some(mut state) => match dead.deltas_since(state.epoch()) {
+                DeltaCatchUp::Deltas(chain) => {
+                    for d in &chain {
+                        state = apply_delta(&state, d);
+                    }
+                    replayed_deltas = chain.len() as u64;
+                    state
+                }
+                DeltaCatchUp::Snapshot(s) => {
+                    fallback = true;
+                    (*s).clone()
+                }
+            },
+            None => {
+                fallback = true;
+                (*dead.snapshot()).clone()
+            }
+        };
+
+        let (svc, _) = spawn_shard_service(i, &self.cfg, &self.device_cfg, nv, recovered.edges());
+        let log = std::mem::take(&mut self.replay[i]);
+        let replayed_updates: u64 = log.iter().map(|b| b.len() as u64).sum();
+        let h = svc.handle();
+        for b in log {
+            let _ = h.ingest(b);
+        }
+        if svc.barrier().is_err() {
+            // A freshly spawned worker dying inside recovery means the
+            // machine itself is failing; record it and keep the cluster up.
+            self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("gpma-cluster: shard {i} respawn failed its settling barrier");
+        }
+        self.handles[i] = svc.handle();
+        self.services[i] = svc;
+        self.force_rebase = true;
+        let (saved, bytes_len) = self.save_checkpoint(&policy, i);
+
+        let mut c = self.shared.router.lock();
+        c.recoveries += 1;
+        c.recovery_secs += t0.elapsed().as_secs_f64();
+        c.recovery_replayed_deltas += replayed_deltas;
+        c.recovery_replayed_updates += replayed_updates;
+        if fallback {
+            c.recovery_snapshot_fallbacks += 1;
+        }
+        if saved {
+            c.checkpoints_taken += 1;
+            c.checkpoint_bytes += bytes_len;
+        }
+    }
+
+    /// Encode shard `i`'s current checkpoint and persist it. Returns
+    /// `(saved, encoded_bytes)`; a save failure is logged and counted, and
+    /// the shard's replay log is trimmed only on success (the log must
+    /// reach back to whatever checkpoint recovery would actually load).
+    fn save_checkpoint(&mut self, policy: &RecoveryPolicy, i: usize) -> (bool, u64) {
+        let ckpt = self.services[i].checkpoint();
+        let epoch = ckpt.epoch();
+        let bytes = ckpt.encode();
+        match policy.store.save(i, epoch, &bytes) {
+            Ok(()) => {
+                self.replay[i].clear();
+                (true, bytes.len() as u64)
+            }
+            Err(e) => {
+                self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("gpma-cluster: shard {i} checkpoint save failed ({e})");
+                (false, 0)
+            }
+        }
+    }
+
+    /// Cut-cadence checkpointing: at every `checkpoint_every_cuts`-th cut
+    /// (and the shards are freshly barriered, so each checkpoint captures
+    /// exactly the cut state), persist every shard and trim its replay log.
+    fn maybe_checkpoint(&mut self, cut: u64) {
+        let Some(policy) = self.recovery.clone() else {
+            return;
+        };
+        if !cut.is_multiple_of(policy.checkpoint_every_cuts.max(1)) {
+            return;
+        }
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for i in 0..self.services.len() {
+            let (saved, n) = self.save_checkpoint(&policy, i);
+            if saved {
+                taken += 1;
+                total += n;
+            }
+        }
+        let mut c = self.shared.router.lock();
+        c.checkpoints_taken += taken;
+        c.checkpoint_bytes += total;
     }
 
     /// Barrier every shard and collect the epoch-stamped snapshots. A shard
@@ -917,6 +1235,9 @@ impl Router {
     /// plus the cut's merged delta, stitched from the shard delta rings.
     fn cut(&mut self) -> Arc<ClusterSnapshot> {
         self.forward();
+        // `forward` recovers shards whose sends failed; shards that died
+        // with no in-flight traffic are only detectable by probing.
+        self.ensure_shards_alive();
         let snaps: Vec<Arc<GraphSnapshot>> = self.barrier_all();
         let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
         let snap = Arc::new(ClusterSnapshot::new(
@@ -926,6 +1247,7 @@ impl Router {
         ));
         *self.shared.snapshot.lock() = snap.clone();
         self.publish_cut_delta(cut, &snap);
+        self.maybe_checkpoint(cut);
         snap
     }
 
@@ -963,8 +1285,11 @@ impl Router {
         let new_n = new.num_shards().max(1);
         let old_n = self.services.len();
 
-        // (1) Quiesce under the old plan.
+        // (1) Quiesce under the old plan. A shard that died mid-stream must
+        // be recovered *before* the migration reads its edges — a reshard
+        // over a stale snapshot would silently drop its unflushed updates.
         self.forward();
+        self.ensure_shards_alive();
         let t0 = Instant::now();
         let snaps: Vec<Arc<GraphSnapshot>> = self.barrier_all();
 
@@ -1064,6 +1389,25 @@ impl Router {
         }
         self.pending = vec![UpdateBatch::default(); new_n];
         self.pending_len = 0;
+        // Migration moved edges between shards, so pre-reshard checkpoints
+        // and replay logs no longer describe any live shard: resize the
+        // logs and persist fresh checkpoints of the settled post-migration
+        // state for every surviving shard.
+        self.replay = vec![Vec::new(); new_n];
+        if let Some(policy) = self.recovery.clone() {
+            let mut taken = 0u64;
+            let mut total = 0u64;
+            for i in 0..self.services.len() {
+                let (saved, n) = self.save_checkpoint(&policy, i);
+                if saved {
+                    taken += 1;
+                    total += n;
+                }
+            }
+            let mut c = self.shared.router.lock();
+            c.checkpoints_taken += taken;
+            c.checkpoint_bytes += total;
+        }
         {
             let mut c = self.shared.router.lock();
             let old_ledgers = std::mem::take(&mut c.transfer);
@@ -1142,18 +1486,22 @@ impl Router {
     fn publish_cut_delta(&mut self, cut: u64, snap: &Arc<ClusterSnapshot>) {
         let mut inserted: Vec<Edge> = Vec::new();
         let mut deleted: Vec<u64> = Vec::new();
-        let mut lagged = false;
+        // A recovery since the last cut restarted a shard's epoch space, so
+        // its inter-cut chain cannot be stitched: rebase this one cut.
+        let mut lagged = std::mem::take(&mut self.force_rebase);
         for (i, svc) in self.services.iter().enumerate() {
-            match svc.deltas_since(self.last_cut_epochs[i]) {
-                DeltaCatchUp::Deltas(chain) => {
-                    let mut folded = SnapshotDelta::default();
-                    for d in &chain {
-                        folded.merge(d);
+            if !lagged {
+                match svc.deltas_since(self.last_cut_epochs[i]) {
+                    DeltaCatchUp::Deltas(chain) => {
+                        let mut folded = SnapshotDelta::default();
+                        for d in &chain {
+                            folded.merge(d);
+                        }
+                        inserted.extend_from_slice(folded.inserted());
+                        deleted.extend_from_slice(folded.deleted_keys());
                     }
-                    inserted.extend_from_slice(folded.inserted());
-                    deleted.extend_from_slice(folded.deleted_keys());
+                    DeltaCatchUp::Snapshot(_) => lagged = true,
                 }
-                DeltaCatchUp::Snapshot(_) => lagged = true,
             }
             self.last_cut_epochs[i] = snap.shards()[i].epoch();
         }
@@ -1196,6 +1544,8 @@ fn run_router(
     let num_shards = services.len();
     let num_vertices = part.num_vertices();
     let router_batch = cfg.router_batch.max(1);
+    let recovery = cfg.recovery.clone();
+    let fault = cfg.fault;
     let mut r = Router {
         handles: services.iter().map(|s| s.handle()).collect(),
         services,
@@ -1211,6 +1561,11 @@ fn run_router(
         observed: vec![0; num_vertices as usize],
         last_cut_epochs: vec![0; num_shards],
         cut_tx,
+        recovery,
+        fault,
+        lifetime_routed: 0,
+        replay: vec![Vec::new(); num_shards],
+        force_rebase: false,
     };
     'serve: loop {
         let cmd = match rx.recv() {
@@ -1272,6 +1627,19 @@ fn handle_command(cmd: Command, r: &mut Router) -> bool {
             // is read alongside) reflect everything accepted so far.
             r.forward();
             let _ = reply.send(r.services.iter().map(|s| s.metrics()).collect());
+        }
+        Command::Kill(shard, ack) => {
+            let landed = if shard < r.services.len() {
+                r.services[shard].inject_failure().is_ok()
+            } else {
+                r.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "gpma-cluster: kill_shard({shard}) out of range ({} shards); ignored",
+                    r.services.len()
+                );
+                false
+            };
+            let _ = ack.send(landed);
         }
         Command::Shutdown => return true,
     }
@@ -1733,5 +2101,152 @@ mod tests {
         let line = m.to_string();
         assert!(line.contains("cut"), "display: {line}");
         drop(c);
+    }
+
+    #[test]
+    fn barrier_falls_back_to_published_snapshot_on_a_closed_shard() {
+        // No recovery policy: killing a shard leaves a corpse, and cuts
+        // must degrade to its latest *published* snapshot (PR-6 fallback)
+        // instead of poisoning the router.
+        let part = Arc::new(VertexPartition {
+            num_vertices: 16,
+            num_shards: 4,
+        });
+        let c = spawn4(part, &[]);
+        let h = c.handle();
+        for i in 0..4u32 {
+            h.insert(Edge::new(0, 4 + i)).unwrap(); // all on shard 0
+        }
+        let cut1 = c.epoch_cut().unwrap();
+        assert_eq!(cut1.num_edges(), 4);
+
+        // Two more shard-0 edges stay below the flush threshold (4): they
+        // sit buffered in the worker when the kill lands, and die with it.
+        h.insert(Edge::new(1, 8)).unwrap();
+        h.insert(Edge::new(1, 9)).unwrap();
+        assert_eq!(c.kill_shard(0), Ok(true));
+        assert_eq!(c.kill_shard(9), Ok(false), "out of range is non-fatal");
+
+        // Shard 1 keeps serving; shard 0's slice of the cut is its stale
+        // published snapshot — the fallback this test pins down.
+        h.insert(Edge::new(4, 0)).unwrap();
+        let cut2 = c.epoch_cut().unwrap();
+        assert!(cut2.contains(4, 0));
+        assert!(!cut2.contains(1, 8), "unflushed residue died with the worker");
+        assert!(!cut2.contains(1, 9));
+        assert_eq!(cut2.num_edges(), 5);
+        for i in 0..4u32 {
+            assert!(cut2.contains(0, 4 + i), "flushed state survives as the fallback");
+        }
+        let m = c.metrics().unwrap();
+        // One error for the out-of-range kill, one per degraded barrier
+        // (cut 2 and the shutdown cut both hit the corpse).
+        assert!(m.worker_errors >= 2, "worker errors: {}", m.worker_errors);
+        assert_eq!(m.recoveries, 0, "no recovery policy, no respawn");
+        let report = c.shutdown();
+        assert!(report.metrics.worker_errors >= 3);
+    }
+
+    #[test]
+    fn killed_shard_recovers_from_checkpoint_and_replay() {
+        let part = Arc::new(VertexPartition {
+            num_vertices: 16,
+            num_shards: 4,
+        });
+        let store = Arc::new(MemoryCheckpointStore::new());
+        let c = GraphCluster::spawn(
+            ClusterConfig {
+                flush_threshold: 4,
+                router_batch: 8,
+                recovery: Some(RecoveryPolicy {
+                    store: store.clone(),
+                    checkpoint_every_cuts: 1,
+                }),
+                ..Default::default()
+            },
+            &DeviceConfig::deterministic(),
+            part,
+            &[Edge::new(0, 1)],
+        );
+        let h = c.handle();
+        for i in 0..4u32 {
+            h.insert(Edge::new(0, 4 + i)).unwrap();
+        }
+        let cut1 = c.epoch_cut().unwrap();
+        assert_eq!(cut1.num_edges(), 5);
+        assert!(store.len() >= 4, "cut 1 checkpointed every shard");
+
+        // Updates after the checkpoint: some flushed, some residue when the
+        // kill lands — recovery must reassemble all of them.
+        for i in 0..6u32 {
+            h.insert(Edge::new(1, 8 + i)).unwrap();
+        }
+        assert_eq!(c.kill_shard(0), Ok(true));
+        // Traffic to the dead shard turns the failed forward into the
+        // failure detector; recovery runs inline, and the replayed log
+        // restores both this burst and the pre-kill residue.
+        h.insert(Edge::new(2, 3)).unwrap();
+        h.delete(Edge::new(0, 4)).unwrap();
+        let cut2 = c.epoch_cut().unwrap();
+        assert!(cut2.contains(0, 1));
+        assert!(!cut2.contains(0, 4), "post-recovery deletes apply");
+        for i in 0..6u32 {
+            assert!(cut2.contains(1, 8 + i), "killed updates recovered");
+        }
+        assert!(cut2.contains(2, 3));
+        assert_eq!(cut2.num_edges(), 1 + 3 + 6 + 1);
+
+        let m = c.metrics().unwrap();
+        assert_eq!(m.recoveries, 1);
+        assert!(m.recovery_replayed_updates >= 6, "{m}");
+        assert!(m.checkpoints_taken >= 9, "4 at cut1 + 1 post-recovery + 4 at cut2");
+        assert!(m.checkpoint_bytes > 0);
+        let s = m.recovery_stats();
+        assert_eq!(s.recoveries, 1);
+        assert!(s.recovery_secs > 0.0 && s.avg_recovery_secs > 0.0);
+
+        // The cut spanning the crash published as a rebase (epochs restart
+        // per incarnation, so its delta cannot be stitched) — readers at
+        // cut 1 must be told to fall back, not fed a wrong chain.
+        match c.deltas_since(1) {
+            DeltaCatchUp::Snapshot(s) => assert_eq!(s.cut(), cut2.cut()),
+            DeltaCatchUp::Deltas(_) => panic!("cross-incarnation delta must not be stitched"),
+        }
+        assert!(m.delta_fallbacks >= 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_fires_once_and_cluster_rejoins_exactly() {
+        let part = Arc::new(HashVertexPartition {
+            num_vertices: 32,
+            num_shards: 4,
+        });
+        let c = GraphCluster::spawn(
+            ClusterConfig {
+                flush_threshold: 4,
+                router_batch: 8,
+                recovery: Some(RecoveryPolicy::default()),
+                fault: Some(FaultPlan {
+                    kill_shard: 1,
+                    after_routed_updates: 12,
+                }),
+                ..Default::default()
+            },
+            &DeviceConfig::deterministic(),
+            part,
+            &[],
+        );
+        let h = c.handle();
+        for i in 0..32u32 {
+            h.insert(Edge::new(i, (i + 1) % 32)).unwrap();
+        }
+        let snap = c.epoch_cut().unwrap();
+        assert_eq!(snap.num_edges(), 32, "no update lost across the injected crash");
+        for i in 0..32u32 {
+            assert!(snap.contains(i, (i + 1) % 32));
+        }
+        let report = c.shutdown();
+        assert_eq!(report.metrics.recoveries, 1, "the plan fires exactly once");
     }
 }

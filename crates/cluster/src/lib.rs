@@ -61,6 +61,15 @@
 //!   [`RebalancePolicy`] in [`ClusterConfig`]) targets a [`DegreePartition`]
 //!   built from the router's observed per-vertex load — the skew-driven
 //!   answer to the edge grid's ~2× power-law imbalance.
+//! * **Durability & failover** — with [`ClusterConfig::recovery`] set, the
+//!   router persists per-shard checkpoints (snapshot + trailing delta
+//!   chain, hand-rolled binary codec) to a [`CheckpointStore`] at every
+//!   cut, detects dead shard workers (failed forwards, or probes on the
+//!   control paths), and respawns them from the latest checkpoint + delta
+//!   ring + replay-log gap, rejoining oracle-exact. [`FaultPlan`] /
+//!   [`GraphCluster::kill_shard`] are the fault-injection hooks the
+//!   crash-recovery proptest harness drives; [`RecoveryStats`] summarizes
+//!   what failover cost.
 //!
 //! ## Example: 4 shards, two policies
 //!
@@ -109,13 +118,14 @@ pub use gpma_core::multi::{
 };
 
 pub use cluster::{
-    ClusterClosed, ClusterConfig, ClusterHandle, ClusterReport, GraphCluster, RebalancePolicy,
-    ReshardError, ReshardReport,
+    ClusterClosed, ClusterConfig, ClusterHandle, ClusterReport, FaultPlan, GraphCluster,
+    RebalancePolicy, RecoveryPolicy, ReshardError, ReshardReport,
 };
+pub use gpma_core::checkpoint::{CheckpointStore, DirCheckpointStore, MemoryCheckpointStore};
 pub use gpma_core::delta::{DeltaCatchUp, SnapshotDelta};
 pub use gpma_core::migration::{EdgeMove, MigrationPlan, MigrationSummary};
 pub use gpma_service::DeltaMonitor;
-pub use metrics::{ClusterMetrics, MigrationStats, RoutingSkew};
+pub use metrics::{ClusterMetrics, MigrationStats, RecoveryStats, RoutingSkew};
 pub use snapshot::ClusterSnapshot;
 
 /// Named constructor for the shipped partitioning policies — the CLI/bench

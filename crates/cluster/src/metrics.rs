@@ -67,6 +67,29 @@ pub struct ClusterMetrics {
     /// Total wall-clock seconds ingest was paused by reshards
     /// (quiesce → migrate → resume).
     pub migration_pause_secs: f64,
+    /// Dead shard workers detected and respawned (requires
+    /// [`ClusterConfig::recovery`](crate::ClusterConfig::recovery)).
+    pub recoveries: u64,
+    /// Total wall-clock seconds spent in recovery (detect → restore →
+    /// replay → respawn), across all recoveries.
+    pub recovery_secs: f64,
+    /// Epoch deltas replayed from dead workers' rings onto restored
+    /// checkpoints across all recoveries.
+    pub recovery_replayed_deltas: u64,
+    /// Routed updates re-ingested into respawned workers from the router's
+    /// replay logs across all recoveries.
+    pub recovery_replayed_updates: u64,
+    /// Recoveries that could not use checkpoint + delta-chain replay (no
+    /// checkpoint yet, a corrupt one, or a ring outrun) and rebased on the
+    /// dead worker's last published snapshot instead.
+    pub recovery_snapshot_fallbacks: u64,
+    /// Per-shard checkpoints persisted to the [`CheckpointStore`]
+    /// (cut-cadence checkpoints plus the post-recovery re-checkpoint).
+    ///
+    /// [`CheckpointStore`]: gpma_core::checkpoint::CheckpointStore
+    pub checkpoints_taken: u64,
+    /// Total encoded bytes those checkpoints wrote.
+    pub checkpoint_bytes: u64,
     /// Each shard service's own metrics, index-aligned with shard ids.
     pub shards: Vec<ServiceMetrics>,
 }
@@ -86,6 +109,29 @@ pub struct MigrationStats {
     /// Mean ingest pause per reshard, wall-clock seconds (`0.0` when no
     /// reshard has run).
     pub avg_pause_secs: f64,
+}
+
+/// Failover accounting derived from [`ClusterMetrics`] — what crash
+/// recovery has detected, restored and re-ingested so far (the
+/// [`MigrationStats`]-style summary for the durability layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryStats {
+    /// Dead shard workers detected and respawned.
+    pub recoveries: u64,
+    /// Total recovery wall-clock, seconds.
+    pub recovery_secs: f64,
+    /// Mean recovery wall-clock per incident, seconds (`0.0` when none).
+    pub avg_recovery_secs: f64,
+    /// Epoch deltas replayed from dead rings onto restored checkpoints.
+    pub replayed_deltas: u64,
+    /// Routed updates re-ingested from the router's replay logs.
+    pub replayed_updates: u64,
+    /// Recoveries forced onto a published-snapshot rebase.
+    pub snapshot_fallbacks: u64,
+    /// Checkpoints persisted so far.
+    pub checkpoints_taken: u64,
+    /// Encoded bytes those checkpoints wrote.
+    pub checkpoint_bytes: u64,
 }
 
 /// Per-shard routing-skew summary derived from the router's sub-batch and
@@ -146,6 +192,25 @@ impl ClusterMetrics {
         }
     }
 
+    /// The failover accounting: what crash recovery has detected, restored
+    /// and re-ingested so far.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            recoveries: self.recoveries,
+            recovery_secs: self.recovery_secs,
+            avg_recovery_secs: if self.recoveries == 0 {
+                0.0
+            } else {
+                self.recovery_secs / self.recoveries as f64
+            },
+            replayed_deltas: self.recovery_replayed_deltas,
+            replayed_updates: self.recovery_replayed_updates,
+            snapshot_fallbacks: self.recovery_snapshot_fallbacks,
+            checkpoints_taken: self.checkpoints_taken,
+            checkpoint_bytes: self.checkpoint_bytes,
+        }
+    }
+
     /// Fraction of routed insertions crossing home-shard boundaries
     /// (`0.0` with no traffic).
     pub fn cut_fraction(&self) -> f64 {
@@ -193,7 +258,8 @@ impl std::fmt::Display for ClusterMetrics {
              routed {:?} in {:?} sub-batches (imbalance {:.2}) | \
              cut-edges {} ({:.1}%) | \
              transfer {} B in {} DMAs ({:.3} ms) | \
-             reshards {} ({} edges, {} B moved, {:.1} ms paused) | queue {} | worker errors {}",
+             reshards {} ({} edges, {} B moved, {:.1} ms paused) | \
+             recoveries {} ({} fallbacks, {:.1} ms; {} ckpts, {} B) | queue {} | worker errors {}",
             self.num_shards,
             self.policy,
             self.partition_version,
@@ -215,6 +281,11 @@ impl std::fmt::Display for ClusterMetrics {
             self.migrated_edges,
             self.migration_bytes,
             self.migration_pause_secs * 1e3,
+            self.recoveries,
+            self.recovery_snapshot_fallbacks,
+            self.recovery_secs * 1e3,
+            self.checkpoints_taken,
+            self.checkpoint_bytes,
             self.queue_depth,
             self.worker_errors,
         )
@@ -256,6 +327,13 @@ mod tests {
             migrated_edges: 0,
             migration_bytes: 0,
             migration_pause_secs: 0.0,
+            recoveries: 0,
+            recovery_secs: 0.0,
+            recovery_replayed_deltas: 0,
+            recovery_replayed_updates: 0,
+            recovery_snapshot_fallbacks: 0,
+            checkpoints_taken: 0,
+            checkpoint_bytes: 0,
             shards: Vec::new(),
         }
     }
@@ -303,6 +381,48 @@ mod tests {
         assert!((s.avg_pause_secs - 0.25).abs() < 1e-12);
         let line = m.to_string();
         assert!(line.contains("reshards 2") && line.contains("v2"), "{line}");
+    }
+
+    #[test]
+    fn recovery_stats_aggregate_failover_counters() {
+        // No recoveries: all-zero stats, no division by zero.
+        let idle = metrics();
+        assert_eq!(
+            idle.recovery_stats(),
+            RecoveryStats {
+                recoveries: 0,
+                recovery_secs: 0.0,
+                avg_recovery_secs: 0.0,
+                replayed_deltas: 0,
+                replayed_updates: 0,
+                snapshot_fallbacks: 0,
+                checkpoints_taken: 0,
+                checkpoint_bytes: 0,
+            }
+        );
+        let m = ClusterMetrics {
+            recoveries: 2,
+            recovery_secs: 0.4,
+            recovery_replayed_deltas: 6,
+            recovery_replayed_updates: 120,
+            recovery_snapshot_fallbacks: 1,
+            checkpoints_taken: 5,
+            checkpoint_bytes: 10_000,
+            ..metrics()
+        };
+        let s = m.recovery_stats();
+        assert_eq!(s.recoveries, 2);
+        assert!((s.avg_recovery_secs - 0.2).abs() < 1e-12);
+        assert_eq!(s.replayed_deltas, 6);
+        assert_eq!(s.replayed_updates, 120);
+        assert_eq!(s.snapshot_fallbacks, 1);
+        assert_eq!(s.checkpoints_taken, 5);
+        assert_eq!(s.checkpoint_bytes, 10_000);
+        let line = m.to_string();
+        assert!(
+            line.contains("recoveries 2") && line.contains("5 ckpts"),
+            "{line}"
+        );
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! Durable epoch-stamped checkpoints: a full [`GraphSnapshot`] plus the
+//! trailing [`SnapshotDelta`] chain that brings it to the checkpoint epoch,
+//! wrapped in a self-validating binary container ([`crate::codec`]) and
+//! persisted through a [`CheckpointStore`].
+//!
+//! Restore path: [`Checkpoint::decode`] → [`Checkpoint::restore`] folds the
+//! chain onto the base snapshot — the exact state the producer held at
+//! [`Checkpoint::epoch`]. The delta-replay proptests (`gpma-incremental`,
+//! PR 4) are what make this a write-ahead log rather than a hopeful copy:
+//! replaying the chain is *proven* equal to the live graph.
+//!
+//! Container layout (all little-endian):
+//!
+//! ```text
+//! magic   u32   "GPCK" (0x4b435047)
+//! version u16   1
+//! flags   u16   reserved, must be 0
+//! payload       snapshot, delta count u64, deltas (codec formats)
+//! checksum u64  FNV-1a over everything above
+//! ```
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::codec::{
+    decode_delta, decode_snapshot, encode_delta, encode_snapshot, fnv1a64, put_u16, put_u32,
+    put_u64, ByteReader, CodecError,
+};
+use crate::delta::{apply_delta, SnapshotDelta};
+use crate::framework::GraphSnapshot;
+
+/// First four container bytes: `GPCK` read as a little-endian `u32`.
+pub const CHECKPOINT_MAGIC: u32 = u32::from_le_bytes(*b"GPCK");
+
+/// Container format version this build writes and accepts.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// Minimum bytes a delta can occupy on the wire (its three-count header) —
+/// the element size the container's delta-count prefix is validated with.
+const MIN_DELTA_WIRE_BYTES: usize = 24;
+
+/// A durable unit of graph state: the last full snapshot the producer
+/// published plus the delta chain flushed since, contiguous from
+/// `snapshot.epoch() + 1` to [`Self::epoch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    snapshot: GraphSnapshot,
+    deltas: Vec<Arc<SnapshotDelta>>,
+}
+
+impl Checkpoint {
+    /// Bundle a snapshot with its trailing delta chain. The chain must be
+    /// contiguous starting at `snapshot.epoch() + 1` (debug-asserted; the
+    /// decode path re-validates it on every load).
+    pub fn new(snapshot: GraphSnapshot, deltas: Vec<Arc<SnapshotDelta>>) -> Self {
+        debug_assert!(deltas
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.epoch() == snapshot.epoch() + 1 + i as u64));
+        Checkpoint { snapshot, deltas }
+    }
+
+    /// Epoch of the base snapshot.
+    pub fn base_epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Epoch this checkpoint restores to (base epoch plus the chain).
+    pub fn epoch(&self) -> u64 {
+        self.deltas
+            .last()
+            .map_or(self.snapshot.epoch(), |d| d.epoch())
+    }
+
+    /// Number of trailing deltas carried.
+    pub fn chain_len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// The base snapshot.
+    pub fn snapshot(&self) -> &GraphSnapshot {
+        &self.snapshot
+    }
+
+    /// The trailing delta chain, oldest first.
+    pub fn deltas(&self) -> &[Arc<SnapshotDelta>] {
+        &self.deltas
+    }
+
+    /// Fold the trailing chain onto the base snapshot, producing the state
+    /// at [`Self::epoch`].
+    pub fn restore(&self) -> GraphSnapshot {
+        let mut state = self.snapshot.clone();
+        for d in &self.deltas {
+            state = apply_delta(&state, d);
+        }
+        state
+    }
+
+    /// Serialize into the self-validating container format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, CHECKPOINT_MAGIC);
+        put_u16(&mut buf, CHECKPOINT_VERSION);
+        put_u16(&mut buf, 0); // flags, reserved
+        encode_snapshot(&self.snapshot, &mut buf);
+        put_u64(&mut buf, self.deltas.len() as u64);
+        for d in &self.deltas {
+            encode_delta(d, &mut buf);
+        }
+        let checksum = fnv1a64(&buf);
+        put_u64(&mut buf, checksum);
+        buf
+    }
+
+    /// Parse and fully validate a container: magic, version, per-field
+    /// bounds, chain contiguity, no trailing garbage, and the payload
+    /// checksum. Every defect maps to a precise [`CodecError`].
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CodecError> {
+        // Header + checksum are the fixed costs; anything shorter cannot
+        // even state what it claims to be.
+        if bytes.len() < 8 + 8 {
+            return Err(CodecError::Truncated {
+                context: "checkpoint container",
+                needed: 16,
+                have: bytes.len(),
+            });
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let mut r = ByteReader::new(body);
+        let magic = r.u32("checkpoint magic")?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(CodecError::BadMagic { found: magic });
+        }
+        let version = r.u16("checkpoint version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CodecError::BadVersion { found: version });
+        }
+        let _flags = r.u16("checkpoint flags")?;
+        let snapshot = decode_snapshot(&mut r)?;
+        let count = r.u64("checkpoint delta count")?;
+        let count = r.checked_count(count, MIN_DELTA_WIRE_BYTES, "checkpoint deltas")?;
+        let mut deltas = Vec::with_capacity(count);
+        for i in 0..count {
+            let d = decode_delta(&mut r)?;
+            let expect = snapshot.epoch() + 1 + i as u64;
+            if d.epoch() != expect {
+                return Err(CodecError::Corrupt(format!(
+                    "delta chain not contiguous: expected epoch {expect}, found {}",
+                    d.epoch()
+                )));
+            }
+            deltas.push(Arc::new(d));
+        }
+        if !r.is_empty() {
+            return Err(CodecError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        let stored = u64::from_le_bytes([
+            tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
+        ]);
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch { stored, computed });
+        }
+        Ok(Checkpoint { snapshot, deltas })
+    }
+}
+
+/// Where encoded checkpoints go: keyed by shard id, with "latest" meaning
+/// most recently saved (save order, *not* epoch order — epochs restart from
+/// zero when a shard is respawned, so cross-incarnation epoch comparison
+/// would resurrect stale state).
+///
+/// Implementations must be `Send + Sync`: the cluster router saves from its
+/// own thread while tests and benches load from theirs.
+pub trait CheckpointStore: Send + Sync {
+    /// Persist `bytes` as shard `shard`'s checkpoint at `epoch`.
+    fn save(&self, shard: usize, epoch: u64, bytes: &[u8]) -> io::Result<()>;
+
+    /// The most recently saved checkpoint for `shard`, if any.
+    fn load_latest(&self, shard: usize) -> io::Result<Option<Vec<u8>>>;
+
+    /// Epoch of the most recently saved checkpoint for `shard`.
+    fn latest_epoch(&self, shard: usize) -> io::Result<Option<u64>>;
+}
+
+/// In-memory [`CheckpointStore`] for tests, fault-injection harnesses and
+/// benches: retains the last few checkpoints per shard in save order.
+pub struct MemoryCheckpointStore {
+    slots: Mutex<ShardSlots>,
+    retain: usize,
+}
+
+/// Per-shard retained checkpoints: `(epoch, encoded bytes)` in save order.
+type ShardSlots = HashMap<usize, Vec<(u64, Vec<u8>)>>;
+
+impl MemoryCheckpointStore {
+    /// An empty store retaining the default 2 checkpoints per shard.
+    pub fn new() -> Self {
+        Self::with_retain(2)
+    }
+
+    /// An empty store retaining the last `retain` checkpoints per shard
+    /// (clamped to ≥ 1).
+    pub fn with_retain(retain: usize) -> Self {
+        MemoryCheckpointStore {
+            slots: Mutex::new(HashMap::new()),
+            retain: retain.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ShardSlots> {
+        // A poisoned map only means another thread panicked mid-save; the
+        // data itself is plain bytes — keep serving rather than cascading.
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Checkpoints currently retained across all shards.
+    pub fn len(&self) -> usize {
+        self.lock().values().map(Vec::len).sum()
+    }
+
+    /// True when nothing has been saved yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes currently retained (durability-footprint observable).
+    pub fn total_bytes(&self) -> usize {
+        self.lock()
+            .values()
+            .flat_map(|v| v.iter().map(|(_, b)| b.len()))
+            .sum()
+    }
+}
+
+impl Default for MemoryCheckpointStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CheckpointStore for MemoryCheckpointStore {
+    fn save(&self, shard: usize, epoch: u64, bytes: &[u8]) -> io::Result<()> {
+        let mut slots = self.lock();
+        let shard_slots = slots.entry(shard).or_default();
+        shard_slots.push((epoch, bytes.to_vec()));
+        if shard_slots.len() > self.retain {
+            let excess = shard_slots.len() - self.retain;
+            shard_slots.drain(..excess);
+        }
+        Ok(())
+    }
+
+    fn load_latest(&self, shard: usize) -> io::Result<Option<Vec<u8>>> {
+        Ok(self
+            .lock()
+            .get(&shard)
+            .and_then(|v| v.last())
+            .map(|(_, b)| b.clone()))
+    }
+
+    fn latest_epoch(&self, shard: usize) -> io::Result<Option<u64>> {
+        Ok(self.lock().get(&shard).and_then(|v| v.last()).map(|(e, _)| *e))
+    }
+}
+
+/// Filesystem [`CheckpointStore`]: one file per checkpoint under a root
+/// directory, named `shard<i>-seq<n>-epoch<e>.gpck`. The monotone per-shard
+/// sequence number — not the epoch — orders "latest", for the same
+/// cross-incarnation reason as [`CheckpointStore`] documents.
+pub struct DirCheckpointStore {
+    root: PathBuf,
+}
+
+impl DirCheckpointStore {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(DirCheckpointStore { root })
+    }
+
+    /// The directory checkpoints are written to.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Parse `shard<i>-seq<n>-epoch<e>.gpck`; `None` for foreign files.
+    fn parse_name(name: &str) -> Option<(usize, u64, u64)> {
+        let rest = name.strip_prefix("shard")?.strip_suffix(".gpck")?;
+        let (shard, rest) = rest.split_once("-seq")?;
+        let (seq, epoch) = rest.split_once("-epoch")?;
+        Some((shard.parse().ok()?, seq.parse().ok()?, epoch.parse().ok()?))
+    }
+
+    /// The highest sequence number recorded for `shard`, with its epoch and
+    /// file path.
+    fn latest_entry(&self, shard: usize) -> io::Result<Option<(u64, u64, PathBuf)>> {
+        let mut best: Option<(u64, u64, PathBuf)> = None;
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some((s, seq, epoch)) = Self::parse_name(name) else {
+                continue;
+            };
+            if s == shard && best.as_ref().is_none_or(|(b, _, _)| seq > *b) {
+                best = Some((seq, epoch, entry.path()));
+            }
+        }
+        Ok(best)
+    }
+}
+
+impl CheckpointStore for DirCheckpointStore {
+    fn save(&self, shard: usize, epoch: u64, bytes: &[u8]) -> io::Result<()> {
+        let seq = self
+            .latest_entry(shard)?
+            .map_or(0, |(seq, _, _)| seq + 1);
+        let path = self
+            .root
+            .join(format!("shard{shard}-seq{seq:08}-epoch{epoch}.gpck"));
+        std::fs::write(path, bytes)
+    }
+
+    fn load_latest(&self, shard: usize) -> io::Result<Option<Vec<u8>>> {
+        match self.latest_entry(shard)? {
+            Some((_, _, path)) => std::fs::read(path).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn latest_epoch(&self, shard: usize) -> io::Result<Option<u64>> {
+        Ok(self.latest_entry(shard)?.map(|(_, epoch, _)| epoch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpma_graph::{Edge, UpdateBatch};
+
+    fn checkpoint() -> Checkpoint {
+        let snap = GraphSnapshot::from_edges(
+            3,
+            8,
+            vec![Edge::weighted(0, 1, 2), Edge::weighted(4, 5, 7)],
+        );
+        let d4 = SnapshotDelta::from_batch(
+            4,
+            &UpdateBatch {
+                insertions: vec![Edge::weighted(2, 3, 1)],
+                deletions: vec![Edge::new(0, 1)],
+            },
+        );
+        let d5 = SnapshotDelta::from_batch(
+            5,
+            &UpdateBatch {
+                insertions: vec![Edge::weighted(0, 1, 9)],
+                deletions: vec![],
+            },
+        );
+        Checkpoint::new(snap, vec![Arc::new(d4), Arc::new(d5)])
+    }
+
+    #[test]
+    fn container_roundtrip_and_restore() {
+        let ck = checkpoint();
+        assert_eq!(ck.base_epoch(), 3);
+        assert_eq!(ck.epoch(), 5);
+        assert_eq!(ck.chain_len(), 2);
+        let back = Checkpoint::decode(&ck.encode()).expect("roundtrip");
+        assert_eq!(back, ck);
+        let restored = back.restore();
+        assert_eq!(restored.epoch(), 5);
+        assert_eq!(restored.weight(0, 1), Some(9));
+        assert!(restored.contains(2, 3));
+        assert!(restored.contains(4, 5));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = checkpoint().encode();
+        bytes[0] ^= 0xff;
+        match Checkpoint::decode(&bytes) {
+            Err(CodecError::BadMagic { .. }) => {}
+            other => panic!("expected bad-magic rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let mut bytes = checkpoint().encode();
+        // Flip an edge-weight byte: still parses, checksum catches it.
+        let idx = bytes.len() - 9 - 8;
+        bytes[idx] ^= 0x40;
+        match Checkpoint::decode(&bytes) {
+            Err(CodecError::ChecksumMismatch { .. }) | Err(CodecError::Corrupt(_)) => {}
+            other => panic!("expected checksum/corrupt rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_store_latest_means_save_order() {
+        let store = MemoryCheckpointStore::new();
+        store.save(0, 10, b"old").unwrap();
+        store.save(0, 3, b"new-incarnation").unwrap();
+        store.save(1, 7, b"other-shard").unwrap();
+        // Epoch 3 saved after epoch 10 wins: save order, not epoch order.
+        assert_eq!(store.load_latest(0).unwrap().unwrap(), b"new-incarnation");
+        assert_eq!(store.latest_epoch(0).unwrap(), Some(3));
+        assert_eq!(store.latest_epoch(1).unwrap(), Some(7));
+        assert_eq!(store.load_latest(9).unwrap(), None);
+        assert_eq!(store.len(), 3);
+        assert!(store.total_bytes() > 0);
+    }
+
+    #[test]
+    fn memory_store_retention_drops_oldest() {
+        let store = MemoryCheckpointStore::with_retain(2);
+        for e in 1..=5u64 {
+            store.save(0, e, &[e as u8]).unwrap();
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.latest_epoch(0).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn dir_store_roundtrips_by_sequence() {
+        let root = std::env::temp_dir().join(format!(
+            "gpma-ckpt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = DirCheckpointStore::open(&root).unwrap();
+        assert_eq!(store.load_latest(0).unwrap(), None);
+        store.save(0, 10, b"first").unwrap();
+        store.save(0, 2, b"second").unwrap();
+        assert_eq!(store.load_latest(0).unwrap().unwrap(), b"second");
+        assert_eq!(store.latest_epoch(0).unwrap(), Some(2));
+        assert_eq!(store.root(), root.as_path());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

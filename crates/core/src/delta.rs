@@ -482,4 +482,83 @@ mod tests {
         assert!(log.deltas_since(2).is_none());
         assert_eq!(log.deltas_since(6).expect("covered").len(), 1);
     }
+
+    fn marker(epoch: u64) -> Arc<SnapshotDelta> {
+        Arc::new(SnapshotDelta::from_batch(
+            epoch,
+            &UpdateBatch {
+                insertions: vec![e(1, 2, epoch)],
+                deletions: vec![],
+            },
+        ))
+    }
+
+    #[test]
+    fn reader_exactly_at_the_rebase_floor_stays_current_through_refills() {
+        let mut log = DeltaLog::new(8);
+        log.push(marker(1));
+        log.reset_to(10);
+        // At the floor: current with an empty chain, before and after the
+        // ring refills — the recovery coordinator's "checkpoint is exactly
+        // the marker" case must not be forced into a snapshot fallback.
+        assert_eq!(log.deltas_since(10), Some(vec![]));
+        assert!(
+            log.deltas_since(11).is_none(),
+            "an epoch above the empty ring's floor is unknown"
+        );
+        log.push(marker(11));
+        log.push(marker(12));
+        let chain = log.deltas_since(10).expect("floor reader still covered");
+        assert_eq!(
+            chain.iter().map(|d| d.epoch()).collect::<Vec<_>>(),
+            vec![11, 12]
+        );
+        assert_eq!(log.deltas_since(12), Some(vec![]), "head reader is current");
+    }
+
+    #[test]
+    fn reader_below_the_rebase_floor_always_falls_back() {
+        let mut log = DeltaLog::new(8);
+        log.push(marker(1));
+        log.push(marker(2));
+        log.reset_to(5);
+        // Below the floor the chain was discarded, not evicted: no refill
+        // can ever make these readers whole again.
+        for reader in [0, 1, 2, 3, 4] {
+            assert!(log.deltas_since(reader).is_none(), "reader {reader}");
+        }
+        log.push(marker(6));
+        log.push(marker(7));
+        for reader in [0, 4] {
+            assert!(
+                log.deltas_since(reader).is_none(),
+                "reader {reader} after refill"
+            );
+        }
+        assert_eq!(log.deltas_since(5).expect("floor reader").len(), 2);
+    }
+
+    #[test]
+    fn recovery_outrun_by_a_small_ring_is_forced_onto_the_snapshot_path() {
+        // The crash-recovery shape: a checkpoint at the floor (epoch 0) and
+        // a ring too small to retain the whole post-checkpoint chain — the
+        // coordinator must get `None` (snapshot fallback), never a chain
+        // with the evicted prefix silently missing.
+        let mut log = DeltaLog::new(2);
+        for epoch in 1..=5u64 {
+            log.push(marker(epoch));
+        }
+        assert_eq!(log.oldest_epoch(), Some(4));
+        assert!(
+            log.deltas_since(0).is_none(),
+            "checkpoint at the floor was outrun"
+        );
+        assert!(log.deltas_since(2).is_none(), "mid-chain reader outrun too");
+        assert_eq!(log.deltas_since(3).expect("covered").len(), 2);
+        // After the fallback, recovery republishes from a fresh marker and
+        // the same reader epoch becomes current again.
+        log.reset_to(0);
+        assert_eq!(log.deltas_since(0), Some(vec![]));
+        assert_eq!(log.head_epoch(), None);
+    }
 }

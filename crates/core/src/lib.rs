@@ -17,6 +17,10 @@
 //!   [`DeltaLog`] publication ring, the O(|Δ|) read-path seam the
 //!   `gpma-incremental` engine consumes.
 //! * [`multi`] — vertex-partitioned GPMA+ across multiple devices (§6.4).
+//! * [`codec`] / [`checkpoint`] — the hand-rolled binary wire format and
+//!   the durable snapshot-plus-delta-chain [`Checkpoint`] container with
+//!   its [`CheckpointStore`] backends, the persistence layer `gpma-service`
+//!   and `gpma-cluster` recover crashed workers from.
 //!
 //! ## Quick example
 //!
@@ -40,6 +44,8 @@
 
 #[cfg(feature = "audit")]
 pub mod audit;
+pub mod checkpoint;
+pub mod codec;
 pub mod csr;
 pub mod delta;
 pub mod framework;
@@ -52,6 +58,8 @@ pub mod update;
 
 #[cfg(feature = "audit")]
 pub use audit::AuditError;
+pub use checkpoint::{Checkpoint, CheckpointStore, DirCheckpointStore, MemoryCheckpointStore};
+pub use codec::CodecError;
 pub use csr::CsrView;
 pub use delta::{apply_delta, DeltaCatchUp, DeltaLog, SnapshotDelta};
 pub use gpma::{Gpma, LockStats};

@@ -1,0 +1,133 @@
+//! Property-based round-trip tests of the durability codec: every value the
+//! checkpoint layer can persist must decode back to an identical value, the
+//! decoder must consume its buffer exactly, and a restored checkpoint must
+//! equal the snapshot the delta chain builds by replay.
+
+use gpma_core::checkpoint::Checkpoint;
+use gpma_core::codec::{decode_delta, decode_snapshot, encode_delta, encode_snapshot, ByteReader};
+use gpma_core::delta::{apply_delta, SnapshotDelta};
+use gpma_core::framework::GraphSnapshot;
+use gpma_graph::{Edge, UpdateBatch};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const NV: u32 = 24;
+
+#[derive(Debug, Clone)]
+struct Op {
+    src: u32,
+    dst: u32,
+    weight: u64,
+    delete: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..NV, 0..NV - 1, 1u64..100, any::<bool>()).prop_map(|(s, t, w, delete)| Op {
+        src: s,
+        dst: if t == s { NV - 1 } else { t },
+        weight: w,
+        delete,
+    })
+}
+
+fn to_batch(ops: &[Op]) -> UpdateBatch {
+    let mut b = UpdateBatch::default();
+    for op in ops {
+        if op.delete {
+            b.deletions.push(Edge::new(op.src, op.dst));
+        } else {
+            b.insertions.push(Edge::weighted(op.src, op.dst, op.weight));
+        }
+    }
+    b
+}
+
+fn snapshot_of(epoch: u64, ops: &[Op]) -> GraphSnapshot {
+    let edges: Vec<Edge> = ops
+        .iter()
+        .filter(|op| !op.delete)
+        .map(|op| Edge::weighted(op.src, op.dst, op.weight))
+        .collect();
+    GraphSnapshot::from_edges(epoch, NV, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn snapshot_wire_roundtrip_is_identity(
+        ops in prop::collection::vec(op_strategy(), 0..60),
+        epoch in 0u64..1_000,
+    ) {
+        let snap = snapshot_of(epoch, &ops);
+        let mut buf = Vec::new();
+        encode_snapshot(&snap, &mut buf);
+
+        let mut r = ByteReader::new(&buf);
+        let back = decode_snapshot(&mut r).expect("well-formed snapshot bytes");
+        prop_assert!(r.is_empty(), "decoder must consume the buffer exactly");
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn delta_wire_roundtrip_is_identity(
+        ops in prop::collection::vec(op_strategy(), 0..60),
+        epoch in 0u64..1_000,
+    ) {
+        let delta = SnapshotDelta::from_batch(epoch, &to_batch(&ops));
+        let mut buf = Vec::new();
+        encode_delta(&delta, &mut buf);
+
+        let mut r = ByteReader::new(&buf);
+        let back = decode_delta(&mut r).expect("well-formed delta bytes");
+        prop_assert!(r.is_empty(), "decoder must consume the buffer exactly");
+        prop_assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn checkpoint_container_roundtrip_is_identity(
+        base in prop::collection::vec(op_strategy(), 0..40),
+        chain_ops in prop::collection::vec(prop::collection::vec(op_strategy(), 0..20), 0..6),
+        base_epoch in 0u64..100,
+    ) {
+        let snap = snapshot_of(base_epoch, &base);
+        let deltas: Vec<Arc<SnapshotDelta>> = chain_ops
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                Arc::new(SnapshotDelta::from_batch(
+                    base_epoch + 1 + i as u64,
+                    &to_batch(ops),
+                ))
+            })
+            .collect();
+        let ckpt = Checkpoint::new(snap, deltas);
+
+        let bytes = ckpt.encode();
+        let back = Checkpoint::decode(&bytes).expect("well-formed checkpoint bytes");
+        prop_assert_eq!(&back, &ckpt);
+
+        // restore() through the wire equals replaying the chain in memory.
+        let mut replayed = ckpt.snapshot().clone();
+        for d in ckpt.deltas() {
+            replayed = apply_delta(&replayed, d);
+        }
+        prop_assert_eq!(back.restore(), replayed);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_of_a_checkpoint_is_rejected_or_detected(
+        base in prop::collection::vec(op_strategy(), 1..30),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let ckpt = Checkpoint::new(snapshot_of(3, &base), Vec::new());
+        let mut bytes = ckpt.encode();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= flip;
+
+        // A flipped byte must never decode silently: either the structural
+        // validation or the trailing checksum catches it.
+        prop_assert!(Checkpoint::decode(&bytes).is_err());
+    }
+}

@@ -36,6 +36,13 @@
 //!   read path (full snapshots at a sparse cadence; barriers always
 //!   fresh). The `gpma-incremental` crate builds live incremental
 //!   BFS / CC / PageRank on this seam.
+//! * **Durability & replication** — [`StreamingService::checkpoint`]
+//!   captures the latest snapshot plus its trailing delta chain as a
+//!   [`gpma_core::checkpoint::Checkpoint`] (respawn with
+//!   [`StreamingService::spawn_from_checkpoint`]); [`Follower`] replicas
+//!   tail the delta ring to serve reads with measured staleness; and
+//!   [`StreamingService::inject_failure`] is the fault hook that kills the
+//!   worker mid-stream for crash-recovery tests.
 //! * **Observability** — [`ServiceMetrics`] reports ingest throughput, flush
 //!   latency, queue depth, dropped/duplicate edge counts and the
 //!   delta-vs-snapshot publication byte split ([`PublicationStats`]),
@@ -95,9 +102,11 @@
 
 #![warn(missing_docs)]
 
+mod follower;
 mod metrics;
 mod service;
 
+pub use follower::{Follower, FollowerStats};
 pub use gpma_core::delta::{DeltaCatchUp, SnapshotDelta};
 pub use gpma_core::framework::GraphSnapshot;
 pub use metrics::{PublicationStats, ServiceMetrics};

@@ -10,11 +10,14 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use gpma_core::checkpoint::Checkpoint;
 use gpma_core::delta::{DeltaCatchUp, DeltaLog, SnapshotDelta, BYTES_PER_EDGE};
 use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot};
 use gpma_graph::{Edge, UpdateBatch};
-use gpma_sim::ServiceCounters;
+use gpma_sim::{Device, ServiceCounters};
 use parking_lot::Mutex;
+
+use crate::follower::Follower;
 
 use crate::metrics::{PublicationStats, ServiceMetrics};
 
@@ -114,6 +117,11 @@ enum Command {
     AdHoc(Box<dyn FnOnce(&DynamicGraphSystem) + Send>),
     /// Drain everything still queued, final-flush, publish, exit.
     Shutdown,
+    /// Fault injection: ack, then exit *immediately* — no drain, no final
+    /// flush. Buffered residue and queued commands are lost, modeling a
+    /// worker crash while the shared state (last published snapshot + delta
+    /// ring) survives in the front object for recovery.
+    Crash(Sender<()>),
 }
 
 /// State shared between producers, the worker, and the front object.
@@ -400,6 +408,28 @@ impl StreamingService {
         }
     }
 
+    /// Respawn a service from a durable [`Checkpoint`]: the snapshot plus
+    /// its trailing delta chain are folded back into a full edge list and a
+    /// fresh system is built from it. The new incarnation's epoch counter
+    /// restarts from 0 — recovery coordinators must track epochs per
+    /// incarnation (checkpoint recency is save order, not epoch order; see
+    /// [`gpma_core::checkpoint::CheckpointStore`]).
+    pub fn spawn_from_checkpoint(
+        cfg: ServiceConfig,
+        device: Device,
+        checkpoint: &Checkpoint,
+        flush_threshold: usize,
+    ) -> Self {
+        let restored = checkpoint.restore();
+        let sys = DynamicGraphSystem::new(
+            device,
+            restored.num_vertices(),
+            restored.edges(),
+            flush_threshold,
+        );
+        Self::spawn(cfg, sys)
+    }
+
     /// A new producer handle; clone freely across threads.
     pub fn handle(&self) -> IngestHandle {
         IngestHandle {
@@ -471,6 +501,62 @@ impl StreamingService {
             })))
             .map_err(|_| ServiceClosed)?;
         reply_rx.recv().map_err(|_| ServiceClosed)
+    }
+
+    /// Fault injection: order the worker thread to die *without* draining
+    /// or flushing, then wait until it has actually exited. Afterwards every
+    /// [`IngestHandle`] and control call observes [`ServiceClosed`], while
+    /// the last published snapshot and the delta ring stay readable through
+    /// the front object — exactly the state a recovery coordinator has to
+    /// work from. Test/chaos hook; there is no way to un-crash a service
+    /// short of [`Self::spawn_from_checkpoint`].
+    pub fn inject_failure(&self) -> Result<(), ServiceClosed> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Command::Crash(ack_tx))
+            .map_err(|_| ServiceClosed)?;
+        ack_rx.recv().map_err(|_| ServiceClosed)?;
+        // The ack is sent just before the worker returns; spin the last few
+        // instructions out so post-return behavior is deterministic (every
+        // subsequent send fails once the receiver is dropped).
+        while self.worker.as_ref().is_some_and(|w| !w.is_finished()) {
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+
+    /// Whether the worker thread is still running. `false` after
+    /// [`Self::inject_failure`] (or a worker panic); the failure-detection
+    /// probe recovery coordinators poll.
+    pub fn is_alive(&self) -> bool {
+        self.worker.as_ref().is_some_and(|w| !w.is_finished())
+    }
+
+    /// Capture a durable [`Checkpoint`]: the latest published snapshot plus
+    /// every ring delta past it. Works from the front object alone, so it
+    /// remains available after the worker died — a crashed shard's final
+    /// published state can still be checkpointed for respawn.
+    ///
+    /// With the default every-flush snapshot cadence the chain is empty or
+    /// one epoch long; sparser cadences leave up to `interval - 1` trailing
+    /// deltas to replay on restore.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let snap = self.shared.latest();
+        let chain = self
+            .shared
+            .delta_log
+            .lock()
+            .deltas_since(snap.epoch())
+            .unwrap_or_default();
+        Checkpoint::new((*snap).clone(), chain)
+    }
+
+    /// Spawn a read-only [`Follower`] replica seeded from the latest
+    /// published snapshot. The follower tails this service's delta ring via
+    /// [`Follower::sync`] on its own schedule and serves queries from its
+    /// local state with measured staleness.
+    pub fn spawn_follower(&self) -> Follower {
+        Follower::new(self.shared.latest())
     }
 
     /// Current metrics: cumulative counters plus live queue depth, latest
@@ -638,6 +724,13 @@ fn handle_command(
             drain_and_stop(rx, sys, ctx);
             return true;
         }
+        Command::Crash(ack) => {
+            // A crash is not a shutdown: skip the drain entirely so buffered
+            // residue and queued commands die with the worker, exactly like
+            // a real process kill between flushes.
+            let _ = ack.send(());
+            return true;
+        }
     }
     false
 }
@@ -667,7 +760,7 @@ fn buffer_update(cmd: Command, sys: &mut DynamicGraphSystem, shared: &Shared) {
             }
             sys.stream.offer_batch(&b);
         }
-        Command::Barrier(_) | Command::AdHoc(_) | Command::Shutdown => {
+        Command::Barrier(_) | Command::AdHoc(_) | Command::Shutdown | Command::Crash(_) => {
             // Control commands are dispatched in `handle_command`; reaching
             // here is a dispatch bug — but the worker thread must not panic
             // over it (a dead worker closes every handle). Log, count, drop.
@@ -699,6 +792,11 @@ fn drain_and_stop(rx: &Receiver<Command>, sys: &mut DynamicGraphSystem, ctx: &Wo
                 }
                 Command::AdHoc(f) => f(sys),
                 Command::Shutdown => {}
+                Command::Crash(ack) => {
+                    // A crash queued behind a shutdown is moot — the worker
+                    // is already dying; ack so the injector never hangs.
+                    let _ = ack.send(());
+                }
             }
         }
         while !sys.stream.is_empty() {
@@ -833,6 +931,80 @@ mod tests {
         drop(svc.shutdown());
         assert_eq!(h.insert(Edge::new(1, 2)), Err(ServiceClosed));
         assert_eq!(h.offer_delete(Edge::new(1, 2)), Err(ServiceClosed));
+    }
+
+    #[test]
+    fn inject_failure_kills_the_worker_without_draining() {
+        let svc = StreamingService::spawn(ServiceConfig::default(), system(4));
+        let h = svc.handle();
+        for i in 1..=8u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        let snap = svc.barrier().unwrap();
+        assert_eq!(snap.num_edges(), 9);
+
+        // Buffered residue below the flush threshold dies with the worker.
+        h.insert(Edge::new(20, 21)).unwrap();
+        h.insert(Edge::new(22, 23)).unwrap();
+        svc.inject_failure().unwrap();
+
+        assert!(!svc.is_alive());
+        assert_eq!(h.insert(Edge::new(30, 31)), Err(ServiceClosed));
+        assert!(svc.barrier().is_err());
+        assert!(svc.inject_failure().is_err(), "already dead");
+        // The front object still serves the last published state — without
+        // the two unflushed residue edges, exactly like a real crash.
+        let last = svc.snapshot();
+        assert_eq!(last.epoch(), snap.epoch());
+        assert_eq!(last.num_edges(), 9);
+        assert!(!last.contains(20, 21));
+    }
+
+    #[test]
+    fn checkpoint_of_a_dead_service_respawns_exactly() {
+        // Sparse snapshot cadence so the checkpoint carries a real trailing
+        // delta chain (published snapshot at epoch 0, ring head at epoch 2).
+        let svc = StreamingService::spawn(
+            ServiceConfig {
+                snapshot_interval: 8,
+                ..Default::default()
+            },
+            system(4),
+        );
+        let h = svc.handle();
+        for i in 1..=8u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        // Serialize behind the inserts without forcing a snapshot publish.
+        svc.ad_hoc(|_| ()).unwrap();
+        svc.inject_failure().unwrap();
+
+        let ckpt = svc.checkpoint();
+        assert_eq!(ckpt.base_epoch(), 0);
+        assert_eq!(ckpt.chain_len(), 2, "two threshold-4 flushes to replay");
+        assert_eq!(ckpt.epoch(), 2);
+
+        // Durable round trip, then respawn a fresh incarnation from it.
+        let bytes = ckpt.encode();
+        let restored = Checkpoint::decode(&bytes).unwrap();
+        let svc2 = StreamingService::spawn_from_checkpoint(
+            ServiceConfig::default(),
+            Device::new(gpma_sim::DeviceConfig::deterministic()),
+            &restored,
+            4,
+        );
+        let snap2 = svc2.snapshot();
+        assert_eq!(snap2.epoch(), 0, "epochs restart per incarnation");
+        assert_eq!(snap2.num_edges(), 9);
+        for i in 1..=8u32 {
+            assert!(snap2.contains(i, 0));
+        }
+        // The respawned service is live again.
+        let h2 = svc2.handle();
+        h2.insert(Edge::new(40, 41)).unwrap();
+        let fin = svc2.barrier().unwrap();
+        assert!(fin.contains(40, 41));
+        svc2.shutdown();
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Crash-recovery fault-injection harness: a shard worker is killed at a
+//! random point of a random insert/delete stream — under both 1D partition
+//! policies — and the recovered cluster (respawned from its latest durable
+//! checkpoint, delta-ring gap replay, and the router's replay log) must
+//! equal the single-device sequential oracle at every subsequent cut: same
+//! edge set, same BFS/CC/PageRank. Deterministic cases cover a kill
+//! straddling a live reshard and a delta ring too small to cover the gap
+//! (forced snapshot fallback).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gpma_analytics::{bfs_host, cc_host, pagerank_host};
+use gpma_baselines::AdjLists;
+use gpma_cluster::{
+    ClusterConfig, ClusterHandle, GraphCluster, HashVertexPartition, MemoryCheckpointStore,
+    RecoveryPolicy, VertexPartition,
+};
+use gpma_core::multi::Partitioner;
+use gpma_graph::Edge;
+use gpma_sim::DeviceConfig;
+
+use proptest::prelude::*;
+
+const NUM_VERTICES: u32 = 64;
+
+fn recovery_config(threshold: usize) -> ClusterConfig {
+    ClusterConfig {
+        flush_threshold: threshold,
+        router_batch: 16,
+        recovery: Some(RecoveryPolicy {
+            store: Arc::new(MemoryCheckpointStore::new()),
+            checkpoint_every_cuts: 1,
+        }),
+        ..Default::default()
+    }
+}
+
+/// Sequential oracle: arrival order, last write wins, deletes remove.
+fn apply_oracle(oracle: &mut BTreeMap<(u32, u32), u64>, ops: &[(u8, u32, u32, u64)]) {
+    for &(kind, s, d, w) in ops {
+        let (src, dst) = (s % NUM_VERTICES, d % NUM_VERTICES);
+        if kind < 3 {
+            oracle.insert((src, dst), w);
+        } else {
+            oracle.remove(&(src, dst));
+        }
+    }
+}
+
+fn feed(h: &ClusterHandle, ops: &[(u8, u32, u32, u64)]) {
+    for &(kind, s, d, w) in ops {
+        let (src, dst) = (s % NUM_VERTICES, d % NUM_VERTICES);
+        if kind < 3 {
+            h.insert(Edge::weighted(src, dst, w)).expect("cluster alive");
+        } else {
+            h.delete(Edge::new(src, dst)).expect("cluster alive");
+        }
+    }
+}
+
+fn oracle_graph(oracle: &BTreeMap<(u32, u32), u64>) -> AdjLists {
+    let edges: Vec<Edge> = oracle
+        .iter()
+        .map(|(&(s, d), &w)| Edge::weighted(s, d, w))
+        .collect();
+    AdjLists::build(NUM_VERTICES, &edges)
+}
+
+/// Cut contents + host analytics on the cut must equal the oracle's.
+fn assert_cut_matches(cluster: &GraphCluster, oracle: &BTreeMap<(u32, u32), u64>, label: &str) {
+    let snap = cluster.epoch_cut().expect("cluster alive");
+    let got: BTreeMap<(u32, u32), u64> = snap
+        .merged_edges()
+        .iter()
+        .map(|e| ((e.src, e.dst), e.weight))
+        .collect();
+    assert_eq!(&got, oracle, "{label}: edge sets diverged");
+    let adj = oracle_graph(oracle);
+    let root = oracle.keys().next().map(|&(s, _)| s).unwrap_or(0);
+    assert_eq!(bfs_host(&*snap, root), bfs_host(&adj, root), "{label}: BFS");
+    assert_eq!(cc_host(&*snap), cc_host(&adj), "{label}: CC");
+    let pr_cut = pagerank_host(&*snap, 0.85, 1e-10, 200);
+    let pr_adj = pagerank_host(&adj, 0.85, 1e-10, 200);
+    for v in 0..NUM_VERTICES as usize {
+        assert!(
+            (pr_cut.ranks[v] - pr_adj.ranks[v]).abs() < 1e-9,
+            "{label}: pagerank vertex {v}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Kill a random shard at a random epoch of a random stream, under
+    /// either 1D policy: the recovered cluster equals the sequential
+    /// oracle at every subsequent cut. The kill lands mid-stream, so
+    /// whatever the victim had buffered but not flushed dies with it and
+    /// must come back from checkpoint + delta-ring + replay-log recovery.
+    #[test]
+    fn killed_shard_stream_matches_sequential_oracle(
+        ops_a in prop::collection::vec((0u8..4, 0u32..64, 0u32..64, 1u64..100), 1..60),
+        ops_b in prop::collection::vec((0u8..4, 0u32..64, 0u32..64, 1u64..100), 1..60),
+        ops_c in prop::collection::vec((0u8..4, 0u32..64, 0u32..64, 1u64..100), 1..60),
+        kill_shard in 0usize..4,
+        use_hash in any::<bool>(),
+        threshold in 1usize..10,
+    ) {
+        let policy: Arc<dyn Partitioner> = if use_hash {
+            Arc::new(HashVertexPartition { num_vertices: NUM_VERTICES, num_shards: 4 })
+        } else {
+            Arc::new(VertexPartition { num_vertices: NUM_VERTICES, num_shards: 4 })
+        };
+        let cluster = GraphCluster::spawn(
+            recovery_config(threshold),
+            &DeviceConfig::deterministic(),
+            policy,
+            &[],
+        );
+        let h = cluster.handle();
+        let mut oracle = BTreeMap::new();
+
+        // Phase 1: establish durable checkpoints at a healthy cut.
+        feed(&h, &ops_a);
+        apply_oracle(&mut oracle, &ops_a);
+        assert_cut_matches(&cluster, &oracle, "pre-kill");
+
+        // Phase 2: stream a random prefix, then kill a random shard. The
+        // random ops_b length is the random kill epoch.
+        feed(&h, &ops_b);
+        apply_oracle(&mut oracle, &ops_b);
+        prop_assert!(cluster.kill_shard(kill_shard).expect("cluster alive"));
+
+        // Phase 3: keep streaming over the corpse; the router detects the
+        // dead worker and respawns it inline.
+        feed(&h, &ops_c);
+        apply_oracle(&mut oracle, &ops_c);
+        assert_cut_matches(&cluster, &oracle, "first post-kill cut");
+
+        // Every *subsequent* cut must stay exact too (the recovered
+        // incarnation keeps ingesting and checkpointing).
+        feed(&h, &ops_b);
+        apply_oracle(&mut oracle, &ops_b);
+        assert_cut_matches(&cluster, &oracle, "second post-kill cut");
+
+        let report = cluster.shutdown();
+        prop_assert!(report.metrics.recoveries >= 1, "the kill must be recovered");
+    }
+}
+
+/// A kill straddling a live reshard: the dead worker is detected during the
+/// reshard's quiesce, recovered, and the migration proceeds onto the new
+/// plan; a second kill *after* the reshard recovers from the re-taken
+/// checkpoints. Both sides stay oracle-exact.
+#[test]
+fn kill_straddling_a_reshard_recovers_exactly() {
+    let cluster = GraphCluster::spawn(
+        recovery_config(4),
+        &DeviceConfig::deterministic(),
+        Arc::new(HashVertexPartition {
+            num_vertices: NUM_VERTICES,
+            num_shards: 4,
+        }),
+        &[],
+    );
+    let h = cluster.handle();
+    let mut oracle = BTreeMap::new();
+
+    let phase_a: Vec<(u8, u32, u32, u64)> = (0..40u32)
+        .map(|i| (0u8, i % NUM_VERTICES, (i * 7 + 1) % NUM_VERTICES, u64::from(i + 1)))
+        .collect();
+    feed(&h, &phase_a);
+    apply_oracle(&mut oracle, &phase_a);
+    assert_cut_matches(&cluster, &oracle, "pre-kill");
+
+    // Kill, then immediately reshard: the quiesce path must detect and
+    // recover the corpse before migrating state off it.
+    assert!(cluster.kill_shard(2).expect("cluster alive"));
+    let report = cluster
+        .reshard(Arc::new(VertexPartition {
+            num_vertices: NUM_VERTICES,
+            num_shards: 2,
+        }))
+        .expect("reshard over a dead shard");
+    assert_eq!(report.migrated_edges + report.resident_edges, oracle.len());
+    assert_eq!(cluster.num_shards(), 2);
+    assert_cut_matches(&cluster, &oracle, "post-reshard");
+
+    // The reshard re-checkpointed the new incarnations: a kill in the new
+    // shard space recovers from those.
+    let phase_b: Vec<(u8, u32, u32, u64)> = (0..24u32)
+        .map(|i| {
+            let kind = if i % 5 == 4 { 3u8 } else { 0u8 };
+            (kind, (i * 3) % NUM_VERTICES, (i * 11 + 2) % NUM_VERTICES, u64::from(i + 100))
+        })
+        .collect();
+    feed(&h, &phase_b);
+    apply_oracle(&mut oracle, &phase_b);
+    assert!(cluster.kill_shard(1).expect("cluster alive"));
+    feed(&h, &phase_a);
+    apply_oracle(&mut oracle, &phase_a);
+    assert_cut_matches(&cluster, &oracle, "post-reshard kill");
+
+    let report = cluster.shutdown();
+    assert!(report.metrics.recoveries >= 2, "both kills must be recovered");
+    assert_eq!(report.metrics.reshard_count, 1);
+}
+
+/// A shard delta ring far too small to cover the flushes since the last
+/// checkpoint: recovery cannot stitch the gap from deltas and must fall
+/// back to the dead worker's published snapshot — counted, and still
+/// oracle-exact.
+#[test]
+fn ring_outrun_recovery_falls_back_to_snapshot() {
+    let cluster = GraphCluster::spawn(
+        ClusterConfig {
+            flush_threshold: 2,
+            router_batch: 4,
+            shard_delta_log_capacity: 2,
+            recovery: Some(RecoveryPolicy {
+                store: Arc::new(MemoryCheckpointStore::new()),
+                checkpoint_every_cuts: 1,
+            }),
+            ..Default::default()
+        },
+        &DeviceConfig::deterministic(),
+        Arc::new(VertexPartition {
+            num_vertices: NUM_VERTICES,
+            num_shards: 4,
+        }),
+        &[],
+    );
+    let h = cluster.handle();
+    let mut oracle = BTreeMap::new();
+
+    let seed_ops: Vec<(u8, u32, u32, u64)> = (0..16u32)
+        .map(|i| (0u8, i % 16, (i + 17) % NUM_VERTICES, u64::from(i + 1)))
+        .collect();
+    feed(&h, &seed_ops);
+    apply_oracle(&mut oracle, &seed_ops);
+    assert_cut_matches(&cluster, &oracle, "checkpoint cut");
+
+    // 32 updates for shard 0 alone (VertexPartition ranges: vertices 0..16)
+    // = 16 flushes at threshold 2, blowing far past the 2-deep ring.
+    let burst: Vec<(u8, u32, u32, u64)> = (0..32u32)
+        .map(|i| (0u8, i % 16, (i * 5 + 3) % NUM_VERTICES, u64::from(i + 200)))
+        .collect();
+    feed(&h, &burst);
+    apply_oracle(&mut oracle, &burst);
+    assert!(cluster.kill_shard(0).expect("cluster alive"));
+
+    let tail_ops: Vec<(u8, u32, u32, u64)> = (0..12u32)
+        .map(|i| (0u8, i % 16, (i * 13 + 5) % NUM_VERTICES, u64::from(i + 500)))
+        .collect();
+    feed(&h, &tail_ops);
+    apply_oracle(&mut oracle, &tail_ops);
+    assert_cut_matches(&cluster, &oracle, "post-outrun recovery");
+
+    let report = cluster.shutdown();
+    assert!(report.metrics.recoveries >= 1);
+    assert!(
+        report.metrics.recovery_snapshot_fallbacks >= 1,
+        "a 2-deep ring cannot cover a 16-flush gap: {:?}",
+        report.metrics.recovery_stats()
+    );
+}
