@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENT: all | table1 | table2 | fig7 | fig8 | fig9 | fig10 | fig11 |
 //!             fig12 | sorted | explicit | ablation | service | cluster |
-//!             incremental | elastic | audit | recovery
+//!             incremental | elastic | audit | recovery | obs
 //! ```
 
 use gpma_bench::apps::App;
@@ -53,7 +53,7 @@ fn main() {
         selected = [
             "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sorted",
             "explicit", "ablation", "service", "cluster", "incremental", "elastic", "audit",
-            "recovery",
+            "recovery", "obs",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -88,6 +88,7 @@ fn main() {
             "elastic" => exp::elastic(&cfg),
             "audit" => exp::audit(&cfg),
             "recovery" => exp::recovery(&cfg),
+            "obs" => exp::obs(&cfg),
             other => eprintln!("unknown experiment: {other} (see --help)"),
         }
         eprintln!("[{s} finished in {:.1}s]", t0.elapsed().as_secs_f64());
@@ -98,7 +99,7 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's evaluation\n\
          usage: repro [EXPERIMENT ...] [--scale F] [--seed N] [--slides N] [--quick]\n\
-         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation service cluster incremental elastic audit recovery\n\
+         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation service cluster incremental elastic audit recovery obs\n\
          defaults: --scale 0.005 --seed 42 --slides 3\n\
          --quick: scale 0.001, 1 slide per configuration"
     );

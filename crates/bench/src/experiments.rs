@@ -1696,3 +1696,241 @@ pub fn recovery(cfg: &ExpConfig) {
         eprintln!("(json save failed for recovery: {e})");
     }
 }
+
+// ----------------------------------------------------------------------
+// obs — unified tracing, latency histograms and stage telemetry
+// ----------------------------------------------------------------------
+
+/// The observability experiment (DESIGN.md §13):
+///
+/// **(a) Instrumentation overhead** — the same single-service ingest
+/// workload runs with the telemetry registry enabled and disabled
+/// (runtime-inert spans: no clock reads, no samples); the wall-clock delta
+/// is the cost of the measurement plane itself. Target: < 2 %.
+///
+/// **(b) Steady vs chaos ingest latency** — a 4-shard cluster under
+/// multi-producer per-edge traffic, first undisturbed, then with a
+/// mid-stream grow reshard (4 → 6) and a mid-stream shard kill + recovery.
+/// Reported: client ingest p50/p99 per scenario, the
+/// `ingest.reshard` histogram (sends completing while migration held the
+/// router), and the full per-stage breakdown (flush, route/forward,
+/// cut barrier/publish, reshard quiesce/migrate/resume, recovery
+/// restore/replay, checkpoint) from the cluster registry.
+pub fn obs(cfg: &ExpConfig) {
+    use gpma_cluster::{
+        ClusterConfig, GraphCluster, MemoryCheckpointStore, PartitionPolicy, RecoveryPolicy,
+    };
+    use gpma_graph::Edge;
+    use gpma_obs::Stage;
+    use gpma_service::{ServiceConfig, StreamingService};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
+    let nv = stream.num_vertices;
+    let batch = stream.slide_batch_size(0.01).max(1);
+    let tail = &stream.edges[stream.initial_size()..];
+    assert!(!tail.is_empty(), "obs needs a streamed tail");
+
+    // (a) Overhead: flush-sized batches + per-flush spans, measured with
+    // the registry on and off (interleaved best-of-N so scheduler noise
+    // hits both arms equally).
+    let slides = if cfg.max_slides <= 1 {
+        8
+    } else {
+        8 * cfg.max_slides
+    };
+    let run_once = |metered: bool| -> f64 {
+        let dev = Device::new(cfg.device_cfg.clone());
+        let sys = DynamicGraphSystem::new(dev, nv, stream.initial_edges(), batch);
+        let svc = StreamingService::spawn(ServiceConfig::default(), sys);
+        svc.obs().set_enabled(metered);
+        let h = svc.handle();
+        let t0 = Instant::now();
+        for step in 0..slides {
+            let mut b = UpdateBatch::default();
+            for i in 0..batch {
+                let n = step * batch + i;
+                let e = tail[n % tail.len()];
+                b.insertions
+                    .push(Edge::weighted(e.src, e.dst, (n + 1) as u64));
+            }
+            h.ingest(b).expect("service alive");
+        }
+        svc.barrier().expect("service alive");
+        let wall = t0.elapsed().as_secs_f64();
+        drop(svc.shutdown());
+        wall
+    };
+    run_once(true); // warm-up: page in the dataset + code paths
+    let (mut on, mut off) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        off = off.min(run_once(false));
+        on = on.min(run_once(true));
+    }
+    let overhead_pct = (on - off) / off.max(1e-12) * 100.0;
+    eprintln!(
+        "obs: overhead {overhead_pct:+.2}% (enabled {:.2} ms vs disabled {:.2} ms, {slides} flushes)",
+        on * 1e3,
+        off * 1e3,
+    );
+
+    // (b) Steady vs chaos: the same producer pattern, one quiet cluster and
+    // one that reshards and loses a shard mid-stream.
+    let cuts_per_phase = if cfg.max_slides <= 1 { 2 } else { 4 };
+    let run_cluster = |chaos: bool| -> (GraphCluster, u64) {
+        let store = Arc::new(MemoryCheckpointStore::new());
+        let cluster = GraphCluster::spawn(
+            ClusterConfig {
+                flush_threshold: batch.clamp(16, 1024),
+                recovery: Some(RecoveryPolicy {
+                    store,
+                    checkpoint_every_cuts: 2,
+                }),
+                ..Default::default()
+            },
+            &cfg.device_cfg,
+            PartitionPolicy::VertexHash.build(nv, 4),
+            stream.initial_edges(),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let h = cluster.handle();
+                let stop = stop.clone();
+                let feed: Vec<Edge> = tail.to_vec();
+                std::thread::spawn(move || {
+                    let mut n = p;
+                    while !stop.load(Ordering::Relaxed) {
+                        let e = feed[n % feed.len()];
+                        if h
+                            .insert(Edge::weighted(e.src, e.dst, (n + 1) as u64))
+                            .is_err()
+                        {
+                            return;
+                        }
+                        n += 4;
+                    }
+                })
+            })
+            .collect();
+        // Control activity paces the phases: each cut forwards + barriers,
+        // so real producer traffic flows between the control points.
+        for _ in 0..cuts_per_phase {
+            cluster.epoch_cut().expect("cluster alive");
+        }
+        if chaos {
+            cluster
+                .reshard(PartitionPolicy::VertexHash.build(nv, 6))
+                .expect("mid-stream grow reshard");
+            for _ in 0..cuts_per_phase {
+                cluster.epoch_cut().expect("cluster alive");
+            }
+            cluster.kill_shard(1).expect("cluster alive");
+            // The next cuts detect the corpse and recover it.
+            for _ in 0..cuts_per_phase {
+                cluster.epoch_cut().expect("cluster alive");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for p in producers {
+            p.join().expect("producer thread");
+        }
+        let updates = cluster
+            .obs()
+            .hist(Stage::IngestEnqueue)
+            .snapshot()
+            .count;
+        (cluster, updates)
+    };
+
+    let (steady, steady_updates) = run_cluster(false);
+    let steady_ingest = steady.obs().hist(Stage::IngestEnqueue).snapshot();
+    drop(steady.shutdown());
+
+    let (chaos, chaos_updates) = run_cluster(true);
+    let chaos_ingest = chaos.obs().hist(Stage::IngestEnqueue).snapshot();
+    let under_reshard = chaos.obs().hist(Stage::IngestReshard).snapshot();
+    eprintln!("{}", chaos.metrics_report().expect("cluster alive"));
+    let telemetry_json = chaos.obs_dump();
+    let chaos_report = chaos.shutdown();
+    let rs = chaos_report.metrics.recovery_stats();
+
+    emit(
+        "obs",
+        "Ingest latency under chaos (4 shards; grow reshard + shard kill mid-stream)",
+        &["Scenario", "Updates", "p50us", "p99us", "Maxus"],
+        &[
+            vec![
+                "steady".into(),
+                format!("{steady_updates}"),
+                format!("{}", steady_ingest.p50),
+                format!("{}", steady_ingest.p99),
+                format!("{}", steady_ingest.max),
+            ],
+            vec![
+                "chaos".into(),
+                format!("{chaos_updates}"),
+                format!("{}", chaos_ingest.p50),
+                format!("{}", chaos_ingest.p99),
+                format!("{}", chaos_ingest.max),
+            ],
+            vec![
+                "under-reshard".into(),
+                format!("{}", under_reshard.count),
+                format!("{}", under_reshard.p50),
+                format!("{}", under_reshard.p99),
+                format!("{}", under_reshard.max),
+            ],
+        ],
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"obs\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"scale\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"num_vertices\": {},\n",
+            "  \"flush_batch\": {},\n",
+            "  \"overhead\": {{\"flushes\": {}, \"enabled_secs\": {:.6}, ",
+            "\"disabled_secs\": {:.6}, \"overhead_pct\": {:.3}}},\n",
+            "  \"steady\": {{\"updates\": {}, \"ingest_p50_us\": {}, ",
+            "\"ingest_p99_us\": {}, \"ingest_max_us\": {}}},\n",
+            "  \"chaos\": {{\"updates\": {}, \"reshards\": 1, \"recoveries\": {}, ",
+            "\"ingest_p50_us\": {}, \"ingest_p99_us\": {}, \"ingest_max_us\": {}, ",
+            "\"under_reshard\": {{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, ",
+            "\"max_us\": {}}}}},\n",
+            "  \"telemetry\": {}",
+            "}}\n"
+        ),
+        crate::report::json_escape(&stream.name),
+        cfg.scale,
+        cfg.seed,
+        nv,
+        batch,
+        slides,
+        on,
+        off,
+        overhead_pct,
+        steady_updates,
+        steady_ingest.p50,
+        steady_ingest.p99,
+        steady_ingest.max,
+        chaos_updates,
+        rs.recoveries,
+        chaos_ingest.p50,
+        chaos_ingest.p99,
+        chaos_ingest.max,
+        under_reshard.count,
+        under_reshard.p50,
+        under_reshard.p99,
+        under_reshard.max,
+        telemetry_json,
+    );
+    if let Err(e) = crate::report::save_json("BENCH_obs", &json) {
+        eprintln!("(json save failed for obs: {e})");
+    }
+}

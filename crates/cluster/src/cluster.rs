@@ -2,7 +2,7 @@
 //! ingest stream out across per-shard [`StreamingService`] workers, the
 //! coordinated epoch cut, and the shutdown protocol.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -14,6 +14,7 @@ use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot, BYTES_PER_UPDATE};
 use gpma_core::migration::MigrationPlan;
 use gpma_core::multi::{DegreePartition, PartitionEpoch, Partitioner};
 use gpma_graph::{Edge, UpdateBatch};
+use gpma_obs::{EventKind, Registry as ObsRegistry, Stage, NO_SHARD};
 use gpma_service::{DeltaMonitor, IngestHandle, ServiceConfig, ServiceReport, StreamingService};
 use gpma_sim::pcie::{Pcie, TransferLedger};
 use gpma_sim::{Device, DeviceConfig, PcieConfig};
@@ -339,6 +340,15 @@ struct Shared {
     ingested_deletes: AtomicU64,
     queries: AtomicU64,
     cuts: AtomicU64,
+    /// The cluster-wide telemetry hub (DESIGN.md §13): shared with every
+    /// shard service via [`StreamingService::spawn_instrumented`] so flush
+    /// stages aggregate cluster-wide and survive shard respawns.
+    obs: Arc<ObsRegistry>,
+    /// True while the router is inside a live reshard. Producer sends that
+    /// complete in this window are additionally sampled into the
+    /// `ingest.reshard` histogram — ingest latency *under* migration, the
+    /// headline number of the `obs` experiment.
+    reshard_active: AtomicBool,
     started: Instant,
 }
 
@@ -356,16 +366,39 @@ pub struct ClusterHandle {
 }
 
 impl ClusterHandle {
+    /// Start an `ingest.enqueue` timing sample, or `None` when telemetry is
+    /// off (the no-op path reads no clock at all).
+    fn enqueue_t0(&self) -> Option<Instant> {
+        self.shared.obs.is_enabled().then(Instant::now)
+    }
+
+    /// Finish an enqueue sample: always `ingest.enqueue`, plus
+    /// `ingest.reshard` while a live reshard holds the router — the
+    /// latency-under-migration histogram.
+    fn record_enqueue(&self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            let us = t0.elapsed().as_micros() as u64;
+            self.shared.obs.record(Stage::IngestEnqueue, us);
+            if self.shared.reshard_active.load(Ordering::Relaxed) {
+                self.shared.obs.record(Stage::IngestReshard, us);
+            }
+        }
+    }
+
     /// Stream one edge insertion, blocking while the router queue is full.
     pub fn insert(&self, e: Edge) -> Result<(), ClusterClosed> {
+        let t0 = self.enqueue_t0();
         self.tx.send(Command::Insert(e)).map_err(|_| ClusterClosed)?;
+        self.record_enqueue(t0);
         self.shared.ingested_inserts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Stream one edge deletion, blocking while the router queue is full.
     pub fn delete(&self, e: Edge) -> Result<(), ClusterClosed> {
+        let t0 = self.enqueue_t0();
         self.tx.send(Command::Delete(e)).map_err(|_| ClusterClosed)?;
+        self.record_enqueue(t0);
         self.shared.ingested_deletes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -375,9 +408,11 @@ impl ClusterHandle {
     /// router queue is full.
     pub fn ingest(&self, batch: UpdateBatch) -> Result<(), ClusterClosed> {
         let (ins, del) = (batch.insertions.len() as u64, batch.deletions.len() as u64);
+        let t0 = self.enqueue_t0();
         self.tx
             .send(Command::Batch(batch))
             .map_err(|_| ClusterClosed)?;
+        self.record_enqueue(t0);
         self.shared.ingested_inserts.fetch_add(ins, Ordering::Relaxed);
         self.shared.ingested_deletes.fetch_add(del, Ordering::Relaxed);
         Ok(())
@@ -447,10 +482,11 @@ impl GraphCluster {
             per_shard[partitioner.shard_of_edge(e.src, e.dst)].push(*e);
         }
 
+        let obs = Arc::new(ObsRegistry::new());
         let mut services = Vec::with_capacity(num_shards);
         let mut initial_snaps = Vec::with_capacity(num_shards);
         for (i, edges) in per_shard.iter().enumerate() {
-            let (svc, initial) = spawn_shard_service(i, &cfg, device_cfg, num_vertices, edges);
+            let (svc, initial) = spawn_shard_service(i, &cfg, device_cfg, num_vertices, edges, &obs);
             initial_snaps.push(initial);
             services.push(svc);
         }
@@ -473,6 +509,8 @@ impl GraphCluster {
             ingested_deletes: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             cuts: AtomicU64::new(0),
+            obs,
+            reshard_active: AtomicBool::new(false),
             started: Instant::now(),
         });
 
@@ -688,6 +726,31 @@ impl GraphCluster {
         }
     }
 
+    /// The cluster-wide telemetry registry: per-stage latency histograms
+    /// (ingest, flush, routing, cut, reshard, recovery) plus the bounded
+    /// event timeline. One registry serves the router and every shard
+    /// worker, so stage histograms aggregate cluster-wide and survive
+    /// shard respawns and reshards.
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.shared.obs
+    }
+
+    /// The one-line [`ClusterMetrics`] summary followed by the per-stage
+    /// latency table — the human-readable health readout. Queues behind
+    /// in-flight updates like [`Self::metrics`].
+    pub fn metrics_report(&self) -> Result<String, ClusterClosed> {
+        let m = self.metrics()?;
+        Ok(format!("{m}\n{}", self.shared.obs.render_table()))
+    }
+
+    /// The full telemetry dump as JSON: every stage histogram's summary
+    /// statistics plus the buffered event timeline. Machine-readable
+    /// counterpart of [`Self::metrics_report`]; see also
+    /// [`gpma_obs::Registry::render_prometheus`] via [`Self::obs`].
+    pub fn obs_dump(&self) -> String {
+        self.shared.obs.render_json()
+    }
+
     /// Stop the cluster: drain the router queue, forward all residue, take
     /// a final coordinated cut, shut every shard service down and hand all
     /// reports back. Outstanding [`ClusterHandle`]s get [`ClusterClosed`]
@@ -816,17 +879,24 @@ fn spawn_shard_service(
     device_cfg: &DeviceConfig,
     num_vertices: u32,
     edges: &[Edge],
+    obs: &Arc<ObsRegistry>,
 ) -> (StreamingService, Arc<GraphSnapshot>) {
     let dev = Device::named(device_cfg.clone(), format!("shard{shard}"));
     let sys = DynamicGraphSystem::new(dev, num_vertices, edges, cfg.flush_threshold);
     let initial = Arc::new(sys.snapshot());
-    let svc = StreamingService::spawn(
+    // Every shard worker records into the one cluster registry, so flush
+    // histograms aggregate cluster-wide and survive shard respawns.
+    let svc = StreamingService::spawn_instrumented(
         ServiceConfig {
             queue_capacity: cfg.shard_queue_capacity,
             delta_log_capacity: cfg.shard_delta_log_capacity,
             ..Default::default()
         },
         sys,
+        Vec::new(),
+        Vec::new(),
+        obs.clone(),
+        shard as u32,
     );
     (svc, initial)
 }
@@ -924,6 +994,10 @@ impl Router {
     /// the pending window (a deletion cancels a same-key pending insert on
     /// its shard before being buffered).
     fn route(&mut self, cmd: Command) {
+        // One `router.route` sample per routed command: partition lookup,
+        // cut-edge accounting and pending-window cancellation.
+        let obs = self.shared.obs.clone();
+        let _route = obs.span(Stage::RouteBatch);
         match cmd {
             Command::Insert(e) => {
                 self.route_insert(e);
@@ -989,6 +1063,8 @@ impl Router {
         if self.pending_len == 0 {
             return;
         }
+        let obs = self.shared.obs.clone();
+        let fwd_span = obs.span(Stage::Forward);
         let mut outgoing: Vec<(usize, UpdateBatch)> = Vec::with_capacity(self.pending.len());
         for (i, slot) in self.pending.iter_mut().enumerate() {
             if !slot.is_empty() {
@@ -1014,7 +1090,10 @@ impl Router {
         }
         let mut dead: Vec<usize> = Vec::new();
         for (i, b) in outgoing {
-            if self.handles[i].ingest(b).is_err() {
+            // Unmetered: router-internal traffic must not pollute the
+            // client-facing ingest-latency histogram (this whole burst is
+            // already timed by the `router.forward` span).
+            if self.handles[i].ingest_unmetered(b).is_err() {
                 // Without a recovery policy a closed shard only happens
                 // mid-teardown; drop silently like any send into a stopping
                 // server. With one, a failed send IS the failure detector.
@@ -1025,6 +1104,9 @@ impl Router {
         }
         self.lifetime_routed += self.pending_len as u64;
         self.pending_len = 0;
+        // The forward span ends here: fault firing and recovery below are
+        // their own pipeline stages, not part of the send fan-out.
+        drop(fwd_span);
         // The one-shot fault plan fires right after the burst that crossed
         // its threshold: the victim's queued updates die unflushed, exactly
         // like a process kill between flushes.
@@ -1056,10 +1138,17 @@ impl Router {
         if self.recovery.is_none() {
             return;
         }
-        for i in 0..self.services.len() {
-            if !self.services[i].is_alive() {
-                self.recover_shard(i);
-            }
+        // The probe pass is the failure *detection* stage; the recoveries it
+        // triggers are timed separately (`recovery.restore` / `.replay`).
+        let dead: Vec<usize> = {
+            let obs = self.shared.obs.clone();
+            let _detect = obs.span(Stage::RecoveryDetect);
+            (0..self.services.len())
+                .filter(|&i| !self.services[i].is_alive())
+                .collect()
+        };
+        for i in dead {
+            self.recover_shard(i);
         }
     }
 
@@ -1087,11 +1176,13 @@ impl Router {
         let Some(policy) = self.recovery.clone() else {
             return;
         };
+        let obs = self.shared.obs.clone();
         let t0 = Instant::now();
         let nv = self.part.plan().num_vertices();
         let mut fallback = false;
         let mut replayed_deltas = 0u64;
 
+        let restore_span = obs.span(Stage::RecoveryRestore);
         let restored_ckpt: Option<GraphSnapshot> = match policy.store.load_latest(i) {
             Ok(Some(bytes)) => match Checkpoint::decode(&bytes) {
                 Ok(ckpt) => Some(ckpt.restore()),
@@ -1128,13 +1219,16 @@ impl Router {
                 (*dead.snapshot()).clone()
             }
         };
+        drop(restore_span);
 
-        let (svc, _) = spawn_shard_service(i, &self.cfg, &self.device_cfg, nv, recovered.edges());
+        let replay_span = obs.span(Stage::RecoveryReplay);
+        let (svc, _) =
+            spawn_shard_service(i, &self.cfg, &self.device_cfg, nv, recovered.edges(), &obs);
         let log = std::mem::take(&mut self.replay[i]);
         let replayed_updates: u64 = log.iter().map(|b| b.len() as u64).sum();
         let h = svc.handle();
         for b in log {
-            let _ = h.ingest(b);
+            let _ = h.ingest_unmetered(b);
         }
         if svc.barrier().is_err() {
             // A freshly spawned worker dying inside recovery means the
@@ -1145,6 +1239,14 @@ impl Router {
         self.handles[i] = svc.handle();
         self.services[i] = svc;
         self.force_rebase = true;
+        drop(replay_span);
+        obs.event(
+            Stage::RecoveryReplay,
+            i as u32,
+            0,
+            EventKind::Recovered,
+            t0.elapsed().as_micros() as u64,
+        );
         let (saved, bytes_len) = self.save_checkpoint(&policy, i);
 
         let mut c = self.shared.router.lock();
@@ -1166,6 +1268,8 @@ impl Router {
     /// the shard's replay log is trimmed only on success (the log must
     /// reach back to whatever checkpoint recovery would actually load).
     fn save_checkpoint(&mut self, policy: &RecoveryPolicy, i: usize) -> (bool, u64) {
+        let obs = self.shared.obs.clone();
+        let _save = obs.span(Stage::CheckpointSave);
         let ckpt = self.services[i].checkpoint();
         let epoch = ckpt.epoch();
         let bytes = ckpt.encode();
@@ -1234,20 +1338,36 @@ impl Router {
     /// its epoch-stamped snapshot), assemble and publish the cluster cut —
     /// plus the cut's merged delta, stitched from the shard delta rings.
     fn cut(&mut self) -> Arc<ClusterSnapshot> {
-        self.forward();
-        // `forward` recovers shards whose sends failed; shards that died
-        // with no in-flight traffic are only detectable by probing.
-        self.ensure_shards_alive();
-        let snaps: Vec<Arc<GraphSnapshot>> = self.barrier_all();
+        let obs = self.shared.obs.clone();
+        let t0 = Instant::now();
+        let snaps: Vec<Arc<GraphSnapshot>> = {
+            let _barrier = obs.span(Stage::CutBarrier);
+            self.forward();
+            // `forward` recovers shards whose sends failed; shards that died
+            // with no in-flight traffic are only detectable by probing.
+            self.ensure_shards_alive();
+            self.barrier_all()
+        };
         let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
-        let snap = Arc::new(ClusterSnapshot::new(
+        let snap = {
+            let _publish = obs.span(Stage::CutPublish);
+            let snap = Arc::new(ClusterSnapshot::new(
+                cut,
+                self.part.plan().num_vertices(),
+                snaps,
+            ));
+            *self.shared.snapshot.lock() = snap.clone();
+            self.publish_cut_delta(cut, &snap);
+            self.maybe_checkpoint(cut);
+            snap
+        };
+        obs.event(
+            Stage::CutPublish,
+            NO_SHARD,
             cut,
-            self.part.plan().num_vertices(),
-            snaps,
-        ));
-        *self.shared.snapshot.lock() = snap.clone();
-        self.publish_cut_delta(cut, &snap);
-        self.maybe_checkpoint(cut);
+            EventKind::Cut,
+            t0.elapsed().as_micros() as u64,
+        );
         snap
     }
 
@@ -1284,14 +1404,21 @@ impl Router {
         let from_policy = self.part.plan().name().to_string();
         let new_n = new.num_shards().max(1);
         let old_n = self.services.len();
+        let obs = self.shared.obs.clone();
+        obs.event(Stage::ReshardQuiesce, NO_SHARD, 0, EventKind::ReshardBegin, 0);
+        // Producer sends completing from here to the end of the reshard are
+        // additionally sampled into `ingest.reshard` (see ClusterHandle).
+        self.shared.reshard_active.store(true, Ordering::Relaxed);
 
         // (1) Quiesce under the old plan. A shard that died mid-stream must
         // be recovered *before* the migration reads its edges — a reshard
         // over a stale snapshot would silently drop its unflushed updates.
+        let quiesce_span = obs.span(Stage::ReshardQuiesce);
         self.forward();
         self.ensure_shards_alive();
         let t0 = Instant::now();
         let snaps: Vec<Arc<GraphSnapshot>> = self.barrier_all();
+        drop(quiesce_span);
 
         // (2) Minimal move set; grow fresh services for new shard ids.
         let per_shard: Vec<&[Edge]> = snaps.iter().map(|s| s.edges()).collect();
@@ -1334,27 +1461,37 @@ impl Router {
                 auto,
             };
             self.shared.reshards.lock().push(report.clone());
+            self.shared.reshard_active.store(false, Ordering::Relaxed);
+            obs.event(
+                Stage::ReshardResume,
+                NO_SHARD,
+                report.version,
+                EventKind::ReshardEnd,
+                (pause_secs * 1e6) as u64,
+            );
             return Ok(report);
         }
 
+        let migrate_span = obs.span(Stage::ReshardMigrate);
         for i in old_n..new_n {
-            let (svc, _) = spawn_shard_service(i, &self.cfg, &self.device_cfg, nv, &[]);
+            let (svc, _) = spawn_shard_service(i, &self.cfg, &self.device_cfg, nv, &[], &obs);
             self.handles.push(svc.handle());
             self.services.push(svc);
         }
 
         // (3) Ship the moves; count per-destination arrivals for the DMA
-        // charges below.
+        // charges below. Unmetered sends: migration traffic is internal
+        // (timed by this `reshard.migrate` span, not the ingest histogram).
         let mut arrived = vec![0usize; new_n];
         for m in plan.moves() {
             if m.from < new_n {
-                let _ = self.handles[m.from].ingest(UpdateBatch {
+                let _ = self.handles[m.from].ingest_unmetered(UpdateBatch {
                     insertions: Vec::new(),
                     deletions: m.edges.clone(),
                 });
             }
             arrived[m.to] += m.edges.len();
-            let _ = self.handles[m.to].ingest(UpdateBatch {
+            let _ = self.handles[m.to].ingest_unmetered(UpdateBatch {
                 insertions: m.edges.clone(),
                 deletions: Vec::new(),
             });
@@ -1365,8 +1502,10 @@ impl Router {
                 let _ = svc.shutdown();
             }
         }
+        drop(migrate_span);
 
         // (4) Settle, publish the epoch marker, swap the plan.
+        let resume_span = obs.span(Stage::ReshardResume);
         let snaps2: Vec<Arc<GraphSnapshot>> = self.barrier_all();
         let pause_secs = t0.elapsed().as_secs_f64();
         let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
@@ -1427,6 +1566,16 @@ impl Router {
             c.migration_bytes += plan.bytes() as u64;
             c.migration_pause_secs += pause_secs;
         }
+
+        drop(resume_span);
+        self.shared.reshard_active.store(false, Ordering::Relaxed);
+        obs.event(
+            Stage::ReshardResume,
+            NO_SHARD,
+            self.part.version(),
+            EventKind::ReshardEnd,
+            (pause_secs * 1e6) as u64,
+        );
 
         let report = ReshardReport {
             version: self.part.version(),
@@ -1691,6 +1840,53 @@ mod tests {
         assert_eq!(report.metrics.routed.iter().sum::<u64>(), 16);
         assert_eq!(total.bytes, 16 * BYTES_PER_UPDATE as u64);
         assert!(total.time.secs() > 0.0);
+    }
+
+    #[test]
+    fn telemetry_covers_ingest_routing_cut_and_reshard() {
+        let part = Arc::new(HashVertexPartition {
+            num_vertices: 32,
+            num_shards: 2,
+        });
+        let c = spawn4(part, &[]);
+        let h = c.handle();
+        for i in 1..=32u32 {
+            h.insert(Edge::new(i % 32, (i + 7) % 32)).unwrap();
+        }
+        c.epoch_cut().unwrap();
+        c.reshard(Arc::new(HashVertexPartition {
+            num_vertices: 32,
+            num_shards: 4,
+        }))
+        .unwrap();
+
+        let obs = c.obs().clone();
+        assert_eq!(obs.hist(Stage::IngestEnqueue).snapshot().count, 32);
+        for stage in [
+            Stage::RouteBatch,
+            Stage::Forward,
+            Stage::FlushApply,
+            Stage::CutBarrier,
+            Stage::CutPublish,
+            Stage::ReshardQuiesce,
+            Stage::ReshardMigrate,
+            Stage::ReshardResume,
+        ] {
+            assert!(
+                obs.hist(stage).snapshot().count > 0,
+                "stage {} never recorded",
+                stage.name()
+            );
+        }
+        let events = obs.events();
+        assert!(events.iter().any(|e| e.kind == EventKind::Cut));
+        assert!(events.iter().any(|e| e.kind == EventKind::ReshardBegin));
+        assert!(events.iter().any(|e| e.kind == EventKind::ReshardEnd));
+        gpma_obs::parse_exposition(&obs.render_prometheus()).unwrap();
+        let report = c.metrics_report().unwrap();
+        assert!(report.contains("cut.barrier"), "{report}");
+        assert!(c.obs_dump().contains("\"events\""));
+        c.shutdown();
     }
 
     #[test]

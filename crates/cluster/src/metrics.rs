@@ -249,46 +249,61 @@ impl ClusterMetrics {
 }
 
 impl std::fmt::Display for ClusterMetrics {
+    // Rendered through the shared `gpma_obs::LineReport` builder so the
+    // service and cluster one-liners keep one field-order/unit convention.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let t = self.total_transfer();
-        write!(
-            f,
-            "cluster[{} × {} v{}] cut {} ({} cuts, {} delta fallbacks) | \
-             ingested {} (+{} -{}) | \
-             routed {:?} in {:?} sub-batches (imbalance {:.2}) | \
-             cut-edges {} ({:.1}%) | \
-             transfer {} B in {} DMAs ({:.3} ms) | \
-             reshards {} ({} edges, {} B moved, {:.1} ms paused) | \
-             recoveries {} ({} fallbacks, {:.1} ms; {} ckpts, {} B) | queue {} | worker errors {}",
-            self.num_shards,
-            self.policy,
-            self.partition_version,
-            self.latest_cut,
-            self.cuts,
-            self.delta_fallbacks,
-            self.ingested(),
-            self.ingested_inserts,
-            self.ingested_deletes,
-            self.routed,
-            self.sub_batches,
-            self.imbalance(),
-            self.cut_edges,
-            self.cut_fraction() * 100.0,
-            t.bytes,
-            t.transfers,
-            t.time.millis(),
-            self.reshard_count,
+        let line = gpma_obs::LineReport::new(
+            "cluster",
+            format_args!("{} × {} v{}", self.num_shards, self.policy, self.partition_version),
+        )
+        .field("cut", self.latest_cut)
+        .annotate(format_args!(
+            "{} cuts, {} delta fallbacks",
+            self.cuts, self.delta_fallbacks
+        ))
+        .field("ingested", self.ingested())
+        .annotate(format_args!(
+            "+{} -{}",
+            self.ingested_inserts, self.ingested_deletes
+        ))
+        .group()
+        .raw(format_args!(
+            "routed {:?} in {:?} sub-batches",
+            self.routed, self.sub_batches
+        ))
+        .annotate(format_args!("imbalance {:.2}", self.imbalance()))
+        .field("cut-edges", self.cut_edges)
+        .annotate(format_args!("{:.1}%", self.cut_fraction() * 100.0))
+        .group()
+        .raw(format_args!(
+            "transfer {} in {} DMAs",
+            gpma_obs::fmt_bytes(t.bytes),
+            t.transfers
+        ))
+        .annotate(format_args!("{:.3} ms", t.time.millis()))
+        .group()
+        .field("reshards", self.reshard_count)
+        .annotate(format_args!(
+            "{} edges, {} moved, {:.1} ms paused",
             self.migrated_edges,
-            self.migration_bytes,
+            gpma_obs::fmt_bytes(self.migration_bytes),
             self.migration_pause_secs * 1e3,
-            self.recoveries,
+        ))
+        .group()
+        .field("recoveries", self.recoveries)
+        .annotate(format_args!(
+            "{} fallbacks, {:.1} ms",
             self.recovery_snapshot_fallbacks,
             self.recovery_secs * 1e3,
-            self.checkpoints_taken,
-            self.checkpoint_bytes,
-            self.queue_depth,
-            self.worker_errors,
-        )
+        ))
+        .count(self.checkpoints_taken, "ckpts")
+        .annotate(format_args!("{}", gpma_obs::fmt_bytes(self.checkpoint_bytes)))
+        .group()
+        .field("queue", self.queue_depth)
+        .field("worker errors", self.worker_errors)
+        .finish();
+        f.write_str(&line)
     }
 }
 

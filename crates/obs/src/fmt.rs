@@ -1,0 +1,136 @@
+//! Shared human-readable formatting: the [`LineReport`] builder both
+//! `ServiceMetrics` and `ClusterMetrics` render their `Display` through
+//! (one convention for field order, separators and units instead of two
+//! drifting hand-rolled `write!` chains), plus small value formatters.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// Render a microsecond count with an adaptive unit (`17µs`, `3.4ms`,
+/// `2.1s`).
+pub fn fmt_micros(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}
+
+/// Render a byte count with an adaptive unit (`900 B`, `14.1 KB`,
+/// `3.2 MB`).
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes < 10_000 {
+        format!("{bytes} B")
+    } else if bytes < 10_000_000 {
+        format!("{:.1} KB", bytes as f64 / 1e3)
+    } else {
+        format!("{:.1} MB", bytes as f64 / 1e6)
+    }
+}
+
+/// One-line metrics report builder: a `scope[context]` header followed by
+/// `name value` fields, comma-separated within a group, ` | `-separated
+/// between groups.
+///
+/// ```
+/// let line = gpma_obs::LineReport::new("service", "epoch 3")
+///     .field("ingested", 100)
+///     .group()
+///     .field("dropped", 25)
+///     .count(4, "deltas")
+///     .finish();
+/// assert_eq!(line, "service[epoch 3] ingested 100 | dropped 25, 4 deltas");
+/// ```
+#[derive(Debug)]
+pub struct LineReport {
+    buf: String,
+    /// Separator to write before the next field.
+    sep: &'static str,
+}
+
+impl LineReport {
+    /// Start a report: `scope[context]`.
+    pub fn new(scope: &str, context: impl Display) -> Self {
+        LineReport {
+            buf: format!("{scope}[{context}]"),
+            sep: " ",
+        }
+    }
+
+    /// Start a new field group (` | ` before the next field).
+    pub fn group(mut self) -> Self {
+        self.sep = " | ";
+        self
+    }
+
+    /// Append a `name value` field.
+    pub fn field(mut self, name: &str, value: impl Display) -> Self {
+        let _ = write!(self.buf, "{}{name} {value}", self.sep);
+        self.sep = ", ";
+        self
+    }
+
+    /// Append a `value noun` field (`4 deltas`, `5 ckpts`).
+    pub fn count(mut self, value: impl Display, noun: &str) -> Self {
+        let _ = write!(self.buf, "{}{value} {noun}", self.sep);
+        self.sep = ", ";
+        self
+    }
+
+    /// Append a pre-formatted segment verbatim (for parenthesized detail
+    /// that doesn't fit the `name value` shape).
+    pub fn raw(mut self, segment: impl Display) -> Self {
+        let _ = write!(self.buf, "{}{segment}", self.sep);
+        self.sep = ", ";
+        self
+    }
+
+    /// Attach a parenthesized annotation to the *previous* field, with no
+    /// separator: `.field("queue", 7).annotate(format_args!("max {m}"))`
+    /// renders `queue 7 (max 12)`.
+    pub fn annotate(mut self, detail: impl Display) -> Self {
+        let _ = write!(self.buf, " ({detail})");
+        self
+    }
+
+    /// The finished line.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_groups_and_annotations_compose() {
+        let line = LineReport::new("cluster", format_args!("2 × hash v{}", 3))
+            .field("cut", 5)
+            .annotate("7 cuts")
+            .group()
+            .field("ingested", 100)
+            .count(5, "ckpts")
+            .finish();
+        assert_eq!(
+            line,
+            "cluster[2 × hash v3] cut 5 (7 cuts) | ingested 100, 5 ckpts"
+        );
+    }
+
+    #[test]
+    fn micros_formatting_picks_units() {
+        assert_eq!(fmt_micros(17), "17µs");
+        assert_eq!(fmt_micros(3_400), "3.4ms");
+        assert_eq!(fmt_micros(2_100_000), "2.10s");
+    }
+
+    #[test]
+    fn bytes_formatting_picks_units() {
+        assert_eq!(fmt_bytes(900), "900 B");
+        assert_eq!(fmt_bytes(14_100), "14.1 KB");
+        assert_eq!(fmt_bytes(32_500_000), "32.5 MB");
+    }
+}

@@ -1,0 +1,496 @@
+//! The [`Registry`]: one histogram per [`Stage`], a bounded structured
+//! event ring, and the renderers (Prometheus text exposition, JSON for
+//! `save_json`, aligned table for humans).
+
+use crate::fmt::fmt_micros;
+use crate::histogram::{HistSnapshot, Histogram};
+use crate::span::SpanGuard;
+use crate::stage::{EventKind, ObsEvent, Stage, Unit};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default capacity of the structured-event ring.
+pub const DEFAULT_EVENT_CAP: usize = 1024;
+
+/// Bounded event ring: keeps the most recent `cap` events, counts what it
+/// overwrote.
+#[derive(Debug)]
+struct EventRing {
+    buf: Vec<ObsEvent>,
+    cap: usize,
+    /// Next write position once `buf` is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    fn new(cap: usize) -> Self {
+        EventRing {
+            buf: Vec::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: ObsEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events oldest → newest.
+    fn ordered(&self) -> Vec<ObsEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// The telemetry hub one service or cluster owns (usually behind an
+/// `Arc`): per-stage histograms, span construction, the event ring, and
+/// every renderer. A registry built with [`Registry::disabled`] hands out
+/// inert spans and drops records/events without reading the clock — the
+/// baseline the overhead experiment measures against.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    start: Instant,
+    hists: Vec<Histogram>,
+    events: Mutex<EventRing>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry with the default event capacity.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAP)
+    }
+
+    /// An enabled registry whose event ring keeps `cap` events.
+    pub fn with_event_capacity(cap: usize) -> Self {
+        Registry {
+            enabled: AtomicBool::new(true),
+            start: Instant::now(),
+            hists: (0..Stage::COUNT).map(|_| Histogram::new()).collect(),
+            events: Mutex::new(EventRing::new(cap)),
+        }
+    }
+
+    /// A no-op registry: spans are inert, records and events are dropped.
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.enabled.store(false, Relaxed);
+        r
+    }
+
+    /// Is telemetry live?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Flip telemetry on/off at runtime (the histograms keep their
+    /// contents; only future records are affected).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    /// The stage's histogram (always readable, even when disabled).
+    pub fn hist(&self, stage: Stage) -> &Histogram {
+        &self.hists[stage.index()]
+    }
+
+    /// Start a span for `stage`; inert when the registry is disabled.
+    #[inline]
+    pub fn span(&self, stage: Stage) -> SpanGuard<'_> {
+        if self.enabled.load(Relaxed) {
+            SpanGuard::active(&self.hists[stage.index()])
+        } else {
+            SpanGuard::noop()
+        }
+    }
+
+    /// Record a raw sample for `stage` (epoch staleness, pre-measured
+    /// durations).
+    #[inline]
+    pub fn record(&self, stage: Stage, value: u64) {
+        if self.enabled.load(Relaxed) {
+            self.hists[stage.index()].record(value);
+        }
+    }
+
+    /// Record a wall-clock duration for `stage`, in microseconds.
+    #[inline]
+    pub fn record_duration(&self, stage: Stage, d: std::time::Duration) {
+        self.record(stage, d.as_micros() as u64);
+    }
+
+    /// Append a structured timeline event (timestamped since registry
+    /// creation). Kept off the span record path: callers emit events at
+    /// stage boundaries, not per sample.
+    pub fn event(&self, stage: Stage, shard: u32, epoch: u64, kind: EventKind, value: u64) {
+        if !self.enabled.load(Relaxed) {
+            return;
+        }
+        let ev = ObsEvent {
+            ts: self.start.elapsed().as_micros() as u64,
+            stage,
+            shard,
+            epoch,
+            kind,
+            value,
+        };
+        if let Ok(mut ring) = self.events.lock() {
+            ring.push(ev);
+        }
+    }
+
+    /// The ring's events, oldest → newest.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.events.lock().map(|r| r.ordered()).unwrap_or_default()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.events.lock().map(|r| r.dropped).unwrap_or(0)
+    }
+
+    /// Fold another registry's histograms into this one (cluster-level
+    /// aggregation across shard registries). Events are not merged — each
+    /// ring is its own timeline.
+    pub fn merge_hists(&self, other: &Registry) {
+        for (mine, theirs) in self.hists.iter().zip(other.hists.iter()) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Reset every histogram and clear the event ring.
+    pub fn reset(&self) {
+        for h in &self.hists {
+            h.reset();
+        }
+        if let Ok(mut ring) = self.events.lock() {
+            let cap = ring.cap;
+            *ring = EventRing::new(cap);
+        }
+    }
+
+    /// Prometheus-style text exposition: one `summary` family per unit
+    /// (`gpma_stage_micros`, `gpma_stage_epochs`) with `stage` labels and
+    /// the standard quantile set, plus event-ring gauges. Only stages with
+    /// samples are emitted.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (family, unit) in [
+            ("gpma_stage_micros", Unit::Micros),
+            ("gpma_stage_epochs", Unit::Epochs),
+        ] {
+            let live: Vec<(Stage, HistSnapshot)> = Stage::ALL
+                .iter()
+                .filter(|s| s.unit() == unit)
+                .map(|s| (*s, self.hist(*s).snapshot()))
+                .filter(|(_, snap)| snap.count > 0)
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "# HELP {family} Per-stage latency distribution.");
+            let _ = writeln!(out, "# TYPE {family} summary");
+            for (s, snap) in live {
+                let n = s.name();
+                for (q, v) in [
+                    ("0.5", snap.p50),
+                    ("0.9", snap.p90),
+                    ("0.99", snap.p99),
+                    ("0.999", snap.p999),
+                ] {
+                    let _ = writeln!(out, "{family}{{stage=\"{n}\",quantile=\"{q}\"}} {v}");
+                }
+                let _ = writeln!(out, "{family}_sum{{stage=\"{n}\"}} {}", snap.sum);
+                let _ = writeln!(out, "{family}_count{{stage=\"{n}\"}} {}", snap.count);
+                let _ = writeln!(out, "{family}_max{{stage=\"{n}\"}} {}", snap.max);
+            }
+        }
+        let _ = writeln!(out, "# TYPE gpma_events_total counter");
+        let _ = writeln!(out, "gpma_events_total {}", self.events().len());
+        let _ = writeln!(out, "# TYPE gpma_events_dropped_total counter");
+        let _ = writeln!(out, "gpma_events_dropped_total {}", self.events_dropped());
+        out
+    }
+
+    /// Machine-readable JSON (the `save_json` form the bench harness
+    /// writes): per-stage snapshots plus the event timeline.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"stages\": [");
+        let mut first = true;
+        for s in Stage::ALL {
+            let snap = self.hist(s).snapshot();
+            if snap.count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let unit = match s.unit() {
+                Unit::Micros => "us",
+                Unit::Epochs => "epochs",
+            };
+            let _ = write!(
+                out,
+                "\n    {{\"stage\": \"{}\", \"unit\": \"{}\", \"count\": {}, \"sum\": {}, \
+                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \
+                 \"saturated\": {}}}",
+                s.name(),
+                unit,
+                snap.count,
+                snap.sum,
+                snap.min,
+                snap.max,
+                snap.p50,
+                snap.p90,
+                snap.p99,
+                snap.p999,
+                snap.saturated
+            );
+        }
+        out.push_str("\n  ],\n  \"events\": [");
+        let events = self.events();
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"ts_us\": {}, \"stage\": \"{}\", \"shard\": {}, \"epoch\": {}, \
+                 \"kind\": \"{}\", \"value\": {}}}",
+                ev.ts,
+                ev.stage.name(),
+                ev.shard,
+                ev.epoch,
+                ev.kind.name(),
+                ev.value
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"events_dropped\": {}\n}}",
+            self.events_dropped()
+        );
+        out
+    }
+
+    /// Human-readable aligned table of every stage with samples: count,
+    /// mean, p50/p90/p99, max, and total time (µs values rendered with
+    /// adaptive units).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+            "stage", "count", "mean", "p50", "p90", "p99", "max", "total"
+        );
+        for s in Stage::ALL {
+            let snap = self.hist(s).snapshot();
+            if snap.count == 0 {
+                continue;
+            }
+            let fmt_v: fn(u64) -> String = match s.unit() {
+                Unit::Micros => fmt_micros,
+                Unit::Epochs => |v: u64| v.to_string(),
+            };
+            let mean = (snap.sum as f64 / snap.count as f64).round() as u64;
+            let _ = writeln!(
+                out,
+                "{:<20} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+                s.name(),
+                snap.count,
+                fmt_v(mean),
+                fmt_v(snap.p50),
+                fmt_v(snap.p90),
+                fmt_v(snap.p99),
+                fmt_v(snap.max),
+                fmt_v(snap.sum)
+            );
+        }
+        out
+    }
+}
+
+/// Validate Prometheus text-exposition format line by line: comments must
+/// be `# HELP|TYPE …`, samples must be `name[{label="v",…}] value`.
+/// Returns the number of sample lines. This is the CI checker — no real
+/// Prometheus parser exists in an offline workspace, so the format is
+/// pinned here.
+pub fn parse_exposition(text: &str) -> Result<usize, String> {
+    fn valid_metric_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    fn valid_labels(s: &str) -> bool {
+        // `key="value"` pairs, comma-separated; values must not contain
+        // unescaped quotes (our renderer never escapes, so plain scan).
+        s.split(',').all(|pair| {
+            let Some((k, v)) = pair.split_once('=') else {
+                return false;
+            };
+            valid_metric_name(k) && v.len() >= 2 && v.starts_with('"') && v.ends_with('"')
+        })
+    }
+    let mut samples = 0usize;
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ")) {
+                return Err(format!("line {}: comment is neither HELP nor TYPE", ln + 1));
+            }
+            continue;
+        }
+        let Some((name_part, value_part)) = line.rsplit_once(' ') else {
+            return Err(format!("line {}: no sample value", ln + 1));
+        };
+        let (name, labels) = match name_part.split_once('{') {
+            Some((n, rest)) => {
+                let Some(labels) = rest.strip_suffix('}') else {
+                    return Err(format!("line {}: unclosed label set", ln + 1));
+                };
+                (n, Some(labels))
+            }
+            None => (name_part, None),
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {}: bad metric name `{name}`", ln + 1));
+        }
+        if let Some(labels) = labels {
+            if !valid_labels(labels) {
+                return Err(format!("line {}: bad label set `{labels}`", ln + 1));
+            }
+        }
+        if value_part.parse::<f64>().is_err() {
+            return Err(format!("line {}: bad sample value `{value_part}`", ln + 1));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::NO_SHARD;
+
+    #[test]
+    fn span_records_into_the_right_stage() {
+        let r = Registry::new();
+        {
+            let _s = r.span(Stage::FlushApply);
+        }
+        assert_eq!(r.hist(Stage::FlushApply).count(), 1);
+        assert_eq!(r.hist(Stage::FlushDrain).count(), 0);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let r = Registry::disabled();
+        {
+            let s = r.span(Stage::FlushApply);
+            assert!(!s.is_active());
+        }
+        r.record(Stage::FollowerStaleness, 5);
+        r.event(Stage::CutBarrier, NO_SHARD, 1, EventKind::Cut, 0);
+        assert_eq!(r.hist(Stage::FlushApply).count(), 0);
+        assert_eq!(r.hist(Stage::FollowerStaleness).count(), 0);
+        assert!(r.events().is_empty());
+        // Re-enabling makes future records land.
+        r.set_enabled(true);
+        r.record(Stage::FollowerStaleness, 5);
+        assert_eq!(r.hist(Stage::FollowerStaleness).count(), 1);
+    }
+
+    #[test]
+    fn event_ring_is_bounded_and_ordered() {
+        let r = Registry::with_event_capacity(4);
+        for epoch in 0..10u64 {
+            r.event(Stage::FlushTotal, 0, epoch, EventKind::Flush, epoch);
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(r.events_dropped(), 6);
+        let epochs: Vec<u64> = evs.iter().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![6, 7, 8, 9], "oldest→newest after wrap");
+    }
+
+    #[test]
+    fn prometheus_exposition_round_trips_through_the_checker() {
+        let r = Registry::new();
+        for v in [10u64, 100, 1000] {
+            r.record(Stage::IngestEnqueue, v);
+        }
+        r.record(Stage::FollowerStaleness, 3);
+        r.event(Stage::FlushTotal, 1, 7, EventKind::Flush, 42);
+        let text = r.render_prometheus();
+        let samples = parse_exposition(&text).expect("exposition must parse");
+        // 2 stages × (4 quantiles + sum + count + max) + 2 event counters.
+        assert_eq!(samples, 2 * 7 + 2, "{text}");
+        assert!(text.contains("gpma_stage_micros{stage=\"ingest.enqueue\",quantile=\"0.99\"}"));
+        assert!(text.contains("gpma_stage_epochs_count{stage=\"follower.staleness\"} 1"));
+    }
+
+    #[test]
+    fn exposition_checker_rejects_malformed_lines() {
+        assert!(parse_exposition("# random comment\n").is_err());
+        assert!(parse_exposition("9metric 1\n").is_err());
+        assert!(parse_exposition("m{unclosed=\"x\" 1\n").is_err());
+        assert!(parse_exposition("m{k=\"v\"} notanumber\n").is_err());
+        assert!(parse_exposition("m{k=noquotes} 1\n").is_err());
+        assert_eq!(parse_exposition("# TYPE m counter\nm{k=\"v\"} 1\nm 2.5\n"), Ok(2));
+    }
+
+    #[test]
+    fn json_contains_stages_and_events() {
+        let r = Registry::new();
+        r.record(Stage::ReshardQuiesce, 5000);
+        r.event(Stage::ReshardQuiesce, NO_SHARD, 2, EventKind::ReshardBegin, 0);
+        let json = r.render_json();
+        assert!(json.contains("\"stage\": \"reshard.quiesce\""), "{json}");
+        assert!(json.contains("\"kind\": \"reshard_begin\""), "{json}");
+        assert!(json.contains("\"events_dropped\": 0"), "{json}");
+    }
+
+    #[test]
+    fn merge_hists_aggregates_across_registries() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.record(Stage::FlushApply, 10);
+        b.record(Stage::FlushApply, 30);
+        a.merge_hists(&b);
+        assert_eq!(a.hist(Stage::FlushApply).count(), 2);
+        assert_eq!(a.hist(Stage::FlushApply).max(), 30);
+    }
+
+    #[test]
+    fn table_lists_only_live_stages() {
+        let r = Registry::new();
+        r.record(Stage::CutBarrier, 1500);
+        let t = r.render_table();
+        assert!(t.contains("cut.barrier"), "{t}");
+        assert!(!t.contains("reshard.quiesce"), "{t}");
+    }
+}

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use gpma_core::delta::{apply_delta, DeltaCatchUp};
 use gpma_core::framework::GraphSnapshot;
+use gpma_obs::{Registry as ObsRegistry, Stage, NO_SHARD};
 
 use crate::service::StreamingService;
 
@@ -34,6 +35,13 @@ pub struct Follower {
     reads: u64,
     lag_sum: u64,
     lag_max: u64,
+    /// Telemetry sink for the `follower.staleness` histogram — the leader's
+    /// registry when spawned via [`StreamingService::spawn_follower`], a
+    /// private inert one for hand-built followers.
+    obs: Arc<ObsRegistry>,
+    /// Shard tag inherited from the leader (for cluster-side followers).
+    #[allow(dead_code)]
+    shard: u32,
 }
 
 /// Replication counters frozen by [`Follower::stats`].
@@ -69,7 +77,18 @@ impl Follower {
             reads: 0,
             lag_sum: 0,
             lag_max: 0,
+            obs: Arc::new(ObsRegistry::disabled()),
+            shard: NO_SHARD,
         }
+    }
+
+    /// Redirect staleness telemetry into `obs` (normally the leader's
+    /// registry), tagging samples with the leader's shard id. Builder-style;
+    /// used by [`StreamingService::spawn_follower`].
+    pub fn with_obs(mut self, obs: Arc<ObsRegistry>, shard: u32) -> Self {
+        self.obs = obs;
+        self.shard = shard;
+        self
     }
 
     /// Epoch of the follower's local snapshot.
@@ -125,6 +144,9 @@ impl Follower {
         };
         self.lag_sum += advanced;
         self.lag_max = self.lag_max.max(advanced);
+        // Staleness-at-sync feeds the `follower.staleness` histogram — the
+        // one stage measured in epochs, not microseconds.
+        self.obs.record(Stage::FollowerStaleness, advanced);
         advanced
     }
 

@@ -100,33 +100,34 @@ impl ServiceMetrics {
 }
 
 impl std::fmt::Display for ServiceMetrics {
+    // Rendered through the shared `gpma_obs::LineReport` builder so the
+    // service and cluster one-liners keep one field-order/unit convention.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "epoch {}: {} updates in ({:.0}/s), {} flushes (avg {:.2} ms, sim update {:.2} ms / analytics {:.2} ms), \
-             queue {} (max {}), dropped {}, duplicates {}, queries {}",
-            self.latest_epoch,
-            self.counters.ingested(),
-            self.ingest_throughput(),
-            self.counters.flushes,
-            self.avg_flush_latency_secs() * 1e3,
-            self.counters.update_sim.millis(),
-            self.counters.analytics_sim.millis(),
-            self.queue_depth,
-            self.counters.max_queue_depth,
-            self.counters.dropped_updates,
-            self.counters.duplicate_edges,
-            self.counters.queries,
-        )?;
-        write!(
-            f,
-            ", published {} deltas ({} B) / {} snapshots ({} B), worker errors {}",
-            self.publication.deltas,
-            self.publication.delta_bytes,
-            self.publication.snapshots,
-            self.publication.snapshot_bytes,
-            self.worker_errors,
-        )
+        let line = gpma_obs::LineReport::new("service", format_args!("epoch {}", self.latest_epoch))
+            .field("ingested", self.counters.ingested())
+            .annotate(format_args!("{:.0}/s", self.ingest_throughput()))
+            .field("flushes", self.counters.flushes)
+            .annotate(format_args!(
+                "avg {:.2} ms, sim update {:.2} ms / analytics {:.2} ms",
+                self.avg_flush_latency_secs() * 1e3,
+                self.counters.update_sim.millis(),
+                self.counters.analytics_sim.millis(),
+            ))
+            .field("queue", self.queue_depth)
+            .annotate(format_args!("max {}", self.counters.max_queue_depth))
+            .group()
+            .field("dropped", self.counters.dropped_updates)
+            .field("duplicates", self.counters.duplicate_edges)
+            .field("queries", self.counters.queries)
+            .group()
+            .raw(format_args!("published {} deltas", self.publication.deltas))
+            .annotate(format_args!("{}", gpma_obs::fmt_bytes(self.publication.delta_bytes)))
+            .count(self.publication.snapshots, "snapshots")
+            .annotate(format_args!("{}", gpma_obs::fmt_bytes(self.publication.snapshot_bytes)))
+            .group()
+            .field("worker errors", self.worker_errors)
+            .finish();
+        f.write_str(&line)
     }
 }
 

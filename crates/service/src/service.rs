@@ -14,6 +14,7 @@ use gpma_core::checkpoint::Checkpoint;
 use gpma_core::delta::{DeltaCatchUp, DeltaLog, SnapshotDelta, BYTES_PER_EDGE};
 use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot};
 use gpma_graph::{Edge, UpdateBatch};
+use gpma_obs::{EventKind, Registry as ObsRegistry, Stage, NO_SHARD};
 use gpma_sim::{Device, ServiceCounters};
 use parking_lot::Mutex;
 
@@ -161,6 +162,13 @@ struct Shared {
     /// misdispatched control command); surfaced as
     /// [`ServiceMetrics::worker_errors`].
     worker_errors: AtomicU64,
+    /// The telemetry hub (DESIGN.md §13): per-stage latency histograms and
+    /// the structured-event ring. A cluster passes one shared registry to
+    /// every shard service so flush-stage histograms aggregate
+    /// cluster-wide; a standalone service owns its own.
+    obs: Arc<ObsRegistry>,
+    /// Shard tag for timeline events ([`gpma_obs::NO_SHARD`] standalone).
+    obs_shard: u32,
     started: Instant,
 }
 
@@ -214,14 +222,24 @@ impl IngestHandle {
     /// followed by a [`delete`](Self::delete) of the same edge nets to
     /// *absent*, regardless of flush-batch boundaries.
     pub fn insert(&self, e: Edge) -> Result<(), ServiceClosed> {
-        self.tx.send(Command::Insert(e)).map_err(|_| ServiceClosed)?;
+        let span = self.shared.obs.span(Stage::IngestEnqueue);
+        if self.tx.send(Command::Insert(e)).is_err() {
+            span.cancel();
+            return Err(ServiceClosed);
+        }
+        drop(span);
         self.shared.ingested_inserts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Stream one edge deletion, blocking while the queue is full.
     pub fn delete(&self, e: Edge) -> Result<(), ServiceClosed> {
-        self.tx.send(Command::Delete(e)).map_err(|_| ServiceClosed)?;
+        let span = self.shared.obs.span(Stage::IngestEnqueue);
+        if self.tx.send(Command::Delete(e)).is_err() {
+            span.cancel();
+            return Err(ServiceClosed);
+        }
+        drop(span);
         self.shared.ingested_deletes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -240,6 +258,25 @@ impl IngestHandle {
     /// batch has landed (the final state is unaffected). For all-or-nothing
     /// epoch visibility keep batches within the flush threshold.
     pub fn ingest(&self, batch: UpdateBatch) -> Result<(), ServiceClosed> {
+        let span = self.shared.obs.span(Stage::IngestEnqueue);
+        if self.enqueue_batch(batch).is_err() {
+            span.cancel();
+            return Err(ServiceClosed);
+        }
+        Ok(())
+    }
+
+    /// [`Self::ingest`] without the `ingest.enqueue` latency sample.
+    ///
+    /// Internal traffic — the cluster router's forwards, reshard migration
+    /// shipments, recovery replays — goes through here so the ingest
+    /// histogram measures only what external producers experience (the
+    /// router's own `router.forward` span already times these sends).
+    pub fn ingest_unmetered(&self, batch: UpdateBatch) -> Result<(), ServiceClosed> {
+        self.enqueue_batch(batch)
+    }
+
+    fn enqueue_batch(&self, batch: UpdateBatch) -> Result<(), ServiceClosed> {
         let (ins, del) = (batch.insertions.len() as u64, batch.deletions.len() as u64);
         self.tx
             .send(Command::Batch(batch))
@@ -346,6 +383,33 @@ impl StreamingService {
         monitors: Vec<Box<dyn SnapshotMonitor>>,
         delta_monitors: Vec<Box<dyn DeltaMonitor>>,
     ) -> Self {
+        Self::spawn_instrumented(
+            cfg,
+            system,
+            monitors,
+            delta_monitors,
+            Arc::new(ObsRegistry::new()),
+            NO_SHARD,
+        )
+    }
+
+    /// The most general spawn: like [`Self::spawn_with_delta_monitors`] but
+    /// recording pipeline-stage telemetry into a caller-supplied
+    /// [`gpma_obs::Registry`], tagging timeline events with `shard`.
+    ///
+    /// This is how `gpma-cluster` gives all its shard workers one shared
+    /// registry, so flush-stage histograms aggregate cluster-wide and
+    /// survive shard respawns. Standalone callers normally use the simpler
+    /// spawns, which allocate a private registry (reachable via
+    /// [`Self::obs`]).
+    pub fn spawn_instrumented(
+        cfg: ServiceConfig,
+        system: DynamicGraphSystem,
+        monitors: Vec<Box<dyn SnapshotMonitor>>,
+        delta_monitors: Vec<Box<dyn DeltaMonitor>>,
+        obs: Arc<ObsRegistry>,
+        shard: u32,
+    ) -> Self {
         let (tx, rx) = bounded(cfg.queue_capacity.max(1));
         let initial = Arc::new(system.snapshot());
         let delta_log_capacity = cfg.delta_log_capacity.max(1);
@@ -363,6 +427,8 @@ impl StreamingService {
             published_snapshots: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
             worker_errors: AtomicU64::new(0),
+            obs,
+            obs_shard: shard,
             started: Instant::now(),
         });
 
@@ -557,6 +623,7 @@ impl StreamingService {
     /// local state with measured staleness.
     pub fn spawn_follower(&self) -> Follower {
         Follower::new(self.shared.latest())
+            .with_obs(self.shared.obs.clone(), self.shared.obs_shard)
     }
 
     /// Current metrics: cumulative counters plus live queue depth, latest
@@ -570,6 +637,29 @@ impl StreamingService {
             publication: self.shared.publication_stats(),
             worker_errors: self.shared.worker_errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// The telemetry registry this service records into: per-stage latency
+    /// histograms (`ingest.enqueue`, `flush.*`, `follower.staleness`) plus
+    /// the bounded event ring. Shared with the cluster when spawned via
+    /// [`Self::spawn_instrumented`].
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.shared.obs
+    }
+
+    /// The one-line [`ServiceMetrics`] summary followed by the per-stage
+    /// latency table (count / mean / p50 / p90 / p99 / max per stage) —
+    /// the human-readable health readout.
+    pub fn metrics_report(&self) -> String {
+        format!("{}\n{}", self.metrics(), self.shared.obs.render_table())
+    }
+
+    /// The full telemetry dump as JSON: every stage histogram's summary
+    /// statistics plus the buffered event timeline. Machine-readable
+    /// counterpart of [`Self::metrics_report`]; see also
+    /// [`gpma_obs::Registry::render_prometheus`] via [`Self::obs`].
+    pub fn obs_dump(&self) -> String {
+        self.shared.obs.render_json()
     }
 
     /// Stop the service: drain the queue, final-flush all residue, publish
@@ -674,9 +764,18 @@ fn run_worker(rx: Receiver<Command>, mut sys: DynamicGraphSystem, ctx: WorkerCtx
         }
         // Opportunistically absorb whatever else is already queued before
         // flushing, so bursts coalesce into threshold-sized device steps.
+        // `drain_t0` times each absorb burst (`flush.drain`): the window
+        // from the previous flush (or queue wake-up) to the next flush
+        // trigger. The inner loop never blocks, so the window is pure
+        // buffering work — two clock reads per flush, not per command.
+        let mut drain_t0 = Instant::now();
         loop {
             if sys.stream.ready() {
+                ctx.shared
+                    .obs
+                    .record_duration(Stage::FlushDrain, drain_t0.elapsed());
                 flush_once(&mut sys, &ctx);
+                drain_t0 = Instant::now();
                 continue;
             }
             match rx.try_recv() {
@@ -727,7 +826,15 @@ fn handle_command(
         Command::Crash(ack) => {
             // A crash is not a shutdown: skip the drain entirely so buffered
             // residue and queued commands die with the worker, exactly like
-            // a real process kill between flushes.
+            // a real process kill between flushes. The death lands on the
+            // telemetry timeline so recovery latency can be read off it.
+            ctx.shared.obs.event(
+                Stage::RecoveryDetect,
+                ctx.shared.obs_shard,
+                sys.epoch(),
+                EventKind::ShardDead,
+                0,
+            );
             let _ = ack.send(());
             return true;
         }
@@ -815,8 +922,13 @@ fn drain_and_stop(rx: &Receiver<Command>, sys: &mut DynamicGraphSystem, ctx: &Wo
 /// delta always (O(|Δ|)), a full snapshot only at the configured cadence
 /// (O(E)).
 fn flush_once(sys: &mut DynamicGraphSystem, ctx: &WorkerCtx) {
+    let obs = &ctx.shared.obs;
     let t0 = Instant::now();
-    let report = sys.flush();
+    let _total = obs.span(Stage::FlushTotal);
+    let report = {
+        let _apply = obs.span(Stage::FlushApply);
+        sys.flush()
+    };
     let wall = t0.elapsed().as_secs_f64();
     ctx.shared.counters.lock().record_flush(
         wall,
@@ -824,17 +936,27 @@ fn flush_once(sys: &mut DynamicGraphSystem, ctx: &WorkerCtx) {
         report.update_time,
         report.analytics_time(),
     );
-    ctx.shared.delta_log.lock().push(report.delta.clone());
-    ctx.shared.published_deltas.fetch_add(1, Ordering::Relaxed);
-    ctx.shared
-        .delta_bytes
-        .fetch_add(report.delta.wire_bytes() as u64, Ordering::Relaxed);
-    if let Some(tx) = &ctx.delta_tx {
-        let _ = tx.send(report.delta.clone());
+    {
+        let _publish = obs.span(Stage::FlushPublish);
+        ctx.shared.delta_log.lock().push(report.delta.clone());
+        ctx.shared.published_deltas.fetch_add(1, Ordering::Relaxed);
+        ctx.shared
+            .delta_bytes
+            .fetch_add(report.delta.wire_bytes() as u64, Ordering::Relaxed);
+        if let Some(tx) = &ctx.delta_tx {
+            let _ = tx.send(report.delta.clone());
+        }
+        if sys.epoch().is_multiple_of(ctx.snapshot_interval) {
+            publish(sys, ctx);
+        }
     }
-    if sys.epoch().is_multiple_of(ctx.snapshot_interval) {
-        publish(sys, ctx);
-    }
+    obs.event(
+        Stage::FlushTotal,
+        ctx.shared.obs_shard,
+        sys.epoch(),
+        EventKind::Flush,
+        (wall * 1e6) as u64,
+    );
 }
 
 /// Publish a fresh snapshot unless the latest published one is already the
@@ -922,6 +1044,74 @@ mod tests {
         assert_eq!(report.metrics.counters.ingested(), 8);
         assert_eq!(report.final_snapshot.num_edges(), 9);
         assert_eq!(report.system.graph.storage.num_edges(), 9);
+    }
+
+    #[test]
+    fn telemetry_records_the_flush_pipeline() {
+        let svc = StreamingService::spawn(ServiceConfig::default(), system(4));
+        let h = svc.handle();
+        for i in 1..=16u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        svc.barrier().unwrap();
+
+        let obs = svc.obs();
+        let enq = obs.hist(Stage::IngestEnqueue).snapshot();
+        assert_eq!(enq.count, 16, "one ingest.enqueue sample per insert");
+        for stage in [
+            Stage::FlushDrain,
+            Stage::FlushApply,
+            Stage::FlushPublish,
+            Stage::FlushTotal,
+        ] {
+            let s = obs.hist(stage).snapshot();
+            assert!(s.count >= 4, "{}: 16 inserts at threshold 4", stage.name());
+        }
+        assert!(
+            obs.events().iter().any(|e| e.kind == EventKind::Flush),
+            "flush events land on the timeline"
+        );
+        // The rendered exposition must satisfy the line-format checker.
+        gpma_obs::parse_exposition(&obs.render_prometheus()).unwrap();
+        let report = svc.metrics_report();
+        assert!(report.contains("flush.apply"), "{report}");
+        assert!(svc.obs_dump().contains("\"stages\""));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unmetered_ingest_skips_the_latency_histogram() {
+        let svc = StreamingService::spawn(ServiceConfig::default(), system(4));
+        let h = svc.handle();
+        let batch = UpdateBatch {
+            insertions: (1..=4u32).map(|i| Edge::new(i, 0)).collect(),
+            deletions: Vec::new(),
+        };
+        h.ingest_unmetered(batch).unwrap();
+        let snap = svc.barrier().unwrap();
+        assert_eq!(snap.num_edges(), 5, "unmetered updates still apply");
+        assert_eq!(
+            svc.obs().hist(Stage::IngestEnqueue).snapshot().count,
+            0,
+            "internal traffic stays out of ingest.enqueue"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn follower_staleness_feeds_the_epoch_histogram() {
+        let svc = StreamingService::spawn(ServiceConfig::default(), system(4));
+        let mut follower = svc.spawn_follower();
+        let h = svc.handle();
+        for i in 1..=8u32 {
+            h.insert(Edge::new(i, 0)).unwrap();
+        }
+        svc.barrier().unwrap();
+        let advanced = follower.sync(&svc);
+        let s = svc.obs().hist(Stage::FollowerStaleness).snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, advanced);
+        svc.shutdown();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! ```
 
 use gpma_cluster::{ClusterConfig, GraphCluster, PartitionPolicy, RebalancePolicy};
+use gpma_obs::Stage;
 use gpma_graph::gen::rmat;
 use gpma_graph::GraphStream;
 use gpma_sim::DeviceConfig;
@@ -98,6 +99,33 @@ fn main() {
         final_snap.num_edges(),
         final_snap.num_shards()
     );
+
+    // What each reshard phase actually cost, and what ingest latency looked
+    // like while one was in flight (DESIGN.md §13): `reshard.*` are the
+    // quiesce/migrate/resume spans, `ingest.reshard` is the client-observed
+    // enqueue latency sampled only while a reshard was active.
+    let obs = cluster.obs();
+    for stage in [
+        Stage::ReshardQuiesce,
+        Stage::ReshardMigrate,
+        Stage::ReshardResume,
+    ] {
+        let s = obs.hist(stage).snapshot();
+        println!(
+            "{:<16} p50 {:>8} µs  p99 {:>8} µs  ({} reshards)",
+            stage.name(),
+            s.p50,
+            s.p99,
+            s.count
+        );
+    }
+    let steady = obs.hist(Stage::IngestEnqueue).snapshot();
+    let during = obs.hist(Stage::IngestReshard).snapshot();
+    println!(
+        "ingest enqueue: p99 {} µs overall ({} samples) vs p99 {} µs while resharding ({} samples)",
+        steady.p99, steady.count, during.p99, during.count
+    );
+    println!("{}", obs.render_table());
 
     let report = cluster.shutdown();
     let stats = report.metrics.migration_stats();

@@ -9,6 +9,7 @@
 
 use gpma_analytics::{bfs_sharded, component_count, cc_host, pagerank_sharded};
 use gpma_cluster::{ClusterConfig, GraphCluster, PartitionPolicy};
+use gpma_obs::Stage;
 use gpma_graph::gen::rmat;
 use gpma_graph::GraphStream;
 use gpma_sim::pcie::Pcie;
@@ -99,6 +100,16 @@ fn main() {
         // The merged cut is itself a host graph.
         let labels = cc_host(&*snap);
         println!("CC on the merged cut: {} components", component_count(&labels));
+
+        // Client-observed ingest latency plus the per-stage pipeline
+        // breakdown behind it (DESIGN.md §13) — the same telemetry the
+        // `repro -- obs` experiment sweeps under chaos.
+        let ingest = cluster.obs().hist(Stage::IngestEnqueue).snapshot();
+        println!(
+            "ingest latency: p50 {} µs / p99 {} µs / max {} µs over {} enqueues",
+            ingest.p50, ingest.p99, ingest.max, ingest.count
+        );
+        println!("{}", cluster.obs().render_table());
 
         let report = cluster.shutdown();
         println!("{}", report.metrics);

@@ -1,6 +1,6 @@
 //! # gpma-repro — umbrella crate for the GPMA/GPMA+ reproduction
 //!
-//! Re-exports the ten workspace crates under one roof and anchors the
+//! Re-exports the eleven library crates under one roof and anchors the
 //! root-level integration tests (`tests/`) and examples (`examples/`).
 //! See `DESIGN.md` for the crate map and experiment index, and `ROADMAP.md`
 //! for build/test/bench commands.
@@ -24,6 +24,7 @@ pub use gpma_cluster as cluster;
 pub use gpma_core as core;
 pub use gpma_graph as graph;
 pub use gpma_incremental as incremental;
+pub use gpma_obs as obs;
 pub use gpma_pma as pma;
 pub use gpma_service as service;
 pub use gpma_sim as sim;

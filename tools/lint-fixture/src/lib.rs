@@ -31,6 +31,16 @@ pub fn hot_collects(xs: &[u64]) -> u64 {
     doubled.iter().sum()
 }
 
+/// Seeded telemetry-flavored `hot-path-alloc` violation: a histogram-style
+/// record path that clones its sample buffer — exactly the allocation the
+/// gpma-obs record path must never make.
+// lint: hot-path
+pub fn hot_record_sample(samples: &[u64], v: u64) -> Vec<u64> {
+    let mut log = samples.to_vec();
+    log.push(v);
+    log
+}
+
 /// Seeded `worker-panic` violation: unwraps inside a spawned thread body.
 pub fn spawn_and_unwrap(tx: std::sync::mpsc::Sender<u64>) {
     std::thread::spawn(move || {
