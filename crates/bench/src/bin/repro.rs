@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENT: all | table1 | table2 | fig7 | fig8 | fig9 | fig10 | fig11 |
 //!             fig12 | sorted | explicit | ablation | service | cluster |
-//!             incremental | elastic | audit | recovery | obs
+//!             incremental | elastic | audit | recovery | obs | serving
 //! ```
 
 use gpma_bench::apps::App;
@@ -53,7 +53,7 @@ fn main() {
         selected = [
             "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sorted",
             "explicit", "ablation", "service", "cluster", "incremental", "elastic", "audit",
-            "recovery", "obs",
+            "recovery", "obs", "serving",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -89,6 +89,7 @@ fn main() {
             "audit" => exp::audit(&cfg),
             "recovery" => exp::recovery(&cfg),
             "obs" => exp::obs(&cfg),
+            "serving" => exp::serving(&cfg),
             other => eprintln!("unknown experiment: {other} (see --help)"),
         }
         eprintln!("[{s} finished in {:.1}s]", t0.elapsed().as_secs_f64());
@@ -99,7 +100,7 @@ fn print_help() {
     println!(
         "repro — regenerate the paper's evaluation\n\
          usage: repro [EXPERIMENT ...] [--scale F] [--seed N] [--slides N] [--quick]\n\
-         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation service cluster incremental elastic audit recovery obs\n\
+         experiments: all table1 table2 fig7 fig8 fig9 fig10 fig11 fig12 sorted explicit ablation service cluster incremental elastic audit recovery obs serving\n\
          defaults: --scale 0.005 --seed 42 --slides 3\n\
          --quick: scale 0.001, 1 slide per configuration"
     );

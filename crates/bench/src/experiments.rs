@@ -1934,3 +1934,326 @@ pub fn obs(cfg: &ExpConfig) {
         eprintln!("(json save failed for obs: {e})");
     }
 }
+
+// ----------------------------------------------------------------------
+// serving — multi-tenant cached query serving over live ingest
+// ----------------------------------------------------------------------
+
+/// The query-serving experiment (DESIGN.md §14):
+///
+/// **(a) Cache value under a mixed read/write load** — three unlimited
+/// tenants run an interleaved workload (each round: one 4-edge ingest
+/// batch, six queries across the typed vocabulary — a ≥50 % read mix by
+/// operation count) against a [`gpma_serving::QueryServer`] with the
+/// delta-maintained cache on and off. Reported: client-observed query
+/// p50/p99, the cache hit rate, and the cached/uncached p99 ratio. The
+/// cache should win p99 decisively: the expensive tail (PageRank, CC) is
+/// served from patched/refilled entries instead of recomputed per query.
+///
+/// **(b) Tenant isolation under an over-quota abuser** — two well-behaved
+/// tenants run a paced query load while an abuser tenant floods
+/// PageRank queries far beyond its token-bucket quota from two threads.
+/// Admission sheds the overflow synchronously
+/// ([`gpma_serving::Rejected::QuotaExceeded`]) without blocking, so the
+/// victims' p99 must stay within 2× of an abuser-free baseline run.
+pub fn serving(cfg: &ExpConfig) {
+    use gpma_graph::Edge;
+    use gpma_service::{ServiceConfig, StreamingService};
+    use gpma_serving::{
+        PageRankParams, Query, QueryServer, Rejected, ServingConfig, ServingMetrics, TenantConfig,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let stream = generate(DatasetKind::Graph500, cfg.scale, cfg.seed);
+    let nv = stream.num_vertices;
+    let tail = &stream.edges[stream.initial_size()..];
+    assert!(!tail.is_empty(), "serving needs a streamed tail");
+    let probe = tail[0];
+
+    /// Nearest-rank percentile over an unsorted latency sample.
+    fn pctl(lat_us: &mut [u64], p: f64) -> u64 {
+        if lat_us.is_empty() {
+            return 0;
+        }
+        lat_us.sort_unstable();
+        lat_us[((lat_us.len() - 1) as f64 * p) as usize]
+    }
+
+    // Bench-friendly PageRank: the point is relative cached/uncached cost,
+    // not convergence to 1e-9.
+    let pr = PageRankParams {
+        damping: 0.85,
+        epsilon: 1e-6,
+        max_iters: 20,
+    };
+    let rounds = 40 * cfg.max_slides.max(1);
+    // The repeating query set: one of each kind, so every round mixes
+    // engine-refilled (BFS/CC), patched (exists/neighbors/degree) and
+    // invalidate-always (PageRank) cache behavior.
+    let query_set = [
+        Query::Bfs { src: 0 },
+        Query::Cc,
+        Query::PageRank { top_k: 8 },
+        Query::Degree { v: probe.src },
+        Query::EdgeExists {
+            u: probe.src,
+            v: probe.dst,
+        },
+        Query::Neighbors { v: probe.src },
+    ];
+    let round_batch = |round: usize| -> UpdateBatch {
+        let mut b = UpdateBatch::default();
+        for i in 0..4 {
+            let e = tail[(round * 4 + i) % tail.len()];
+            b.insertions
+                .push(Edge::weighted(e.src, e.dst, (round * 4 + i + 1) as u64));
+        }
+        if round.is_multiple_of(4) && round >= 8 {
+            // Re-delete something inserted two epochs back so deletions
+            // exercise the patch path too.
+            b.deletions.push(tail[(round - 8) * 4 % tail.len()]);
+        }
+        b
+    };
+
+    // (a) Mixed load, cache on vs off.
+    let run_mixed = |cached: bool| -> (Vec<u64>, ServingMetrics) {
+        let dev = Device::new(cfg.device_cfg.clone());
+        // Small flush threshold: epochs publish every ~2 rounds, so the
+        // cache is continuously invalidated/patched, not just warm.
+        let sys = DynamicGraphSystem::new(dev, nv, stream.initial_edges(), 8);
+        let svc = Arc::new(StreamingService::spawn(ServiceConfig::default(), sys));
+        let server = QueryServer::spawn(
+            Arc::clone(&svc),
+            ServingConfig {
+                workers: 3,
+                queue_capacity: 256,
+                default_deadline: Duration::from_secs(60),
+                cache: cached,
+                bfs_roots: vec![0],
+                pagerank: pr,
+                tenants: vec![
+                    TenantConfig::unlimited("analytics"),
+                    TenantConfig::unlimited("dashboard"),
+                    TenantConfig::unlimited("adhoc"),
+                ],
+            },
+        );
+        let mut lat_us = Vec::with_capacity(rounds * query_set.len());
+        for round in 0..rounds {
+            let writer = (round % 3) as u32;
+            let _ = server.ingest(writer, round_batch(round));
+            let tickets: Vec<_> = query_set
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &q)| {
+                    let tenant = ((round + i) % 3) as u32;
+                    let t0 = Instant::now();
+                    server.submit(tenant, q).ok().map(|t| (t0, t))
+                })
+                .collect();
+            for (t0, t) in tickets {
+                if t.wait().is_ok() {
+                    lat_us.push(t0.elapsed().as_micros() as u64);
+                }
+            }
+        }
+        let metrics = server.shutdown();
+        drop(
+            Arc::into_inner(svc)
+                .expect("server released its backend handle")
+                .shutdown(),
+        );
+        (lat_us, metrics)
+    };
+
+    let (mut cached_lat, cached_m) = run_mixed(true);
+    let (mut uncached_lat, uncached_m) = run_mixed(false);
+    let cached_tot = cached_m.totals();
+    let uncached_tot = uncached_m.totals();
+    let (c_p50, c_p99) = (pctl(&mut cached_lat, 0.50), pctl(&mut cached_lat, 0.99));
+    let (u_p50, u_p99) = (pctl(&mut uncached_lat, 0.50), pctl(&mut uncached_lat, 0.99));
+    let read_mix = cached_tot.completed() as f64
+        / (cached_tot.completed() + cached_tot.ingested).max(1) as f64;
+    let p99_speedup = u_p99 as f64 / (c_p99 as f64).max(1.0);
+    eprintln!(
+        "serving: mixed load {:.0}% reads, cache hit rate {:.1}%, p99 {}us cached vs {}us uncached ({p99_speedup:.2}x)",
+        read_mix * 100.0,
+        cached_tot.hit_rate() * 100.0,
+        c_p99,
+        u_p99,
+    );
+
+    // (b) Isolation: victims paced, abuser flooding past its quota.
+    let rounds_iso = 30 * cfg.max_slides.max(1);
+    let run_isolation = |with_abuser: bool| -> (Vec<u64>, ServingMetrics) {
+        let dev = Device::new(cfg.device_cfg.clone());
+        let sys = DynamicGraphSystem::new(dev, nv, stream.initial_edges(), 8);
+        let svc = Arc::new(StreamingService::spawn(ServiceConfig::default(), sys));
+        let server = Arc::new(QueryServer::spawn(
+            Arc::clone(&svc),
+            ServingConfig {
+                workers: 2,
+                queue_capacity: 64,
+                default_deadline: Duration::from_secs(60),
+                cache: true,
+                bfs_roots: vec![0],
+                pagerank: pr,
+                tenants: vec![
+                    TenantConfig::unlimited("dashboard"),
+                    TenantConfig::unlimited("analytics"),
+                    TenantConfig::new("abuser", 100.0, 0.0).with_bursts(10.0, 1.0),
+                ],
+            },
+        ));
+        let abuser = server.tenant_id("abuser").expect("registered tenant");
+        let stop = Arc::new(AtomicBool::new(false));
+        let flooders: Vec<_> = (0..if with_abuser { 2 } else { 0 })
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // Fire-and-forget: the shed path must stay
+                        // synchronous and cheap; admitted tickets complete
+                        // unobserved.
+                        match server.submit(abuser, Query::PageRank { top_k: 8 }) {
+                            Ok(_) | Err(Rejected::QuotaExceeded) => {}
+                            Err(_) => return,
+                        }
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        let mut lat_us = Vec::with_capacity(rounds_iso * 4);
+        for round in 0..rounds_iso {
+            let _ = server.ingest(0, round_batch(round));
+            for (i, &q) in query_set.iter().enumerate().filter(|(i, _)| *i != 2) {
+                let tenant = ((round + i) % 2) as u32;
+                let t0 = Instant::now();
+                if let Ok(t) = server.submit(tenant, q) {
+                    if t.wait().is_ok() {
+                        lat_us.push(t0.elapsed().as_micros() as u64);
+                    }
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for f in flooders {
+            f.join().expect("flooder thread");
+        }
+        let metrics = Arc::into_inner(server)
+            .expect("flooders joined")
+            .shutdown();
+        drop(
+            Arc::into_inner(svc)
+                .expect("server released its backend handle")
+                .shutdown(),
+        );
+        (lat_us, metrics)
+    };
+
+    let (mut base_lat, _base_m) = run_isolation(false);
+    let (mut cont_lat, cont_m) = run_isolation(true);
+    let (b_p50, b_p99) = (pctl(&mut base_lat, 0.50), pctl(&mut base_lat, 0.99));
+    let (i_p50, i_p99) = (pctl(&mut cont_lat, 0.50), pctl(&mut cont_lat, 0.99));
+    let abuser_m = cont_m.tenants[2].clone();
+    let degradation = i_p99 as f64 / (b_p99 as f64).max(1.0);
+    eprintln!(
+        "serving: abuser shed {} of {} ({} admitted), victim p99 {}us vs {}us baseline ({degradation:.2}x)",
+        abuser_m.rejected_quota, abuser_m.submitted, abuser_m.admitted, i_p99, b_p99,
+    );
+    if degradation > 2.0 {
+        eprintln!("serving: WARNING victim p99 degraded more than 2x under abuse");
+    }
+
+    emit(
+        "serving",
+        "Multi-tenant query serving (mixed ingest+query load; quota abuse)",
+        &["Scenario", "Queries", "p50us", "p99us", "HitRate", "Shed"],
+        &[
+            vec![
+                "cached".into(),
+                format!("{}", cached_tot.completed()),
+                format!("{c_p50}"),
+                format!("{c_p99}"),
+                format!("{:.1}%", cached_tot.hit_rate() * 100.0),
+                format!("{}", cached_tot.rejected()),
+            ],
+            vec![
+                "uncached".into(),
+                format!("{}", uncached_tot.completed()),
+                format!("{u_p50}"),
+                format!("{u_p99}"),
+                format!("{:.1}%", uncached_tot.hit_rate() * 100.0),
+                format!("{}", uncached_tot.rejected()),
+            ],
+            vec![
+                "victims-baseline".into(),
+                format!("{}", base_lat.len()),
+                format!("{b_p50}"),
+                format!("{b_p99}"),
+                "-".into(),
+                "0".into(),
+            ],
+            vec![
+                "victims-abused".into(),
+                format!("{}", cont_lat.len()),
+                format!("{i_p50}"),
+                format!("{i_p99}"),
+                "-".into(),
+                format!("{}", abuser_m.rejected_quota),
+            ],
+        ],
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"serving\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"scale\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"num_vertices\": {},\n",
+            "  \"mixed\": {{\"read_mix\": {:.3}, \"p99_speedup\": {:.3},\n",
+            "    \"cached\": {{\"queries\": {}, \"p50_us\": {}, \"p99_us\": {}, ",
+            "\"hit_rate\": {:.4}, \"ingested\": {}}},\n",
+            "    \"uncached\": {{\"queries\": {}, \"p50_us\": {}, \"p99_us\": {}, ",
+            "\"hit_rate\": {:.4}, \"ingested\": {}}}}},\n",
+            "  \"isolation\": {{\"baseline_p50_us\": {}, \"baseline_p99_us\": {}, ",
+            "\"contended_p50_us\": {}, \"contended_p99_us\": {}, \"degradation\": {:.3},\n",
+            "    \"abuser\": {{\"submitted\": {}, \"admitted\": {}, \"shed_quota\": {}}}}}\n",
+            "}}\n"
+        ),
+        crate::report::json_escape(&stream.name),
+        cfg.scale,
+        cfg.seed,
+        nv,
+        read_mix,
+        p99_speedup,
+        cached_tot.completed(),
+        c_p50,
+        c_p99,
+        cached_tot.hit_rate(),
+        cached_tot.ingested,
+        uncached_tot.completed(),
+        u_p50,
+        u_p99,
+        uncached_tot.hit_rate(),
+        uncached_tot.ingested,
+        b_p50,
+        b_p99,
+        i_p50,
+        i_p99,
+        degradation,
+        abuser_m.submitted,
+        abuser_m.admitted,
+        abuser_m.rejected_quota,
+    );
+    if let Err(e) = crate::report::save_json("BENCH_serving", &json) {
+        eprintln!("(json save failed for serving: {e})");
+    }
+}

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use gpma_core::checkpoint::{Checkpoint, CheckpointStore, MemoryCheckpointStore};
 use gpma_core::delta::{apply_delta, DeltaCatchUp, DeltaLog, SnapshotDelta};
 use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot, BYTES_PER_UPDATE};
@@ -338,6 +338,8 @@ struct Shared {
     router: Mutex<RouterCounters>,
     ingested_inserts: AtomicU64,
     ingested_deletes: AtomicU64,
+    /// Updates shed by the non-blocking offer path (producer-side).
+    dropped_updates: AtomicU64,
     queries: AtomicU64,
     cuts: AtomicU64,
     /// The cluster-wide telemetry hub (DESIGN.md §13): shared with every
@@ -418,6 +420,66 @@ impl ClusterHandle {
         Ok(())
     }
 
+    /// Non-blocking insert: `Ok(false)` (and a counted drop) when the
+    /// router queue is full — the load-shedding policy for producers that
+    /// must not stall. Mirrors [`IngestHandle::offer_insert`].
+    pub fn offer_insert(&self, e: Edge) -> Result<bool, ClusterClosed> {
+        let t0 = self.enqueue_t0();
+        match self.tx.try_send(Command::Insert(e)) {
+            Ok(()) => {
+                self.record_enqueue(t0);
+                self.shared.ingested_inserts.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.dropped_updates.fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ClusterClosed),
+        }
+    }
+
+    /// Non-blocking delete; same drop policy as [`Self::offer_insert`].
+    pub fn offer_delete(&self, e: Edge) -> Result<bool, ClusterClosed> {
+        let t0 = self.enqueue_t0();
+        match self.tx.try_send(Command::Delete(e)) {
+            Ok(()) => {
+                self.record_enqueue(t0);
+                self.shared.ingested_deletes.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.dropped_updates.fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ClusterClosed),
+        }
+    }
+
+    /// Non-blocking batch ingest: the whole batch is accepted or shed as
+    /// one unit (a batch occupies a single router-queue slot, so partial
+    /// shedding is impossible). `Ok(false)` counts every contained update
+    /// as dropped. The ingest path a quota-metered serving front uses.
+    pub fn offer_batch(&self, batch: UpdateBatch) -> Result<bool, ClusterClosed> {
+        let (ins, del) = (batch.insertions.len() as u64, batch.deletions.len() as u64);
+        let t0 = self.enqueue_t0();
+        match self.tx.try_send(Command::Batch(batch)) {
+            Ok(()) => {
+                self.record_enqueue(t0);
+                self.shared.ingested_inserts.fetch_add(ins, Ordering::Relaxed);
+                self.shared.ingested_deletes.fetch_add(del, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared
+                    .dropped_updates
+                    .fetch_add(ins + del, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ClusterClosed),
+        }
+    }
+
     /// Commands currently queued at the router (racy, for pacing).
     pub fn queue_depth(&self) -> usize {
         self.tx.len()
@@ -461,6 +523,57 @@ impl GraphCluster {
         initial_edges: &[Edge],
     ) -> Self {
         Self::spawn_with_delta_monitors(cfg, device_cfg, partitioner, initial_edges, Vec::new())
+    }
+
+    /// Rebuild a cluster purely from a [`CheckpointStore`] — the
+    /// process-restart path: no live workers, no rings, no replay logs,
+    /// just whatever the previous process persisted.
+    ///
+    /// Shard ids are probed densely from 0 until the store has no latest
+    /// checkpoint for an id (a cluster always checkpoints shards `0..n`,
+    /// so the first gap is the end). Each checkpoint's trailing delta
+    /// chain is folded onto its base snapshot ([`Checkpoint::restore`]),
+    /// the restored shard states are merged, and a *fresh* cluster is
+    /// spawned over them — the new `partitioner` and shard count need not
+    /// match the old cluster's, so a restart can also re-plan.
+    ///
+    /// State later than the last persisted checkpoint is gone by
+    /// definition; with `checkpoint_every_cuts: 1` that is at most one
+    /// cut's worth. Corrupt containers surface as
+    /// [`io::ErrorKind::InvalidData`](std::io::ErrorKind::InvalidData); an
+    /// empty store (no shard 0) yields
+    /// [`io::ErrorKind::NotFound`](std::io::ErrorKind::NotFound).
+    pub fn spawn_from_store(
+        cfg: ClusterConfig,
+        device_cfg: &DeviceConfig,
+        partitioner: Arc<dyn Partitioner>,
+        store: &dyn CheckpointStore,
+    ) -> std::io::Result<Self> {
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut shard = 0usize;
+        while let Some(bytes) = store.load_latest(shard)? {
+            let ckpt = Checkpoint::decode(&bytes).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("shard {shard} checkpoint corrupt: {e}"),
+                )
+            })?;
+            edges.extend_from_slice(ckpt.restore().edges());
+            shard += 1;
+        }
+        if shard == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "checkpoint store holds no shard 0 checkpoint",
+            ));
+        }
+        // Shard states are disjoint under any 1D plan; under an edge-grid
+        // plan an edge lives on exactly one cell. Either way the merge is
+        // duplicate-free, and the fresh spawn re-routes it under the new
+        // partitioner.
+        edges.sort_unstable_by_key(|e| e.key());
+        edges.dedup_by_key(|e| e.key());
+        Ok(Self::spawn(cfg, device_cfg, partitioner, &edges))
     }
 
     /// Spawn with cluster-level [`DeltaMonitor`]s: after every coordinated
@@ -507,6 +620,7 @@ impl GraphCluster {
             }),
             ingested_inserts: AtomicU64::new(0),
             ingested_deletes: AtomicU64::new(0),
+            dropped_updates: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             cuts: AtomicU64::new(0),
             obs,
@@ -701,6 +815,7 @@ impl GraphCluster {
             queue_depth: self.tx.len(),
             ingested_inserts: self.shared.ingested_inserts.load(Ordering::Relaxed),
             ingested_deletes: self.shared.ingested_deletes.load(Ordering::Relaxed),
+            dropped_updates: self.shared.dropped_updates.load(Ordering::Relaxed),
             queries: self.shared.queries.load(Ordering::Relaxed),
             elapsed_secs: self.shared.started.elapsed().as_secs_f64(),
             routed: router.routed,

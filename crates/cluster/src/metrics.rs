@@ -29,6 +29,10 @@ pub struct ClusterMetrics {
     pub ingested_inserts: u64,
     /// Deletions accepted by cluster handles.
     pub ingested_deletes: u64,
+    /// Updates shed by the non-blocking `offer_*` handle paths because the
+    /// router queue was full (shed, not blocked — the serving front's
+    /// load-shedding ingest policy).
+    pub dropped_updates: u64,
     /// Snapshot reads served from published cuts.
     pub queries: u64,
     /// Cluster wall-clock age in seconds.
@@ -264,8 +268,8 @@ impl std::fmt::Display for ClusterMetrics {
         ))
         .field("ingested", self.ingested())
         .annotate(format_args!(
-            "+{} -{}",
-            self.ingested_inserts, self.ingested_deletes
+            "+{} -{} ({} shed)",
+            self.ingested_inserts, self.ingested_deletes, self.dropped_updates
         ))
         .group()
         .raw(format_args!(
@@ -328,6 +332,7 @@ mod tests {
             queue_depth: 0,
             ingested_inserts: 80,
             ingested_deletes: 20,
+            dropped_updates: 0,
             queries: 5,
             elapsed_secs: 2.0,
             routed: vec![75, 25],

@@ -46,7 +46,7 @@ pub struct EngineStats {
 #[derive(Debug, Default)]
 pub struct IncrementalEngine {
     graph: DeltaGraph,
-    bfs: Option<IncrementalBfs>,
+    bfs: Vec<IncrementalBfs>,
     cc: Option<IncrementalCc>,
     pagerank: Option<DeltaPageRank>,
     stats: EngineStats,
@@ -58,9 +58,13 @@ impl IncrementalEngine {
         IncrementalEngine::default()
     }
 
-    /// Maintain BFS distances from `root`.
+    /// Maintain BFS distances from `root`. May be called repeatedly with
+    /// distinct roots — each adds an independent maintainer over the same
+    /// shared graph (re-adding an existing root is a no-op).
     pub fn with_bfs(mut self, root: u32) -> Self {
-        self.bfs = Some(IncrementalBfs::new(root));
+        if !self.bfs.iter().any(|m| m.root() == root) {
+            self.bfs.push(IncrementalBfs::new(root));
+        }
         self
     }
 
@@ -82,9 +86,19 @@ impl IncrementalEngine {
         &self.graph
     }
 
-    /// The BFS maintainer, when enabled.
+    /// The first BFS maintainer, when any is enabled.
     pub fn bfs(&self) -> Option<&IncrementalBfs> {
-        self.bfs.as_ref()
+        self.bfs.first()
+    }
+
+    /// The BFS maintainer rooted at `root`, when enabled.
+    pub fn bfs_from(&self, root: u32) -> Option<&IncrementalBfs> {
+        self.bfs.iter().find(|m| m.root() == root)
+    }
+
+    /// Every enabled BFS maintainer, in registration order.
+    pub fn bfs_all(&self) -> &[IncrementalBfs] {
+        &self.bfs
     }
 
     /// The CC maintainer, when enabled (mutable: label queries compress
@@ -101,7 +115,7 @@ impl IncrementalEngine {
     /// Cumulative accounting.
     pub fn stats(&self) -> EngineStats {
         let mut s = self.stats;
-        s.bfs_work = self.bfs.as_ref().map_or(0, |m| m.work());
+        s.bfs_work = self.bfs.iter().map(|m| m.work()).sum();
         s.cc_work = self.cc.as_ref().map_or(0, |m| m.work());
         s.pagerank_work = self.pagerank.as_ref().map_or(0, |m| m.work());
         s
@@ -110,7 +124,7 @@ impl IncrementalEngine {
     /// Rebase graph and every maintainer on a full snapshot.
     pub fn rebase(&mut self, snapshot: &GraphSnapshot) {
         self.graph = DeltaGraph::from_snapshot(snapshot);
-        if let Some(m) = self.bfs.as_mut() {
+        for m in &mut self.bfs {
             m.rebase(&self.graph);
         }
         if let Some(m) = self.cc.as_mut() {
@@ -128,7 +142,7 @@ impl IncrementalEngine {
         let applied = self.graph.apply(delta);
         self.stats.epochs += 1;
         self.stats.changed_edges += applied.topology_changes() as u64;
-        if let Some(m) = self.bfs.as_mut() {
+        for m in &mut self.bfs {
             m.apply(&self.graph, &applied);
         }
         if let Some(m) = self.cc.as_mut() {
@@ -241,6 +255,35 @@ mod tests {
         assert_eq!(stats.rebases, 1);
         assert_eq!(stats.changed_edges, 6);
         assert!(stats.bfs_work > 0 && stats.cc_work > 0 && stats.pagerank_work > 0);
+    }
+
+    #[test]
+    fn multi_root_bfs_maintainers_are_independent_and_exact() {
+        let mut engine = IncrementalEngine::new().with_bfs(0).with_bfs(3).with_bfs(0);
+        assert_eq!(engine.bfs_all().len(), 2, "duplicate root must be a no-op");
+        let snap = GraphSnapshot::from_edges(
+            0,
+            8,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(3, 4)],
+        );
+        engine.rebase(&snap);
+        let delta = SnapshotDelta::from_batch(
+            1,
+            &UpdateBatch {
+                insertions: vec![Edge::new(2, 3), Edge::new(4, 5)],
+                deletions: vec![Edge::new(0, 1)],
+            },
+        );
+        engine.apply(&delta);
+        let g = engine.graph().clone();
+        for root in [0u32, 3] {
+            let m = engine.bfs_from(root).unwrap();
+            assert_eq!(m.root(), root);
+            assert_eq!(m.distances(), bfs_host(&g, root), "root {root}");
+        }
+        assert_eq!(engine.bfs().unwrap().root(), 0, "bfs() is the first root");
+        assert!(engine.bfs_from(7).is_none());
+        assert!(engine.stats().bfs_work > 0);
     }
 
     #[test]

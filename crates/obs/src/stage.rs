@@ -49,6 +49,17 @@ pub enum Stage {
     RecoveryReplay,
     /// Follower staleness at sync time, in *epochs* (not a span).
     FollowerStaleness,
+    /// Serving front: admission (quota check + queue submission) for one
+    /// query — the shed/accept decision a tenant observes.
+    QueryAdmit,
+    /// Serving worker: executing one query against the latest snapshot
+    /// (cache misses only; hits never reach this stage).
+    QueryExec,
+    /// Serving worker: answering one query from the delta-maintained
+    /// result cache (lookup + any delta patching amortised in refresh).
+    QueryCacheHit,
+    /// One whole query, submission → completion, queue wait included.
+    QueryTotal,
 }
 
 /// What a stage's samples measure.
@@ -62,7 +73,7 @@ pub enum Unit {
 
 impl Stage {
     /// Every stage, in table order.
-    pub const ALL: [Stage; 18] = [
+    pub const ALL: [Stage; 22] = [
         Stage::IngestEnqueue,
         Stage::IngestReshard,
         Stage::FlushDrain,
@@ -81,6 +92,10 @@ impl Stage {
         Stage::RecoveryRestore,
         Stage::RecoveryReplay,
         Stage::FollowerStaleness,
+        Stage::QueryAdmit,
+        Stage::QueryExec,
+        Stage::QueryCacheHit,
+        Stage::QueryTotal,
     ];
 
     /// Number of stages (the registry's histogram-table size).
@@ -113,6 +128,10 @@ impl Stage {
             Stage::RecoveryRestore => "recovery.restore",
             Stage::RecoveryReplay => "recovery.replay",
             Stage::FollowerStaleness => "follower.staleness",
+            Stage::QueryAdmit => "query.admit",
+            Stage::QueryExec => "query.exec",
+            Stage::QueryCacheHit => "query.cache_hit",
+            Stage::QueryTotal => "query.total",
         }
     }
 

@@ -317,6 +317,29 @@ impl IngestHandle {
         }
     }
 
+    /// Non-blocking batch ingest: the whole batch is accepted or shed as
+    /// one unit (`Ok(false)` counts every contained update as dropped).
+    /// All-or-nothing by construction — a batch travels as a single queue
+    /// slot, so partial shedding is impossible. This is the ingest path a
+    /// quota-metered serving front uses: it must never stall a tenant.
+    pub fn offer_batch(&self, batch: UpdateBatch) -> Result<bool, ServiceClosed> {
+        let (ins, del) = (batch.insertions.len() as u64, batch.deletions.len() as u64);
+        match self.tx.try_send(Command::Batch(batch)) {
+            Ok(()) => {
+                self.shared.ingested_inserts.fetch_add(ins, Ordering::Relaxed);
+                self.shared.ingested_deletes.fetch_add(del, Ordering::Relaxed);
+                Ok(true)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared
+                    .dropped_updates
+                    .fetch_add(ins + del, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServiceClosed),
+        }
+    }
+
     /// Commands currently queued (a racy snapshot, useful for pacing).
     pub fn queue_depth(&self) -> usize {
         self.tx.len()

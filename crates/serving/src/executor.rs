@@ -1,0 +1,334 @@
+//! The bounded task-pool executor: submission queue, worker pool, and
+//! [`Ticket`] completion slots.
+//!
+//! This is the crate's "async front" in the same spirit as the vendored
+//! dependency stubs (`vendor/crossbeam` et al.): a minimal std-only stand-in
+//! with the surface a tokio-backed executor would expose — non-blocking
+//! submission, opaque `FnOnce` jobs, completion handles that can be waited
+//! on, cancelled, or polled. When a real async runtime lands, `Executor`
+//! swaps out without touching the query or admission layers, because jobs
+//! carry their own deadline/cancellation logic in the closure.
+//!
+//! Submission never blocks: [`Executor::try_submit`] returns `false` when
+//! the bounded queue is full, which the serving layer surfaces as a typed
+//! [`Rejected::QueueFull`](crate::Rejected::QueueFull). Shutdown drains the
+//! queue — every accepted job runs, so every issued ticket completes.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An opaque unit of work. Deadline and cancellation checks are baked into
+/// the closure by the submitter, keeping the pool itself type-agnostic.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct ExecState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct ExecShared {
+    state: Mutex<ExecState>,
+    takeable: Condvar,
+    capacity: usize,
+}
+
+/// Poison-safe lock: a panicking job must not wedge the whole pool.
+fn lock_state(shared: &ExecShared) -> MutexGuard<'_, ExecState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A fixed worker pool draining one bounded FIFO submission queue.
+///
+/// See the module docs for the design contract. The pool joins its workers
+/// on drop (draining any queued jobs first), so an `Executor` going out of
+/// scope never strands a [`Ticket`] waiter.
+pub struct Executor {
+    shared: Arc<ExecShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawn `workers` worker threads over a queue bounded at
+    /// `queue_capacity` jobs (both floored at 1).
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let shared = Arc::new(ExecShared {
+            state: Mutex::new(ExecState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            takeable: Condvar::new(),
+            capacity: queue_capacity.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || run_worker(&shared))
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    /// Enqueue a job without blocking: `false` when the queue is at
+    /// capacity or the pool is shutting down (the job is dropped unrun —
+    /// callers shed, they never stall).
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut st = lock_state(&self.shared);
+        if st.closed || st.jobs.len() >= self.shared.capacity {
+            return false;
+        }
+        st.jobs.push_back(Box::new(job));
+        drop(st);
+        self.shared.takeable.notify_one();
+        true
+    }
+
+    /// Jobs currently queued (racy snapshot, excludes jobs mid-execution).
+    pub fn queue_depth(&self) -> usize {
+        lock_state(&self.shared).jobs.len()
+    }
+
+    /// Close the intake, drain every queued job, and join the workers.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        lock_state(&self.shared).closed = true;
+        self.shared.takeable.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// Worker loop: pop-and-run until the queue is closed *and* empty, so
+/// shutdown drains rather than abandons accepted work.
+fn run_worker(shared: &ExecShared) {
+    loop {
+        let job = {
+            let mut st = lock_state(shared);
+            loop {
+                if let Some(j) = st.jobs.pop_front() {
+                    break j;
+                }
+                if st.closed {
+                    return;
+                }
+                st = shared
+                    .takeable
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        job();
+    }
+}
+
+struct TicketInner<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+    cancelled: AtomicBool,
+}
+
+/// A completion slot shared between the submitter of a job and its
+/// eventual consumer: the job [`complete`](Self::complete)s it exactly
+/// once, any other clone [`wait`](Self::wait)s (or polls, or cancels).
+///
+/// Single-consumer: the first `wait`/`try_take` that observes the value
+/// takes it.
+pub struct Ticket<T>(Arc<TicketInner<T>>);
+
+impl<T> Clone for Ticket<T> {
+    fn clone(&self) -> Self {
+        Ticket(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.lock_slot().is_some())
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+impl<T> Default for Ticket<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Ticket<T> {
+    /// An empty (pending) ticket.
+    pub fn new() -> Self {
+        Ticket(Arc::new(TicketInner {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        }))
+    }
+
+    fn lock_slot(&self) -> MutexGuard<'_, Option<T>> {
+        self.0.slot.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fill the slot and wake waiters. Returns `false` (dropping `value`)
+    /// when the ticket was already completed.
+    pub fn complete(&self, value: T) -> bool {
+        let mut slot = self.lock_slot();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(value);
+        drop(slot);
+        self.0.ready.notify_all();
+        true
+    }
+
+    /// Block until the job completes, then take its result.
+    pub fn wait(&self) -> T {
+        let mut slot = self.lock_slot();
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            slot = self
+                .0
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// [`wait`](Self::wait) bounded by `timeout`: `None` when the result
+    /// has not arrived in time (the job still runs; a later wait can still
+    /// take the value).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.lock_slot();
+        loop {
+            if let Some(v) = slot.take() {
+                return Some(v);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (s, _) = self
+                .0
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = s;
+        }
+    }
+
+    /// Take the result if already available, without blocking.
+    pub fn try_take(&self) -> Option<T> {
+        self.lock_slot().take()
+    }
+
+    /// Ask the job not to run. Best-effort: a job already executing
+    /// finishes normally; a job still queued completes the ticket with the
+    /// submitter's cancellation value instead of executing.
+    pub fn cancel(&self) {
+        self.0.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn jobs_run_and_tickets_complete() {
+        let pool = Executor::new(2, 16);
+        let tickets: Vec<Ticket<usize>> = (0..8).map(|_| Ticket::new()).collect();
+        for (i, t) in tickets.iter().enumerate() {
+            let t = t.clone();
+            assert!(pool.try_submit(move || {
+                assert!(t.complete(i * i));
+            }));
+        }
+        for (i, t) in tickets.iter().enumerate() {
+            assert_eq!(t.wait(), i * i);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let pool = Executor::new(1, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        // Park the single worker so later submissions pile up in the queue.
+        assert!(pool.try_submit(move || {
+            let (m, c) = &*g;
+            let mut open = m.lock().unwrap_or_else(PoisonError::into_inner);
+            while !*open {
+                open = c.wait(open).unwrap_or_else(PoisonError::into_inner);
+            }
+        }));
+        // Wait until the worker has dequeued the parked job.
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        assert!(pool.try_submit(|| {}), "one slot fits");
+        let mut shed = 0;
+        for _ in 0..5 {
+            if !pool.try_submit(|| {}) {
+                shed += 1;
+            }
+        }
+        assert_eq!(shed, 5, "the bounded queue sheds, never blocks");
+        {
+            let (m, c) = &*gate;
+            *m.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            c.notify_all();
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let pool = Executor::new(1, 64);
+        for _ in 0..32 {
+            let ran = Arc::clone(&ran);
+            assert!(pool.try_submit(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 32, "every accepted job ran");
+    }
+
+    #[test]
+    fn ticket_timeout_and_cancellation() {
+        let t: Ticket<u32> = Ticket::new();
+        assert_eq!(t.wait_timeout(Duration::from_millis(5)), None);
+        assert!(t.try_take().is_none());
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.complete(7));
+        assert!(!t.complete(8), "second completion is dropped");
+        assert_eq!(t.wait(), 7);
+    }
+}

@@ -1,0 +1,165 @@
+//! Multi-tenancy primitives: per-tenant quota configuration and the
+//! token-bucket rate limiter behind admission control.
+//!
+//! Buckets refill continuously at `rate` tokens/second up to a `burst`
+//! capacity; a query costs one token, an ingested update costs one token.
+//! Admission *sheds* on an empty bucket
+//! ([`Rejected::QuotaExceeded`](crate::Rejected::QuotaExceeded)) — it
+//! never blocks, so one tenant's over-quota traffic cannot stall another
+//! tenant's worker time.
+
+use std::time::Instant;
+
+/// Per-tenant quota configuration (rates in tokens/second; one query = one
+/// token on the query bucket, one update = one token on the ingest bucket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Display name, used in metrics and reports.
+    pub name: String,
+    /// Sustained queries/second admitted.
+    pub query_rate: f64,
+    /// Query burst capacity (tokens the bucket can hold).
+    pub query_burst: f64,
+    /// Sustained updates/second admitted for ingest.
+    pub ingest_rate: f64,
+    /// Ingest burst capacity in updates.
+    pub ingest_burst: f64,
+}
+
+impl TenantConfig {
+    /// A tenant with the given sustained rates and a one-second burst
+    /// allowance (`burst = rate`).
+    pub fn new(name: &str, query_rate: f64, ingest_rate: f64) -> Self {
+        TenantConfig {
+            name: name.to_string(),
+            query_rate,
+            query_burst: query_rate,
+            ingest_rate,
+            ingest_burst: ingest_rate,
+        }
+    }
+
+    /// A tenant admission never sheds on quota (queue capacity and
+    /// deadlines still apply).
+    pub fn unlimited(name: &str) -> Self {
+        TenantConfig {
+            name: name.to_string(),
+            query_rate: f64::INFINITY,
+            query_burst: f64::INFINITY,
+            ingest_rate: f64::INFINITY,
+            ingest_burst: f64::INFINITY,
+        }
+    }
+
+    /// Override both burst capacities.
+    pub fn with_bursts(mut self, query_burst: f64, ingest_burst: f64) -> Self {
+        self.query_burst = query_burst;
+        self.ingest_burst = ingest_burst;
+        self
+    }
+}
+
+/// A continuously-refilling token bucket (the classic traffic shaper).
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    rate: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate` tokens/second, holding at most `burst`
+    /// tokens (floored at 1), starting full. An infinite `rate` never
+    /// sheds.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        let capacity = if burst.is_finite() { burst.max(1.0) } else { f64::MAX };
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            rate,
+            last: Instant::now(),
+        }
+    }
+
+    /// Refill for the elapsed wall-clock, then take `cost` tokens if
+    /// available. `false` means shed. This is the admission decision for
+    /// every query and every ingested update, so it must stay
+    /// allocation-free.
+    // lint: hot-path
+    pub fn try_take(&mut self, cost: f64) -> bool {
+        let now = Instant::now();
+        // `inf * 0.0` is NaN, so the unlimited bucket short-circuits
+        // before touching the refill arithmetic.
+        if self.rate.is_infinite() {
+            self.last = now;
+            return true;
+        }
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.rate).min(self.capacity);
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (as of the last
+    /// [`try_take`](Self::try_take); no refill is applied).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_then_shed_then_refill() {
+        let mut b = TokenBucket::new(1000.0, 4.0);
+        for _ in 0..4 {
+            assert!(b.try_take(1.0), "burst capacity admits");
+        }
+        assert!(!b.try_take(1.0), "empty bucket sheds");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.try_take(1.0), "refill at 1000/s restores a token in 10ms");
+    }
+
+    #[test]
+    fn unlimited_bucket_never_sheds() {
+        let mut b = TokenBucket::new(f64::INFINITY, f64::INFINITY);
+        for _ in 0..10_000 {
+            assert!(b.try_take(1.0));
+        }
+    }
+
+    #[test]
+    fn zero_rate_bucket_spends_its_burst_only() {
+        let mut b = TokenBucket::new(0.0, 2.0);
+        assert!(b.try_take(2.0));
+        assert!(!b.try_take(1.0));
+        assert_eq!(b.available(), 0.0);
+    }
+
+    #[test]
+    fn batch_cost_is_all_or_nothing() {
+        let mut b = TokenBucket::new(0.0, 10.0);
+        assert!(!b.try_take(11.0), "cost above balance sheds whole");
+        assert_eq!(b.available(), 10.0, "a shed takes nothing");
+        assert!(b.try_take(10.0));
+    }
+
+    #[test]
+    fn tenant_config_constructors() {
+        let t = TenantConfig::new("dash", 50.0, 2000.0).with_bursts(10.0, 500.0);
+        assert_eq!(t.name, "dash");
+        assert_eq!(t.query_burst, 10.0);
+        assert_eq!(t.ingest_burst, 500.0);
+        let u = TenantConfig::unlimited("admin");
+        assert!(u.query_rate.is_infinite() && u.ingest_rate.is_infinite());
+    }
+}

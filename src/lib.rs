@@ -1,6 +1,6 @@
 //! # gpma-repro — umbrella crate for the GPMA/GPMA+ reproduction
 //!
-//! Re-exports the eleven library crates under one roof and anchors the
+//! Re-exports the thirteen library crates under one roof and anchors the
 //! root-level integration tests (`tests/`) and examples (`examples/`).
 //! See `DESIGN.md` for the crate map and experiment index, and `ROADMAP.md`
 //! for build/test/bench commands.
@@ -27,4 +27,5 @@ pub use gpma_incremental as incremental;
 pub use gpma_obs as obs;
 pub use gpma_pma as pma;
 pub use gpma_service as service;
+pub use gpma_serving as serving;
 pub use gpma_sim as sim;

@@ -265,3 +265,97 @@ fn ring_outrun_recovery_falls_back_to_snapshot() {
         report.metrics.recovery_stats()
     );
 }
+
+/// Process-restart durability: drive a cluster whose checkpoints land in
+/// an on-disk [`DirCheckpointStore`], shut the whole cluster down (the
+/// "process" exits — every worker, ring and replay log is gone), then
+/// rebuild purely from the directory via `spawn_from_store` and require
+/// the restored edge set — under a *different* shard plan — to equal the
+/// last checkpointed cut exactly.
+#[test]
+fn cluster_restarts_from_dir_checkpoint_store() {
+    use gpma_cluster::DirCheckpointStore;
+
+    let root = std::env::temp_dir().join(format!(
+        "gpma-restart-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Incarnation 1: random-ish deterministic stream, checkpoint at every
+    // cut so the directory ends up holding the full final state.
+    let mut oracle = BTreeMap::new();
+    let ops: Vec<(u8, u32, u32, u64)> = (0..240u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+            (
+                (x % 10) as u8,
+                (x >> 8) as u32 % NUM_VERTICES,
+                (x >> 40) as u32 % NUM_VERTICES,
+                1 + (x >> 20) % 64,
+            )
+        })
+        .collect();
+    {
+        let store = Arc::new(DirCheckpointStore::open(&root).expect("tempdir"));
+        let cluster = GraphCluster::spawn(
+            ClusterConfig {
+                flush_threshold: 8,
+                router_batch: 16,
+                recovery: Some(RecoveryPolicy {
+                    store,
+                    checkpoint_every_cuts: 1,
+                }),
+                ..Default::default()
+            },
+            &DeviceConfig::deterministic(),
+            Arc::new(HashVertexPartition { num_vertices: NUM_VERTICES, num_shards: 3 }),
+            &[],
+        );
+        let h = cluster.handle();
+        for chunk in ops.chunks(60) {
+            feed(&h, chunk);
+            apply_oracle(&mut oracle, chunk);
+            // The cut checkpoints every shard at this boundary.
+            cluster.epoch_cut().expect("cluster alive");
+        }
+        assert_cut_matches(&cluster, &oracle, "incarnation 1 final cut");
+        drop(cluster.shutdown());
+    }
+
+    // Incarnation 2: nothing survives but the directory. Restart under a
+    // different plan (3 → 2 shards) — spawn_from_store re-routes.
+    let store2 = DirCheckpointStore::open(&root).expect("reopen");
+    let restarted = GraphCluster::spawn_from_store(
+        ClusterConfig {
+            flush_threshold: 8,
+            ..Default::default()
+        },
+        &DeviceConfig::deterministic(),
+        Arc::new(HashVertexPartition { num_vertices: NUM_VERTICES, num_shards: 2 }),
+        &store2,
+    )
+    .expect("restart from checkpoint dir");
+    assert_cut_matches(&restarted, &oracle, "restarted cluster");
+    drop(restarted.shutdown());
+
+    // An empty directory is a clean NotFound, not a silent empty cluster.
+    let empty = std::env::temp_dir().join(format!("gpma-restart-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&empty);
+    match GraphCluster::spawn_from_store(
+        ClusterConfig::default(),
+        &DeviceConfig::deterministic(),
+        Arc::new(HashVertexPartition { num_vertices: NUM_VERTICES, num_shards: 2 }),
+        &DirCheckpointStore::open(&empty).expect("tempdir"),
+    ) {
+        Ok(c) => {
+            drop(c.shutdown());
+            panic!("an empty store must not spawn a cluster");
+        }
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::NotFound),
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&empty);
+}

@@ -41,6 +41,19 @@ pub fn hot_record_sample(samples: &[u64], v: u64) -> Vec<u64> {
     log
 }
 
+/// Seeded serving-flavored `hot-path-alloc` violation: a memoized
+/// cache lookup that clones the stored result instead of borrowing it —
+/// exactly the allocation the gpma-serving cache-lookup path must never
+/// make.
+// lint: hot-path
+pub fn hot_cache_lookup(
+    entries: &std::collections::HashMap<(u32, u64), Vec<u32>>,
+    tenant: u32,
+    query: u64,
+) -> Option<Vec<u32>> {
+    entries.get(&(tenant, query)).map(|hit| hit.clone())
+}
+
 /// Seeded `worker-panic` violation: unwraps inside a spawned thread body.
 pub fn spawn_and_unwrap(tx: std::sync::mpsc::Sender<u64>) {
     std::thread::spawn(move || {
