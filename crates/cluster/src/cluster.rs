@@ -2,16 +2,18 @@
 //! ingest stream out across per-shard [`StreamingService`] workers, the
 //! coordinated epoch cut, and the shutdown protocol.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{
+    bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError,
+};
 use gpma_core::checkpoint::{Checkpoint, CheckpointStore, MemoryCheckpointStore};
-use gpma_core::delta::{apply_delta, DeltaCatchUp, DeltaLog, SnapshotDelta};
+use gpma_core::delta::{apply_delta, split_delta_moves, DeltaCatchUp, DeltaLog, SnapshotDelta};
 use gpma_core::framework::{DynamicGraphSystem, GraphSnapshot, BYTES_PER_UPDATE};
-use gpma_core::migration::MigrationPlan;
 use gpma_core::multi::{DegreePartition, PartitionEpoch, Partitioner};
 use gpma_graph::{Edge, UpdateBatch};
 use gpma_obs::{EventKind, Registry as ObsRegistry, Stage, NO_SHARD};
@@ -128,6 +130,11 @@ pub struct FaultPlan {
     /// Routed-update count (cluster lifetime, all shards) at which the
     /// kill fires.
     pub after_routed_updates: u64,
+    /// When true, the plan stays armed past its threshold until a
+    /// copy-on-write reshard is in flight, and fires *inside* it — the
+    /// crash window the COW recovery interaction tests need to hit
+    /// deterministically.
+    pub during_reshard: bool,
 }
 
 /// When (and toward what) the router reshards on its own: after at least
@@ -223,8 +230,15 @@ pub struct ReshardReport {
     /// Modeled bytes a from-scratch repartition would have shipped
     /// (every live edge re-uploaded).
     pub full_rebuild_bytes: u64,
-    /// Wall-clock seconds ingest was paused (quiesce → migrate → resume).
+    /// Wall-clock seconds ingest was actually paused: the final settle
+    /// barrier, residual diff and plan swap only — the copy-on-write
+    /// protocol migrates from a frozen cut and replays delta chains in the
+    /// background while ingest keeps flowing (see `background_secs`).
     pub pause_secs: f64,
+    /// Wall-clock seconds the reshard spent on background copy-on-write
+    /// work (frozen-cut copy + delta-chain replay rounds) with ingest
+    /// still flowing. Not a stall.
+    pub background_secs: f64,
     /// Cut number of the snapshot-style epoch marker the reshard published.
     pub cut: u64,
     /// True when the reshard was fired by the [`RebalancePolicy`] rather
@@ -296,8 +310,12 @@ pub(crate) struct RouterCounters {
     pub migrated_edges: u64,
     /// Modeled migration bytes shipped as device-to-device DMAs.
     pub migration_bytes: u64,
-    /// Total wall-clock seconds ingest was paused by reshards.
+    /// Total wall-clock seconds ingest was paused by reshards (settle +
+    /// residual only under the copy-on-write protocol).
     pub migration_pause_secs: f64,
+    /// Total wall-clock seconds reshards spent in background copy/replay
+    /// rounds while ingest kept flowing.
+    pub migration_background_secs: f64,
     /// Dead shard workers detected and respawned.
     pub recoveries: u64,
     /// Total wall-clock seconds spent recovering.
@@ -830,6 +848,7 @@ impl GraphCluster {
             migrated_edges: router.migrated_edges,
             migration_bytes: router.migration_bytes,
             migration_pause_secs: router.migration_pause_secs,
+            migration_background_secs: router.migration_background_secs,
             recoveries: router.recoveries,
             recovery_secs: router.recovery_secs,
             recovery_replayed_deltas: router.recovery_replayed_deltas,
@@ -1054,6 +1073,67 @@ fn run_cut_monitors(
     monitors
 }
 
+/// Cap on background copy/replay rounds one reshard may spend chasing a
+/// hot ingest stream before it settles anyway — the final barrier makes
+/// the delta chains static and the settle replay drains them exactly, so
+/// the cap only bounds how long a reshard may defer its plan swap.
+const COW_MAX_ROUNDS: u64 = 256;
+
+/// Cap on the post-barrier settle replay. With ingest paused the chains
+/// are static and one round normally drains them; extra rounds only run
+/// when a ring outrun or mid-settle recovery forces a frozen-cut resync.
+const COW_SETTLE_ROUNDS: u64 = 64;
+
+/// Cap on pre-settle barrier reissues. Each reissue flushes the residue
+/// the previous round's barrier itself produced; on a quiet stream two or
+/// three suffice and the settle then sees empty queues. Under saturating
+/// ingest the loop would never converge — the cap bounds it and hands the
+/// (one-flush) residue to the paused settle.
+const COW_PRESETTLE_REISSUES: u32 = 16;
+
+/// In-flight state of one copy-on-write reshard (owned by `reshard`'s
+/// stack, threaded through the background-round helpers).
+struct CowState {
+    /// The target plan the background rounds stage toward.
+    new: Arc<dyn Partitioner>,
+    /// Shard count before the reshard (sources are `0..old_n`).
+    old_n: usize,
+    /// Shard count after (destinations are `0..new_n`).
+    new_n: usize,
+    /// Per-destination image of every edge shipped there so far, keyed by
+    /// edge key — what the final barrier diffs the true move set against.
+    staged: Vec<BTreeMap<u64, Edge>>,
+    /// Per-source replay cursor: the shard-local epoch through which the
+    /// delta chain has been split and shipped.
+    handled: Vec<u64>,
+    /// Per-destination staged-insert counts (the modeled DMA charges).
+    arrived: Vec<usize>,
+    /// Edges shipped by frozen-cut copy rounds.
+    copied: u64,
+    /// Updates shipped by delta-chain replay rounds.
+    replayed: u64,
+    /// Wall clock actually spent copying/replaying (ingest kept flowing).
+    background: Duration,
+}
+
+/// One in-flight non-blocking cut round: barriers issued to every shard,
+/// acks collected as the workers reach them — producers never stall on a
+/// cluster-wide quiesce.
+struct PendingCut {
+    /// Every `epoch_cut` caller waiting on this round.
+    acks: Vec<Sender<Arc<ClusterSnapshot>>>,
+    /// Per-shard barrier ack receivers (`None` = service already closed
+    /// when the barrier was issued).
+    waits: Vec<Option<Receiver<Arc<GraphSnapshot>>>>,
+    /// Collected per-shard barrier snapshots.
+    got: Vec<Option<Arc<GraphSnapshot>>>,
+    /// A shard degraded to its aligned published snapshot: the round's
+    /// barrier wall is not representative, so it is not recorded.
+    degraded: bool,
+    /// When the round's barriers were issued.
+    t0: Instant,
+}
+
 /// Everything the router loop threads through its helpers.
 struct Router {
     handles: Vec<IngestHandle>,
@@ -1102,6 +1182,36 @@ struct Router {
     /// so the next cut's delta cannot be stitched across the crash — force
     /// that one cut to publish as a full-snapshot rebase.
     force_rebase: bool,
+    /// The non-blocking cut round in flight, if any.
+    pending_cut: Option<PendingCut>,
+    /// `epoch_cut` callers that arrived while a round was in flight; they
+    /// join the *next* round (their pre-cut updates may not have been
+    /// forwarded when the current round's barriers were issued).
+    queued_cut_acks: Vec<Sender<Arc<ClusterSnapshot>>>,
+    /// Cut/reshard/rebalance commands that arrived during a copy-on-write
+    /// reshard; run in arrival order right after it completes.
+    deferred: VecDeque<Command>,
+    /// True while a copy-on-write reshard is in flight (gates the
+    /// `during_reshard` fault plan and the recovery resync hook).
+    cow_active: bool,
+    /// A recovery (or an outrun source ring) invalidated the in-flight
+    /// reshard's replay cursors: the next background round must be a full
+    /// frozen-cut resync instead of a delta replay.
+    cow_sync_dirty: bool,
+    /// Shards respawned while `cow_active` — their staged image must be
+    /// rebuilt from their actual settled state at the next resync (staged
+    /// arrivals queued but unflushed at death are not in the replay log).
+    cow_recovered: Vec<usize>,
+    /// The reshard already swapped the plan and is retiring the movers
+    /// from their old owners in the background: recovery must *not* queue
+    /// a staged resync (the sources' delta streams now carry retraction
+    /// deletions that would replay as destination deletes) — the router
+    /// replay log, which records every internal ship, repairs a death in
+    /// this window instead.
+    cow_retiring: bool,
+    /// A `Shutdown` absorbed mid-reshard; honored as soon as the reshard
+    /// completes.
+    shutdown_pending: bool,
 }
 
 impl Router {
@@ -1169,6 +1279,33 @@ impl Router {
         self.pending[s].deletions.push(e);
     }
 
+    /// The one-shot fault plan fires right after the burst that crossed
+    /// its threshold: the victim's queued updates die unflushed, exactly
+    /// like a process kill between flushes. A `during_reshard` plan stays
+    /// armed past its threshold and fires at the first check inside a
+    /// copy-on-write window instead.
+    fn maybe_fire_fault(&mut self) {
+        let Some(plan) = self.fault else {
+            return;
+        };
+        if self.lifetime_routed < plan.after_routed_updates
+            || (plan.during_reshard && !self.cow_active)
+        {
+            return;
+        }
+        self.fault = None;
+        if plan.kill_shard < self.services.len() {
+            let _ = self.services[plan.kill_shard].inject_failure();
+        } else {
+            self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "gpma-cluster: fault plan names shard {} of {}; ignored",
+                plan.kill_shard,
+                self.services.len()
+            );
+        }
+    }
+
     /// Ship every non-empty per-shard sub-batch: record one modeled DMA per
     /// sub-batch against that shard's ledger (all accounting under one lock
     /// per burst), then forward through the shards' (blocking) ingest
@@ -1176,6 +1313,10 @@ impl Router {
     /// cluster queue, which stalls producers.
     fn forward(&mut self) {
         if self.pending_len == 0 {
+            // Nothing to ship, but an armed `during_reshard` fault plan
+            // must still get its shot: a copy-on-write window with no
+            // client traffic in flight would otherwise never fire it.
+            self.maybe_fire_fault();
             return;
         }
         let obs = self.shared.obs.clone();
@@ -1222,24 +1363,7 @@ impl Router {
         // The forward span ends here: fault firing and recovery below are
         // their own pipeline stages, not part of the send fan-out.
         drop(fwd_span);
-        // The one-shot fault plan fires right after the burst that crossed
-        // its threshold: the victim's queued updates die unflushed, exactly
-        // like a process kill between flushes.
-        if let Some(plan) = self.fault {
-            if self.lifetime_routed >= plan.after_routed_updates {
-                self.fault = None;
-                if plan.kill_shard < self.services.len() {
-                    let _ = self.services[plan.kill_shard].inject_failure();
-                } else {
-                    self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
-                    eprintln!(
-                        "gpma-cluster: fault plan names shard {} of {}; ignored",
-                        plan.kill_shard,
-                        self.services.len()
-                    );
-                }
-            }
-        }
+        self.maybe_fire_fault();
         for i in dead {
             self.recover_shard(i);
         }
@@ -1354,6 +1478,18 @@ impl Router {
         self.handles[i] = svc.handle();
         self.services[i] = svc;
         self.force_rebase = true;
+        if self.cow_active && !self.cow_retiring {
+            // The respawned incarnation's ring restarts at epoch 0 and any
+            // staged arrivals queued (unflushed) at death died with the
+            // worker: the in-flight reshard's replay cursor and staged
+            // image for this shard are both stale. Force a full frozen-cut
+            // resync, rebuilding this shard's staged image from its actual
+            // settled state. (Post-swap — `cow_retiring` — the replay log
+            // above already re-ingested every internal ship, and a resync
+            // would mis-read the sources' retraction deltas as moves.)
+            self.cow_sync_dirty = true;
+            self.cow_recovered.push(i);
+        }
         drop(replay_span);
         obs.event(
             Stage::RecoveryReplay,
@@ -1428,41 +1564,61 @@ impl Router {
     /// Barrier every shard and collect the epoch-stamped snapshots. A shard
     /// whose service is found closed (only possible mid-teardown) does not
     /// panic the router: the error is logged, counted in
-    /// [`ClusterMetrics::worker_errors`], and the shard's latest *published*
-    /// snapshot stands in — slightly stale, but cuts and reshards complete
-    /// instead of poisoning the router thread.
-    fn barrier_all(&self) -> Vec<Arc<GraphSnapshot>> {
-        self.services
+    /// [`ClusterMetrics::worker_errors`], and the shard's latest published
+    /// snapshot — aligned forward to its delta-ring head (`cut.align`) —
+    /// stands in, so cuts and reshards complete instead of poisoning the
+    /// router thread. Returns whether any shard degraded, so callers can
+    /// cancel the barrier-wall sample rather than fold a corpse's failure
+    /// latency into the `cut.barrier` histogram.
+    fn barrier_all(&self) -> (Vec<Arc<GraphSnapshot>>, bool) {
+        let mut degraded = false;
+        let snaps = self
+            .services
             .iter()
             .enumerate()
             .map(|(i, svc)| match svc.barrier() {
                 Ok(snap) => snap,
                 Err(_) => {
+                    degraded = true;
                     self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
                     eprintln!(
                         "gpma-cluster: shard {i} service closed at barrier; \
-                         falling back to its latest published snapshot"
+                         falling back to its aligned published snapshot"
                     );
-                    svc.snapshot()
+                    let obs = self.shared.obs.clone();
+                    let _align = obs.span(Stage::CutAlign);
+                    svc.frozen_cut()
                 }
             })
-            .collect()
+            .collect();
+        (snaps, degraded)
     }
 
-    /// Coordinated cut: forward residue, barrier every shard (each ack is
-    /// its epoch-stamped snapshot), assemble and publish the cluster cut —
-    /// plus the cut's merged delta, stitched from the shard delta rings.
-    fn cut(&mut self) -> Arc<ClusterSnapshot> {
+    /// Synchronous coordinated cut — the shutdown path's final cut, where
+    /// blocking the router is the point. Live `epoch_cut` requests go
+    /// through [`Self::begin_cut`] instead and never stall producers.
+    fn cut_sync(&mut self) -> Arc<ClusterSnapshot> {
         let obs = self.shared.obs.clone();
         let t0 = Instant::now();
-        let snaps: Vec<Arc<GraphSnapshot>> = {
-            let _barrier = obs.span(Stage::CutBarrier);
-            self.forward();
-            // `forward` recovers shards whose sends failed; shards that died
-            // with no in-flight traffic are only detectable by probing.
-            self.ensure_shards_alive();
-            self.barrier_all()
-        };
+        let barrier_span = obs.span(Stage::CutBarrier);
+        self.forward();
+        // `forward` recovers shards whose sends failed; shards that died
+        // with no in-flight traffic are only detectable by probing.
+        self.ensure_shards_alive();
+        let (snaps, degraded) = self.barrier_all();
+        if degraded {
+            // A corpse's stall is not barrier latency: drop the sample.
+            barrier_span.cancel();
+        } else {
+            drop(barrier_span);
+        }
+        self.publish_cut(snaps, t0)
+    }
+
+    /// Assemble and publish one coordinated cut from barriered (or aligned)
+    /// per-shard snapshots, plus its merged delta and cadence checkpoint.
+    fn publish_cut(&mut self, snaps: Vec<Arc<GraphSnapshot>>, t0: Instant) -> Arc<ClusterSnapshot> {
+        let obs = self.shared.obs.clone();
         let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
         let snap = {
             let _publish = obs.span(Stage::CutPublish);
@@ -1486,29 +1642,349 @@ impl Router {
         snap
     }
 
-    /// The live reshard protocol: cut → quiesce → migrate → resume.
+    /// Start (or queue into) a non-blocking cut round. The barrier command
+    /// is FIFO-ordered behind every update already forwarded to each shard,
+    /// so the per-shard barrier snapshots form an exact global frontier
+    /// even though their acks arrive at different times — the router keeps
+    /// absorbing and forwarding ingest while [`Self::poll_pending_cut`]
+    /// collects them.
+    fn begin_cut(&mut self, ack: Sender<Arc<ClusterSnapshot>>) {
+        if self.pending_cut.is_some() {
+            // This caller's pre-cut updates may not have been forwarded
+            // when the in-flight round's barriers were issued: it joins
+            // the next round, started the moment the current one resolves.
+            self.queued_cut_acks.push(ack);
+            return;
+        }
+        self.start_cut_round(vec![ack]);
+    }
+
+    /// Forward residue and issue one barrier to every shard, registering
+    /// the round as [`Router::pending_cut`].
+    fn start_cut_round(&mut self, acks: Vec<Sender<Arc<ClusterSnapshot>>>) {
+        self.forward();
+        self.ensure_shards_alive();
+        let t0 = Instant::now();
+        let mut degraded = false;
+        let mut waits: Vec<Option<Receiver<Arc<GraphSnapshot>>>> =
+            Vec::with_capacity(self.services.len());
+        for (i, svc) in self.services.iter().enumerate() {
+            match svc.barrier_async() {
+                Ok(rx) => waits.push(Some(rx)),
+                Err(_) => {
+                    degraded = true;
+                    self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "gpma-cluster: shard {i} service closed at barrier; \
+                         falling back to its aligned published snapshot"
+                    );
+                    waits.push(None);
+                }
+            }
+        }
+        let n = waits.len();
+        self.pending_cut = Some(PendingCut {
+            acks,
+            waits,
+            got: vec![None; n],
+            degraded,
+            t0,
+        });
+        self.poll_pending_cut(false);
+    }
+
+    /// Collect whatever barrier acks have arrived for the in-flight cut
+    /// round; when the round completes, publish the cut, answer every
+    /// waiter, and start the next round if callers queued up meanwhile.
+    /// With `block` set, parks on each outstanding ack (the resolve path).
+    fn poll_pending_cut(&mut self, block: bool) {
+        loop {
+            let Some(mut pc) = self.pending_cut.take() else {
+                return;
+            };
+            let mut all = true;
+            for i in 0..pc.waits.len() {
+                if pc.got[i].is_some() {
+                    continue;
+                }
+                let filled = match &pc.waits[i] {
+                    Some(rx) => {
+                        if block {
+                            rx.recv().ok()
+                        } else {
+                            match rx.try_recv() {
+                                Ok(s) => Some(s),
+                                Err(TryRecvError::Empty) => {
+                                    all = false;
+                                    continue;
+                                }
+                                Err(TryRecvError::Disconnected) => None,
+                            }
+                        }
+                    }
+                    None => None,
+                };
+                pc.got[i] = Some(match filled {
+                    Some(s) => s,
+                    None => {
+                        // The worker died mid-barrier (its ack channel
+                        // dropped): align its latest published snapshot to
+                        // its ring head and degrade, like the sync path.
+                        pc.degraded = true;
+                        self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+                        let obs = self.shared.obs.clone();
+                        let _align = obs.span(Stage::CutAlign);
+                        self.services[i].frozen_cut()
+                    }
+                });
+            }
+            if !all {
+                self.pending_cut = Some(pc);
+                return;
+            }
+            if !pc.degraded {
+                self.shared
+                    .obs
+                    .record_duration(Stage::CutBarrier, pc.t0.elapsed());
+            }
+            let snaps: Vec<Arc<GraphSnapshot>> = pc.got.into_iter().flatten().collect();
+            let snap = self.publish_cut(snaps, pc.t0);
+            for ack in pc.acks {
+                let _ = ack.send(snap.clone());
+            }
+            if self.queued_cut_acks.is_empty() {
+                return;
+            }
+            let next = std::mem::take(&mut self.queued_cut_acks);
+            self.start_cut_round(next);
+            // start_cut_round polled once already; blocking callers keep
+            // draining rounds, the router loop polls again next pass.
+            if !block {
+                return;
+            }
+        }
+    }
+
+    /// Park until no cut round is in flight (reshard entry and shutdown —
+    /// the two points that need the cut pipeline drained).
+    fn resolve_pending_cut(&mut self) {
+        while self.pending_cut.is_some() {
+            self.poll_pending_cut(true);
+        }
+    }
+
+    /// Ship the frozen-cut copy: align every source shard to its delta-ring
+    /// head (no flush forced — `cut.align`), compute the boundary-crossing
+    /// edge set under the new plan, and ship the diff against what is
+    /// already staged at each destination. This is also the resync path
+    /// after a recovery or an outrun source ring; a recovered shard's
+    /// staged image is first rebuilt from its *actual* settled state,
+    /// because staged arrivals that were still queued at its death are
+    /// gone — the diff then re-ships them (idempotent upserts, and
+    /// retractions of absent keys are no-ops).
+    fn cow_full_sync(&mut self, cow: &mut CowState) {
+        let t = Instant::now();
+        let obs = self.shared.obs.clone();
+        let old_plan = self.part.plan().clone();
+        for d in std::mem::take(&mut self.cow_recovered) {
+            if d >= cow.new_n {
+                // A recovered source with no destination role under the
+                // new plan: nothing was ever staged at it.
+                continue;
+            }
+            let snap = {
+                let _align = obs.span(Stage::CutAlign);
+                self.services[d].frozen_cut()
+            };
+            cow.staged[d] = snap
+                .edges()
+                .iter()
+                .filter(|e| old_plan.shard_of_edge(e.src, e.dst) != d)
+                .map(|e| (e.key(), *e))
+                .collect();
+        }
+        let mut desired: Vec<BTreeMap<u64, Edge>> = vec![BTreeMap::new(); cow.new_n];
+        for s in 0..cow.old_n {
+            let snap = {
+                let _align = obs.span(Stage::CutAlign);
+                self.services[s].frozen_cut()
+            };
+            cow.handled[s] = snap.epoch();
+            for e in snap.edges() {
+                if old_plan.shard_of_edge(e.src, e.dst) != s {
+                    // A staged copy parked here by an earlier round — its
+                    // source still owns the original.
+                    continue;
+                }
+                let to = cow.new.shard_of_edge(e.src, e.dst);
+                if to != s && to < cow.new_n {
+                    desired[to].insert(e.key(), *e);
+                }
+            }
+        }
+        for (d, want) in desired.iter().enumerate() {
+            let mut batch = UpdateBatch::default();
+            for k in cow.staged[d].keys() {
+                if !want.contains_key(k) {
+                    let (src, dst) = gpma_graph::decode_key(*k);
+                    batch.deletions.push(Edge::new(src, dst));
+                }
+            }
+            for (k, e) in want {
+                if cow.staged[d].get(k) != Some(e) {
+                    batch.insertions.push(*e);
+                }
+            }
+            if !batch.is_empty() {
+                cow.arrived[d] += batch.insertions.len();
+                cow.copied += batch.len() as u64;
+                if self.recovery.is_some() {
+                    // Internal ships enter the replay log like client
+                    // batches: a destination dying with this queued but
+                    // unapplied replays it from the log on respawn.
+                    self.replay[d].push(batch.clone());
+                }
+                let _ = self.handles[d].ingest_unmetered(batch);
+            }
+        }
+        cow.staged = desired;
+        self.cow_sync_dirty = false;
+        cow.background += t.elapsed();
+    }
+
+    /// One background replay round: split each source's in-flight delta
+    /// chain across the new partition boundary and ship the movers to
+    /// their destinations — one batch per delta, because a batch applies
+    /// deletions before insertions and folding a chain would reorder an
+    /// insert-then-delete of the same key. Returns the updates shipped;
+    /// an outrun source ring flags a full resync for the next round
+    /// instead.
+    fn cow_replay_round(&mut self, cow: &mut CowState) -> u64 {
+        let t = Instant::now();
+        let obs = self.shared.obs.clone();
+        let _replay = obs.span(Stage::ReshardReplay);
+        let mut shipped = 0u64;
+        let mut scratch: Vec<UpdateBatch> = vec![UpdateBatch::default(); cow.new_n];
+        for s in 0..cow.old_n {
+            match self.services[s].deltas_since(cow.handled[s]) {
+                DeltaCatchUp::Deltas(chain) => {
+                    for dlt in &chain {
+                        if split_delta_moves(dlt, s, &*cow.new, &mut scratch) == 0 {
+                            continue;
+                        }
+                        for (d, b) in scratch.iter_mut().enumerate() {
+                            if b.is_empty() {
+                                continue;
+                            }
+                            for e in &b.insertions {
+                                cow.staged[d].insert(e.key(), *e);
+                            }
+                            for e in &b.deletions {
+                                cow.staged[d].remove(&e.key());
+                            }
+                            cow.arrived[d] += b.insertions.len();
+                            shipped += b.len() as u64;
+                            let b = std::mem::take(b);
+                            if self.recovery.is_some() {
+                                self.replay[d].push(b.clone());
+                            }
+                            let _ = self.handles[d].ingest_unmetered(b);
+                        }
+                    }
+                    if let Some(last) = chain.last() {
+                        cow.handled[s] = last.epoch();
+                    }
+                }
+                DeltaCatchUp::Snapshot(_) => {
+                    // The source flushed past its ring since the last
+                    // round: the cursor is gone, resync from a fresh
+                    // frozen cut.
+                    self.cow_sync_dirty = true;
+                }
+            }
+        }
+        cow.replayed += shipped;
+        cow.background += t.elapsed();
+        shipped
+    }
+
+    /// Absorb one command mid-reshard: data keeps routing under the old
+    /// plan (pre-swap; the post-swap retire window routes under the new
+    /// one), stats and kills serve inline, cut/plan changes defer to right
+    /// after the marker cut (a mid-copy barrier would observe staged
+    /// duplicates, a mid-retire one un-retracted movers, and plan changes
+    /// cannot nest), and shutdown is honored once the reshard completes.
+    fn cow_absorb(&mut self, cmd: Command) {
+        match cmd {
+            Command::Insert(_) | Command::Delete(_) | Command::Batch(_) => self.route(cmd),
+            Command::Stats(reply) => {
+                self.forward();
+                let _ = reply.send(self.services.iter().map(|s| s.metrics()).collect());
+            }
+            Command::Kill(shard, ack) => self.kill(shard, ack),
+            Command::Shutdown => self.shutdown_pending = true,
+            other @ (Command::Cut(_) | Command::Reshard(..) | Command::Rebalance(..)) => {
+                self.deferred.push_back(other);
+            }
+        }
+    }
+
+    /// Kill one shard's worker (fault injection), acking whether it landed.
+    fn kill(&mut self, shard: usize, ack: Sender<bool>) {
+        let landed = if shard < self.services.len() {
+            self.services[shard].inject_failure().is_ok()
+        } else {
+            self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "gpma-cluster: kill_shard({shard}) out of range ({} shards); ignored",
+                self.services.len()
+            );
+            false
+        };
+        let _ = ack.send(landed);
+    }
+
+    /// The live copy-on-write reshard protocol — ingest keeps flowing
+    /// through everything except the final settle:
     ///
-    /// 1. Forward all residue and barrier every shard (quiesce): the
-    ///    per-shard snapshots are a consistent global state containing
-    ///    every update accepted before the reshard command.
-    /// 2. Compute the [`MigrationPlan`] — the minimal move set between the
-    ///    plans — then grow fresh shard services (scale-out) or mark the
-    ///    retiring ones (scale-in).
-    /// 3. Ship each `(from, to)` move set: a deletion batch extracts the
-    ///    edges from surviving sources, an insertion batch re-ingests them
-    ///    at their new owners; each arrival is charged to the destination
-    ///    shard's [`TransferLedger`] as one device-to-device DMA. Retiring
-    ///    shards skip the extraction — their stores are dropped whole.
-    /// 4. Barrier again and publish the post-reshard state as a
-    ///    snapshot-style epoch marker: the cluster delta ring is reset to
-    ///    the marker cut ([`DeltaLog::reset_to`]), delta monitors get an
-    ///    `on_rebase`, and later updates route under the advanced
-    ///    [`PartitionEpoch`].
+    /// 1. **Frozen-cut copy** (background) — align every source shard's
+    ///    published snapshot to its delta-ring head (no flush forced) and
+    ///    ship each edge whose owner changes under the new plan to its
+    ///    destination, while the router keeps absorbing and forwarding
+    ///    ingest under the *old* plan.
+    /// 2. **Delta replay rounds** (background) — each source's in-flight
+    ///    delta chain is split across the new partition boundary
+    ///    ([`split_delta_moves`]) and the boundary-crossing updates replay
+    ///    onto their destinations, one batch per delta so arrival order
+    ///    survives. Rounds repeat, interleaved with live ingest, until
+    ///    the chains run dry (or [`COW_MAX_ROUNDS`]).
+    /// 3. **Settle + swap** (the only pause, bounded by one flush of the
+    ///    trailing residue) — barrier every shard so the delta chains go
+    ///    static, replay the post-barrier residue onto the staged images,
+    ///    enqueue the movers' retraction from their old owners and swap
+    ///    the plan atomically.
+    /// 4. **Background retire** — the sources apply their retraction
+    ///    deletions while ingest already flows under the new plan; the
+    ///    snapshot-style epoch marker publishes once they settle, and the
+    ///    deferred cuts run against it.
     ///
-    /// Updates queued behind the reshard command are untouched throughout —
-    /// the router is a single FIFO stage, so arrival-order semantics hold
-    /// across the boundary.
-    fn reshard(&mut self, new: Arc<dyn Partitioner>, auto: bool) -> Result<ReshardReport, ReshardError> {
+    /// After the final replay the staged images *are* the mover set: the
+    /// frozen-cut copy plus the complete delta chains reconstruct each
+    /// shard's boundary-crossing edges exactly, so no full-state diff runs
+    /// inside the pause. Whenever that reconstruction breaks — a delta
+    /// ring outruns a reader, a shard is recovered mid-copy — the dirty
+    /// flag forces a full frozen-cut resync (staged arrivals that died
+    /// queued are re-shipped idempotently), so a kill-during-COW recovers
+    /// exactly. Cuts requested mid-reshard are deferred to right after the
+    /// swap. Arrival-order semantics hold across the boundary: client
+    /// updates route under the old plan until the swap, and the marker cut
+    /// rebases every delta reader past it.
+    fn reshard(
+        &mut self,
+        new: Arc<dyn Partitioner>,
+        auto: bool,
+        rx: &Receiver<Command>,
+    ) -> Result<ReshardReport, ReshardError> {
         let nv = self.part.plan().num_vertices();
         if new.num_vertices() != nv {
             return Err(ReshardError::VertexMismatch {
@@ -1516,7 +1992,11 @@ impl Router {
                 got: new.num_vertices(),
             });
         }
+        // A cut round still in flight would barrier against shards the
+        // copy below floods with internal traffic: drain it first.
+        self.resolve_pending_cut();
         let from_policy = self.part.plan().name().to_string();
+        let old_plan = self.part.plan().clone();
         let new_n = new.num_shards().max(1);
         let old_n = self.services.len();
         let obs = self.shared.obs.clone();
@@ -1524,30 +2004,237 @@ impl Router {
         // Producer sends completing from here to the end of the reshard are
         // additionally sampled into `ingest.reshard` (see ClusterHandle).
         self.shared.reshard_active.store(true, Ordering::Relaxed);
+        self.cow_active = true;
+        self.cow_sync_dirty = false;
+        self.cow_recovered.clear();
+        let mut cow = CowState {
+            new: new.clone(),
+            old_n,
+            new_n,
+            staged: vec![BTreeMap::new(); new_n],
+            handled: vec![0; old_n],
+            arrived: vec![0; new_n],
+            copied: 0,
+            replayed: 0,
+            background: Duration::ZERO,
+        };
 
-        // (1) Quiesce under the old plan. A shard that died mid-stream must
-        // be recovered *before* the migration reads its edges — a reshard
-        // over a stale snapshot would silently drop its unflushed updates.
+        // Phase A: grow fresh services for new shard ids, then ship the
+        // frozen-cut copy. Ingest is not paused — the router returns to
+        // absorbing traffic between every background round below.
+        {
+            let _migrate = obs.span(Stage::ReshardMigrate);
+            for i in old_n..new_n {
+                let (svc, _) =
+                    spawn_shard_service(i, &self.cfg, &self.device_cfg, nv, &[], &obs);
+                self.handles.push(svc.handle());
+                self.services.push(svc);
+                self.replay.push(Vec::new());
+            }
+            if new_n > old_n {
+                if let Some(policy) = self.recovery.clone() {
+                    // Persist the fresh (empty) incarnations immediately
+                    // so a crash during the copy never restores a stale
+                    // checkpoint from a retired shard slot of the same id.
+                    let mut taken = 0u64;
+                    let mut total = 0u64;
+                    for i in old_n..new_n {
+                        let (saved, n) = self.save_checkpoint(&policy, i);
+                        if saved {
+                            taken += 1;
+                            total += n;
+                        }
+                    }
+                    let mut c = self.shared.router.lock();
+                    c.checkpoints_taken += taken;
+                    c.checkpoint_bytes += total;
+                }
+            }
+            self.cow_full_sync(&mut cow);
+        }
+
+        // Phase B: background replay rounds interleaved with live ingest.
+        // The recv_timeout is the blocking point — traffic is absorbed the
+        // moment it arrives, and an idle queue costs one short wait per
+        // replay round instead of a busy spin.
+        let router_batch = self.cfg.router_batch.max(1);
+        let mut rounds_left = COW_MAX_ROUNDS;
+        loop {
+            match rx.recv_timeout(Duration::from_micros(500)) {
+                Ok(cmd) => self.cow_absorb(cmd),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => self.shutdown_pending = true,
+            }
+            while self.pending_len < router_batch {
+                match rx.try_recv() {
+                    Ok(cmd) => self.cow_absorb(cmd),
+                    Err(_) => break,
+                }
+            }
+            self.forward();
+            let shipped = if self.cow_sync_dirty {
+                self.cow_full_sync(&mut cow);
+                1
+            } else {
+                self.cow_replay_round(&mut cow)
+            };
+            rounds_left -= 1;
+            if self.shutdown_pending || rounds_left == 0 || (shipped == 0 && rx.is_empty()) {
+                break;
+            }
+        }
+
+        // Phase B2: pre-settle. The staged copy is cheap to *ship* but the
+        // destinations still owe its apply cost, and a naive final barrier
+        // would eat all of it inside the pause. Async barriers are FIFO
+        // behind every staged ship, so keep absorbing ingest (and keep the
+        // replay cursors warm) while the destinations chew through the
+        // backlog. Each barrier flush itself produces delta residue the
+        // replay then ships, so reissue the barriers until a full round
+        // lands with nothing shipped and nothing queued — the settle below
+        // then finds empty queues and drained chains. Under saturating
+        // ingest this never converges; the reissue cap hands the (bounded)
+        // residue to the settle instead of looping forever.
+        if !self.shutdown_pending {
+            let t = Instant::now();
+            let mut reissues = COW_PRESETTLE_REISSUES;
+            'presettle: loop {
+                let mut waits: Vec<Option<Receiver<Arc<GraphSnapshot>>>> = self
+                    .services
+                    .iter()
+                    .map(|svc| svc.barrier_async().ok())
+                    .collect();
+                let mut shipped_since = 0u64;
+                loop {
+                    match rx.recv_timeout(Duration::from_micros(500)) {
+                        Ok(cmd) => self.cow_absorb(cmd),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => self.shutdown_pending = true,
+                    }
+                    while self.pending_len < router_batch {
+                        match rx.try_recv() {
+                            Ok(cmd) => self.cow_absorb(cmd),
+                            Err(_) => break,
+                        }
+                    }
+                    self.forward();
+                    shipped_since += if self.cow_sync_dirty {
+                        self.cow_full_sync(&mut cow);
+                        1
+                    } else {
+                        self.cow_replay_round(&mut cow)
+                    };
+                    let mut all = true;
+                    for w in waits.iter_mut() {
+                        let done = match w {
+                            // A dead worker's ack never comes (Disconnected):
+                            // phase C's recovery settles it instead.
+                            Some(ack) => !matches!(ack.try_recv(), Err(TryRecvError::Empty)),
+                            None => true,
+                        };
+                        if done {
+                            *w = None;
+                        } else {
+                            all = false;
+                        }
+                    }
+                    if self.shutdown_pending {
+                        break 'presettle;
+                    }
+                    if all {
+                        reissues -= 1;
+                        if reissues == 0 || (shipped_since == 0 && rx.is_empty()) {
+                            break 'presettle;
+                        }
+                        continue 'presettle;
+                    }
+                }
+            }
+            cow.background += t.elapsed();
+        }
+
+        // Phase C: settle. Ingest pauses from here to the plan swap — the
+        // window this whole protocol exists to shrink. A shard that died
+        // mid-stream must be recovered *before* the final replay reads its
+        // delta chain. Work done here is pause, not background: remember
+        // the background total so the sync helpers' bookkeeping inside the
+        // pause can be reverted.
         let quiesce_span = obs.span(Stage::ReshardQuiesce);
         self.forward();
         self.ensure_shards_alive();
+        if self.cow_sync_dirty {
+            // A recovery landed after the last background round: restore
+            // the staged images before the chains go static.
+            self.cow_full_sync(&mut cow);
+        }
         let t0 = Instant::now();
-        let snaps: Vec<Arc<GraphSnapshot>> = self.barrier_all();
+        let background_before = cow.background;
+        let (snaps2, _) = self.barrier_all();
+        // The barrier flushed every source's trailing updates, so the
+        // delta chains are now complete and static: replay them dry. After
+        // this loop the staged images *are* the mover set — the frozen-cut
+        // copy plus the full chains reconstruct every boundary-crossing
+        // edge, weights included. A ring outrun or recovery inside this
+        // window trips the dirty flag and re-syncs from the (now settled)
+        // frozen cuts; with no client traffic flowing the loop converges.
+        for round in 0..COW_SETTLE_ROUNDS {
+            if self.cow_sync_dirty {
+                self.cow_full_sync(&mut cow);
+            } else if self.cow_replay_round(&mut cow) == 0 {
+                break;
+            } else if round + 1 == COW_SETTLE_ROUNDS {
+                self.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "gpma-cluster: reshard settle did not run dry in \
+                     {COW_SETTLE_ROUNDS} rounds; proceeding with last state"
+                );
+            }
+        }
+        cow.background = background_before;
         drop(quiesce_span);
 
-        // (2) Minimal move set; grow fresh services for new shard ids.
-        let per_shard: Vec<&[Edge]> = snaps.iter().map(|s| s.edges()).collect();
-        let plan = MigrationPlan::compute(&per_shard, &*new);
+        let migrated: usize = cow.staged.iter().map(|m| m.len()).sum();
+        // Retract every mover from its old owner: the staged copies on the
+        // destinations become the only live copies at the swap, keeping
+        // the marker cut duplicate-free. Retiring shards (shrink) skip the
+        // retraction — their stores are dropped whole below.
+        let mut retract_keys: Vec<Vec<u64>> = vec![Vec::new(); old_n];
+        for staged in &cow.staged {
+            for k in staged.keys() {
+                let (src, dst) = gpma_graph::decode_key(*k);
+                let from = old_plan.shard_of_edge(src, dst);
+                if from < new_n {
+                    retract_keys[from].push(*k);
+                }
+            }
+        }
+        // Each destination's staged map contributes a sorted run; the
+        // concatenation is not globally sorted, and the shard apply path
+        // wants key order — restore it before shipping.
+        let retract: Vec<Vec<Edge>> = retract_keys
+            .into_iter()
+            .map(|mut ks| {
+                ks.sort_unstable();
+                ks.into_iter()
+                    .map(|k| {
+                        let (src, dst) = gpma_graph::decode_key(k);
+                        Edge::new(src, dst)
+                    })
+                    .collect()
+            })
+            .collect();
 
-        // Fast path: same shard count and nothing to move — the new plan
-        // only changes where *future* updates route, so swap it, reset the
-        // skew window (the rebalance cooldown) and keep the delta ring
-        // intact: with zero migrated edges the per-shard delta streams
-        // still compose across the boundary, so consumers must NOT be
-        // forced into a full-snapshot rebase. This is what keeps a
-        // persistently hot vertex (skew irreducible by any 1D plan) from
-        // thrashing every delta consumer once per policy window.
-        if plan.is_noop() && new_n == old_n {
+        // Fast path: same shard count, nothing moved AND nothing was ever
+        // staged — the new plan only changes where *future* updates route,
+        // so swap it, reset the skew window (the rebalance cooldown) and
+        // keep the delta ring intact: zero internal traffic entered any
+        // shard's delta stream, so consumers keep composing deltas across
+        // the boundary instead of rebasing. (Any staged ship disqualifies
+        // this path — it already leaked into a destination's stream.) This
+        // is what keeps a persistently hot vertex (skew irreducible by any
+        // 1D plan) from thrashing every delta consumer once per window.
+        if migrated == 0 && new_n == old_n && cow.copied == 0 && cow.replayed == 0 {
+            let resident_edges: usize = snaps2.iter().map(|s| s.edges().len()).sum();
             let pause_secs = t0.elapsed().as_secs_f64();
             {
                 let mut c = self.shared.router.lock();
@@ -1555,6 +2242,7 @@ impl Router {
                 c.sub_batches = vec![0; new_n];
                 c.reshard_count += 1;
                 c.migration_pause_secs += pause_secs;
+                c.migration_background_secs += cow.background.as_secs_f64();
             }
             {
                 let mut p = self.shared.partition.lock();
@@ -1568,14 +2256,16 @@ impl Router {
                 from_shards: old_n,
                 to_shards: new_n,
                 migrated_edges: 0,
-                resident_edges: plan.resident_edges(),
+                resident_edges,
                 migration_bytes: 0,
-                full_rebuild_bytes: plan.full_rebuild_bytes() as u64,
+                full_rebuild_bytes: (resident_edges * BYTES_PER_UPDATE) as u64,
                 pause_secs,
+                background_secs: cow.background.as_secs_f64(),
                 cut: self.shared.snapshot.lock().cut(),
                 auto,
             };
             self.shared.reshards.lock().push(report.clone());
+            self.cow_active = false;
             self.shared.reshard_active.store(false, Ordering::Relaxed);
             obs.event(
                 Stage::ReshardResume,
@@ -1587,67 +2277,136 @@ impl Router {
             return Ok(report);
         }
 
-        let migrate_span = obs.span(Stage::ReshardMigrate);
-        for i in old_n..new_n {
-            let (svc, _) = spawn_shard_service(i, &self.cfg, &self.device_cfg, nv, &[], &obs);
-            self.handles.push(svc.handle());
-            self.services.push(svc);
-        }
-
-        // (3) Ship the moves; count per-destination arrivals for the DMA
-        // charges below. Unmetered sends: migration traffic is internal
-        // (timed by this `reshard.migrate` span, not the ingest histogram).
-        let mut arrived = vec![0usize; new_n];
-        for m in plan.moves() {
-            if m.from < new_n {
-                let _ = self.handles[m.from].ingest_unmetered(UpdateBatch {
-                    insertions: Vec::new(),
-                    deletions: m.edges.clone(),
-                });
-            }
-            arrived[m.to] += m.edges.len();
-            let _ = self.handles[m.to].ingest_unmetered(UpdateBatch {
-                insertions: m.edges.clone(),
-                deletions: Vec::new(),
-            });
-        }
-        if new_n < old_n {
-            self.handles.truncate(new_n);
-            for svc in self.services.drain(new_n..) {
-                let _ = svc.shutdown();
-            }
-        }
-        drop(migrate_span);
-
-        // (4) Settle, publish the epoch marker, swap the plan.
+        // Swap first, retract in the background. The staged copies on the
+        // destinations are settled, so the moment the plan swaps every
+        // future update routes to them and the movers' old copies are
+        // garbage, not state — and deleting ~the whole mover set from the
+        // sources is GPMA apply work far too slow to sit inside a pause.
+        // Enqueue the retraction batches (send cost only), swap the plan,
+        // and the pause ends: the sources chew through the deletions while
+        // the router is back to absorbing live ingest under the new plan.
+        // A reader pairing `partitioner()` with `snapshot()` inside this
+        // window sees the new plan against the pre-reshard marker — the
+        // benign direction (snapshots carry their own shard structure);
+        // cuts stay deferred until the post-retire marker publishes.
         let resume_span = obs.span(Stage::ReshardResume);
-        let snaps2: Vec<Arc<GraphSnapshot>> = self.barrier_all();
-        let pause_secs = t0.elapsed().as_secs_f64();
-        let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
-        let snap = Arc::new(ClusterSnapshot::new(cut, nv, snaps2));
-        self.last_cut_epochs = snap.shards().iter().map(|s| s.epoch()).collect();
-        // Swap the plan *before* publishing the marker snapshot: a reader
-        // pairing `num_shards()`/`partitioner()` with `snapshot()` must
-        // never see a post-reshard cut under the pre-reshard plan. (The
-        // reverse pairing — new plan, old snapshot — is benign: snapshots
-        // carry their own shard structure.)
         {
             let mut p = self.shared.partition.lock();
             *p = p.advance(new.clone());
             self.part = p.clone();
         }
+        self.pending = vec![UpdateBatch::default(); new_n];
+        self.pending_len = 0;
+        // Surviving shards keep their replay logs — until the fresh
+        // checkpoints below land, a death recovers from the pre-reshard
+        // checkpoint plus the log, which recorded every internal ship.
+        self.replay.truncate(new_n);
+        for (i, edges) in retract.into_iter().enumerate() {
+            if edges.is_empty() {
+                continue;
+            }
+            let b = UpdateBatch {
+                insertions: Vec::new(),
+                deletions: edges,
+            };
+            if self.recovery.is_some() {
+                self.replay[i].push(b.clone());
+            }
+            let _ = self.handles[i].ingest_unmetered(b);
+        }
+        let pause_secs = t0.elapsed().as_secs_f64();
+        {
+            let mut c = self.shared.router.lock();
+            let old_ledgers = std::mem::take(&mut c.transfer);
+            for t in &old_ledgers {
+                c.retired_transfer.merge(t);
+            }
+            c.routed = vec![0; new_n];
+            c.sub_batches = vec![0; new_n];
+            c.transfer = vec![TransferLedger::default(); new_n];
+            for to in 0..new_n {
+                let n = cow.arrived[to];
+                if n > 0 {
+                    c.transfer[to].record(&self.link, n * BYTES_PER_UPDATE);
+                }
+            }
+            c.reshard_count += 1;
+            c.migrated_edges += migrated as u64;
+            c.migration_bytes += (migrated * BYTES_PER_UPDATE) as u64;
+            c.migration_pause_secs += pause_secs;
+        }
+        drop(resume_span);
+
+        // Background retire: absorb live ingest under the new plan while
+        // the sources apply their retractions, then assemble the marker
+        // cut. Replay rounds must NOT run in this window — the sources'
+        // delta streams now carry the retraction deletions, and a replay
+        // would ship them to the destinations as deletes of the live
+        // copies. `cow_retiring` points a mid-window recovery at the
+        // replay log for the same reason. Retiring shards (shrink) drain
+        // and drop here too: their stores are dead weight, not movers.
+        self.cow_retiring = true;
+        let t_retire = Instant::now();
+        if new_n < self.services.len() {
+            self.handles.truncate(new_n);
+            for svc in self.services.drain(new_n..) {
+                let _ = svc.shutdown();
+            }
+        }
+        let mut waits: Vec<Option<Receiver<Arc<GraphSnapshot>>>> = self
+            .services
+            .iter()
+            .map(|svc| svc.barrier_async().ok())
+            .collect();
+        loop {
+            match rx.recv_timeout(Duration::from_micros(500)) {
+                Ok(cmd) => self.cow_absorb(cmd),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => self.shutdown_pending = true,
+            }
+            while self.pending_len < router_batch {
+                match rx.try_recv() {
+                    Ok(cmd) => self.cow_absorb(cmd),
+                    Err(_) => break,
+                }
+            }
+            self.forward();
+            let mut all = true;
+            for w in waits.iter_mut() {
+                let done = match w {
+                    // A dead worker's ack never comes (Disconnected): the
+                    // pre-marker probe below recovers it.
+                    Some(ack) => !matches!(ack.try_recv(), Err(TryRecvError::Empty)),
+                    None => true,
+                };
+                if done {
+                    *w = None;
+                } else {
+                    all = false;
+                }
+            }
+            if self.shutdown_pending || all {
+                break;
+            }
+        }
+        self.forward();
+        self.ensure_shards_alive();
+        let (snaps3, _) = self.barrier_all();
+        cow.background += t_retire.elapsed();
+
+        let cut = self.shared.cuts.fetch_add(1, Ordering::Relaxed) + 1;
+        let snap = Arc::new(ClusterSnapshot::new(cut, nv, snaps3));
+        let total_edges = snap.num_edges();
+        self.last_cut_epochs = snap.shards().iter().map(|s| s.epoch()).collect();
         *self.shared.snapshot.lock() = snap.clone();
         self.shared.delta_log.lock().reset_to(cut);
         if let Some(tx) = &self.cut_tx {
             let _ = tx.send(CutEvent::Rebase(snap));
         }
-        self.pending = vec![UpdateBatch::default(); new_n];
-        self.pending_len = 0;
-        // Migration moved edges between shards, so pre-reshard checkpoints
-        // and replay logs no longer describe any live shard: resize the
-        // logs and persist fresh checkpoints of the settled post-migration
-        // state for every surviving shard.
-        self.replay = vec![Vec::new(); new_n];
+        // The marker barrier settled every surviving shard, so fresh
+        // checkpoints capture the fully retired post-migration state and
+        // trim the replay logs (client batches and internal ships alike)
+        // they subsume.
         if let Some(policy) = self.recovery.clone() {
             let mut taken = 0u64;
             let mut total = 0u64;
@@ -1662,27 +2421,10 @@ impl Router {
             c.checkpoints_taken += taken;
             c.checkpoint_bytes += total;
         }
-        {
-            let mut c = self.shared.router.lock();
-            let old_ledgers = std::mem::take(&mut c.transfer);
-            for t in &old_ledgers {
-                c.retired_transfer.merge(t);
-            }
-            c.routed = vec![0; new_n];
-            c.sub_batches = vec![0; new_n];
-            c.transfer = vec![TransferLedger::default(); new_n];
-            for (to, &n) in arrived.iter().enumerate() {
-                if n > 0 {
-                    c.transfer[to].record(&self.link, n * BYTES_PER_UPDATE);
-                }
-            }
-            c.reshard_count += 1;
-            c.migrated_edges += plan.moved_edges() as u64;
-            c.migration_bytes += plan.bytes() as u64;
-            c.migration_pause_secs += pause_secs;
-        }
+        self.shared.router.lock().migration_background_secs += cow.background.as_secs_f64();
 
-        drop(resume_span);
+        self.cow_retiring = false;
+        self.cow_active = false;
         self.shared.reshard_active.store(false, Ordering::Relaxed);
         obs.event(
             Stage::ReshardResume,
@@ -1698,11 +2440,12 @@ impl Router {
             to_policy: new.name().to_string(),
             from_shards: old_n,
             to_shards: new_n,
-            migrated_edges: plan.moved_edges(),
-            resident_edges: plan.resident_edges(),
-            migration_bytes: plan.bytes() as u64,
-            full_rebuild_bytes: plan.full_rebuild_bytes() as u64,
+            migrated_edges: migrated,
+            resident_edges: total_edges.saturating_sub(migrated),
+            migration_bytes: (migrated * BYTES_PER_UPDATE) as u64,
+            full_rebuild_bytes: (total_edges * BYTES_PER_UPDATE) as u64,
             pause_secs,
+            background_secs: cow.background.as_secs_f64(),
             cut,
             auto,
         };
@@ -1712,10 +2455,15 @@ impl Router {
 
     /// Reshard onto a degree-aware plan built from the observed per-vertex
     /// update load.
-    fn rebalance(&mut self, target_shards: Option<usize>, auto: bool) -> Result<ReshardReport, ReshardError> {
+    fn rebalance(
+        &mut self,
+        target_shards: Option<usize>,
+        auto: bool,
+        rx: &Receiver<Command>,
+    ) -> Result<ReshardReport, ReshardError> {
         let shards = target_shards.unwrap_or(self.services.len()).max(1);
         let plan = Arc::new(DegreePartition::from_degrees(&self.observed, shards));
-        self.reshard(plan, auto)
+        self.reshard(plan, auto, rx)
     }
 
     /// The skew-driven trigger, evaluated after each forwarded burst: once
@@ -1723,7 +2471,7 @@ impl Router {
     /// routed-update skew above the policy threshold fires a rebalance.
     /// The reshard resets the window counters, so the policy re-arms only
     /// after another `min_updates` observations.
-    fn maybe_rebalance(&mut self) {
+    fn maybe_rebalance(&mut self, rx: &Receiver<Command>) {
         let Some(policy) = self.cfg.rebalance else {
             return;
         };
@@ -1737,7 +2485,7 @@ impl Router {
             max / (total as f64 / c.routed.len() as f64)
         };
         if skew > policy.skew_threshold {
-            let _ = self.rebalance(policy.target_shards, true);
+            let _ = self.rebalance(policy.target_shards, true, rx);
         }
     }
 
@@ -1754,11 +2502,17 @@ impl Router {
         // its inter-cut chain cannot be stitched: rebase this one cut.
         let mut lagged = std::mem::take(&mut self.force_rebase);
         for (i, svc) in self.services.iter().enumerate() {
+            // Async cut rounds leave a gap between a shard acking its
+            // barrier and the round completing; traffic forwarded in that
+            // gap flushes as deltas *beyond* this cut. Fold only up to the
+            // epoch the cut's own snapshot carries — later deltas belong
+            // to the next cut's chain.
+            let bound = snap.shards()[i].epoch();
             if !lagged {
                 match svc.deltas_since(self.last_cut_epochs[i]) {
                     DeltaCatchUp::Deltas(chain) => {
                         let mut folded = SnapshotDelta::default();
-                        for d in &chain {
+                        for d in chain.iter().filter(|d| d.epoch() <= bound) {
                             folded.merge(d);
                         }
                         inserted.extend_from_slice(folded.inserted());
@@ -1767,7 +2521,7 @@ impl Router {
                     DeltaCatchUp::Snapshot(_) => lagged = true,
                 }
             }
-            self.last_cut_epochs[i] = snap.shards()[i].epoch();
+            self.last_cut_epochs[i] = bound;
         }
         if lagged {
             // Readers of the cluster ring must rebase: clear it so
@@ -1830,30 +2584,63 @@ fn run_router(
         lifetime_routed: 0,
         replay: vec![Vec::new(); num_shards],
         force_rebase: false,
+        pending_cut: None,
+        queued_cut_acks: Vec::new(),
+        deferred: VecDeque::new(),
+        cow_active: false,
+        cow_sync_dirty: false,
+        cow_recovered: Vec::new(),
+        cow_retiring: false,
+        shutdown_pending: false,
     };
     'serve: loop {
-        let cmd = match rx.recv() {
-            Ok(cmd) => cmd,
-            // Front object and every handle dropped: final flush.
-            Err(_) => break 'serve,
+        // With a cut round in flight, poll its barrier acks between short
+        // queue waits instead of blocking on the queue — an idle cluster
+        // must still complete its cuts.
+        let cmd = if r.pending_cut.is_some() {
+            match rx.recv_timeout(Duration::from_micros(200)) {
+                Ok(cmd) => Some(cmd),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break 'serve,
+            }
+        } else {
+            match rx.recv() {
+                Ok(cmd) => Some(cmd),
+                // Front object and every handle dropped: final flush.
+                Err(_) => break 'serve,
+            }
         };
-        if handle_command(cmd, &mut r) {
-            break 'serve;
-        }
-        // Coalesce whatever else is already queued before forwarding, so
-        // bursts ship as few, large modeled DMAs.
         let mut stop = false;
-        while r.pending_len < router_batch && !stop {
-            match rx.try_recv() {
-                Ok(cmd) => stop = handle_command(cmd, &mut r),
-                Err(_) => break,
+        if let Some(cmd) = cmd {
+            stop = handle_command(cmd, &mut r, &rx);
+            // Coalesce whatever else is already queued before forwarding,
+            // so bursts ship as few, large modeled DMAs.
+            while !stop && r.pending_len < router_batch {
+                match rx.try_recv() {
+                    Ok(cmd) => stop = handle_command(cmd, &mut r, &rx),
+                    Err(_) => break,
+                }
             }
         }
         r.forward();
+        r.poll_pending_cut(false);
+        if !stop {
+            r.maybe_rebalance(&rx);
+        }
+        // Cuts and plan changes a reshard deferred run now, in arrival
+        // order, against the settled post-swap cluster. This runs after
+        // `maybe_rebalance` so an auto-reshard's deferrals drain before
+        // the loop blocks on the queue again — a parked cut ack would
+        // otherwise wait on unrelated future traffic.
+        while !stop {
+            let Some(cmd) = r.deferred.pop_front() else {
+                break;
+            };
+            stop = handle_command(cmd, &mut r, &rx);
+        }
         if stop {
             break 'serve;
         }
-        r.maybe_rebalance();
     }
     // Shutdown (or disconnect) path: absorb everything still queued, then
     // take the final coordinated cut and stop the shards.
@@ -1861,11 +2648,20 @@ fn run_router(
         match cmd {
             Command::Shutdown => {}
             other => {
-                handle_command(other, &mut r);
+                handle_command(other, &mut r, &rx);
             }
         }
     }
-    r.cut();
+    while let Some(cmd) = r.deferred.pop_front() {
+        match cmd {
+            Command::Shutdown => {}
+            other => {
+                handle_command(other, &mut r, &rx);
+            }
+        }
+    }
+    r.resolve_pending_cut();
+    r.cut_sync();
     r.handles.clear();
     r.services
         .drain(..)
@@ -1873,18 +2669,17 @@ fn run_router(
         .collect()
 }
 
-/// Apply one command. Returns `true` when the router must begin shutdown.
-fn handle_command(cmd: Command, r: &mut Router) -> bool {
+/// Apply one command. Returns `true` when the router must begin shutdown
+/// (an explicit `Shutdown`, or one absorbed mid-reshard).
+fn handle_command(cmd: Command, r: &mut Router, rx: &Receiver<Command>) -> bool {
     match cmd {
         Command::Insert(_) | Command::Delete(_) | Command::Batch(_) => r.route(cmd),
-        Command::Cut(ack) => {
-            let _ = ack.send(r.cut());
-        }
+        Command::Cut(ack) => r.begin_cut(ack),
         Command::Reshard(new, ack) => {
-            let _ = ack.send(r.reshard(new, false));
+            let _ = ack.send(r.reshard(new, false, rx));
         }
         Command::Rebalance(target, ack) => {
-            let _ = ack.send(r.rebalance(target, false));
+            let _ = ack.send(r.rebalance(target, false, rx));
         }
         Command::Stats(reply) => {
             // Flush residue first so the reply (and the shared counters it
@@ -1892,22 +2687,10 @@ fn handle_command(cmd: Command, r: &mut Router) -> bool {
             r.forward();
             let _ = reply.send(r.services.iter().map(|s| s.metrics()).collect());
         }
-        Command::Kill(shard, ack) => {
-            let landed = if shard < r.services.len() {
-                r.services[shard].inject_failure().is_ok()
-            } else {
-                r.shared.worker_errors.fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "gpma-cluster: kill_shard({shard}) out of range ({} shards); ignored",
-                    r.services.len()
-                );
-                false
-            };
-            let _ = ack.send(landed);
-        }
+        Command::Kill(shard, ack) => r.kill(shard, ack),
         Command::Shutdown => return true,
     }
-    false
+    std::mem::take(&mut r.shutdown_pending)
 }
 
 #[cfg(test)]
@@ -1985,7 +2768,9 @@ mod tests {
             Stage::CutPublish,
             Stage::ReshardQuiesce,
             Stage::ReshardMigrate,
+            Stage::ReshardReplay,
             Stage::ReshardResume,
+            Stage::CutAlign,
         ] {
             assert!(
                 obs.hist(stage).snapshot().count > 0,
@@ -2541,6 +3326,7 @@ mod tests {
                 fault: Some(FaultPlan {
                     kill_shard: 1,
                     after_routed_updates: 12,
+                    during_reshard: false,
                 }),
                 ..Default::default()
             },

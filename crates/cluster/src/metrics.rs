@@ -68,9 +68,15 @@ pub struct ClusterMetrics {
     pub migrated_edges: u64,
     /// Modeled bytes those migrations shipped as device-to-device DMAs.
     pub migration_bytes: u64,
-    /// Total wall-clock seconds ingest was paused by reshards
-    /// (quiesce → migrate → resume).
+    /// Total wall-clock seconds ingest was actually paused by reshards —
+    /// under the copy-on-write protocol only the final swap + residual
+    /// replay, bounded by one flush.
     pub migration_pause_secs: f64,
+    /// Total wall-clock seconds reshards spent copying and replaying in
+    /// the background *while ingest kept flowing* (frozen-cut copy +
+    /// delta-chain replay rounds). Not a stall: the complement of
+    /// [`Self::migration_pause_secs`].
+    pub migration_background_secs: f64,
     /// Dead shard workers detected and respawned (requires
     /// [`ClusterConfig::recovery`](crate::ClusterConfig::recovery)).
     pub recoveries: u64,
@@ -108,11 +114,15 @@ pub struct MigrationStats {
     pub migrated_edges: u64,
     /// Modeled device-to-device bytes those moves shipped.
     pub migration_bytes: u64,
-    /// Total ingest pause across all reshards, wall-clock seconds.
+    /// Total ingest pause across all reshards, wall-clock seconds — the
+    /// swap + residual-replay stall only.
     pub pause_secs: f64,
     /// Mean ingest pause per reshard, wall-clock seconds (`0.0` when no
     /// reshard has run).
     pub avg_pause_secs: f64,
+    /// Total background copy-on-write work across all reshards, wall-clock
+    /// seconds ingest kept flowing through (frozen-cut copy + replay).
+    pub background_secs: f64,
 }
 
 /// Failover accounting derived from [`ClusterMetrics`] — what crash
@@ -193,6 +203,7 @@ impl ClusterMetrics {
             } else {
                 self.migration_pause_secs / self.reshard_count as f64
             },
+            background_secs: self.migration_background_secs,
         }
     }
 
@@ -289,10 +300,11 @@ impl std::fmt::Display for ClusterMetrics {
         .group()
         .field("reshards", self.reshard_count)
         .annotate(format_args!(
-            "{} edges, {} moved, {:.1} ms paused",
+            "{} edges, {} moved, {:.1} ms paused + {:.1} ms background",
             self.migrated_edges,
             gpma_obs::fmt_bytes(self.migration_bytes),
             self.migration_pause_secs * 1e3,
+            self.migration_background_secs * 1e3,
         ))
         .group()
         .field("recoveries", self.recoveries)
@@ -347,6 +359,7 @@ mod tests {
             migrated_edges: 0,
             migration_bytes: 0,
             migration_pause_secs: 0.0,
+            migration_background_secs: 0.0,
             recoveries: 0,
             recovery_secs: 0.0,
             recovery_replayed_deltas: 0,
@@ -383,6 +396,7 @@ mod tests {
                 migration_bytes: 0,
                 pause_secs: 0.0,
                 avg_pause_secs: 0.0,
+                background_secs: 0.0,
             }
         );
         let m = ClusterMetrics {
@@ -391,16 +405,24 @@ mod tests {
             migrated_edges: 700,
             migration_bytes: 14_000,
             migration_pause_secs: 0.5,
+            migration_background_secs: 1.25,
             ..metrics()
         };
         let s = m.migration_stats();
         assert_eq!(s.reshards, 2);
         assert_eq!(s.migrated_edges, 700);
         assert_eq!(s.migration_bytes, 14_000);
+        // The COW split: the pause wall covers only the settle+swap; the
+        // copy/replay wall lands in background_secs, never in pause_secs.
         assert!((s.pause_secs - 0.5).abs() < 1e-12);
         assert!((s.avg_pause_secs - 0.25).abs() < 1e-12);
+        assert!((s.background_secs - 1.25).abs() < 1e-12);
         let line = m.to_string();
         assert!(line.contains("reshards 2") && line.contains("v2"), "{line}");
+        assert!(
+            line.contains("paused") && line.contains("background"),
+            "{line}"
+        );
     }
 
     #[test]

@@ -197,11 +197,11 @@ impl DeltaLog {
             }
         }
         if let Some(first) = chain.first() {
-            if first.epoch() <= self.rebase_floor() {
+            if first.epoch() <= self.floor() {
                 return Err(AuditError::DeltaLog(format!(
                     "oldest retained epoch {} not above the rebase floor {}",
                     first.epoch(),
-                    self.rebase_floor()
+                    self.floor()
                 )));
             }
         }

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use gpma_graph::{Edge, UpdateBatch};
 
 use crate::framework::GraphSnapshot;
+use crate::multi::Partitioner;
 
 /// Bytes a snapshot edge occupies on the modeled wire (key + weight).
 pub const BYTES_PER_EDGE: usize = 8 + 8;
@@ -193,6 +194,46 @@ pub fn apply_delta(snap: &GraphSnapshot, delta: &SnapshotDelta) -> GraphSnapshot
     GraphSnapshot::from_edges(delta.epoch, snap.num_vertices(), edges)
 }
 
+/// Split one shard's epoch delta across a partition boundary: every entry
+/// that currently lives on shard `src` but that plan `new` assigns to a
+/// *different* shard is routed into the caller-owned per-destination batch
+/// `out[new_owner]`; entries staying on `src` are skipped. Returns the
+/// number of routed (moved) entries.
+///
+/// This is the replay kernel of a copy-on-write reshard: while ingest keeps
+/// flowing under the old plan, each shard's in-flight delta chain is split
+/// with this function (in chain order — later deltas override earlier ones
+/// at the destination, preserving last-write-wins) and replayed onto the
+/// destinations before the plan swap. The batches in `out` are reused
+/// across rounds, so the split itself never allocates; destinations the
+/// slice does not cover (a retiring shard is never a destination) are
+/// skipped and not counted.
+// lint: hot-path
+pub fn split_delta_moves(
+    delta: &SnapshotDelta,
+    src: usize,
+    new: &dyn Partitioner,
+    out: &mut [UpdateBatch],
+) -> usize {
+    let mut moved = 0usize;
+    for e in &delta.inserted {
+        let to = new.shard_of_edge(e.src, e.dst);
+        if to != src && to < out.len() {
+            out[to].insertions.push(*e);
+            moved += 1;
+        }
+    }
+    for &k in &delta.deleted {
+        let (s, d) = gpma_graph::decode_key(k);
+        let to = new.shard_of_edge(s, d);
+        if to != src && to < out.len() {
+            out[to].deletions.push(Edge::new(s, d));
+            moved += 1;
+        }
+    }
+    moved
+}
+
 /// How a delta reader catches up after falling behind: either the missing
 /// delta chain, or — when the reader lagged past the publication ring — a
 /// full snapshot to rebase on (generic so the cluster can hand back a
@@ -290,10 +331,13 @@ impl DeltaLog {
         self.deltas.iter()
     }
 
-    /// The rebase floor: the epoch readers are current at while the ring is
-    /// empty (audit access).
-    #[cfg(feature = "audit")]
-    pub(crate) fn rebase_floor(&self) -> u64 {
+    /// The rebase floor: the epoch readers are considered current at while
+    /// the ring is empty — 0 at construction, the marker epoch after a
+    /// [`Self::reset_to`]. A copy-on-write reshard replaying a shard's
+    /// in-flight chain uses this to distinguish "nothing published since
+    /// the frozen cut" (floor == frozen epoch) from "the ring was rebased
+    /// under us" (floor moved) without forcing a flush.
+    pub fn floor(&self) -> u64 {
         self.floor
     }
 
@@ -560,5 +604,51 @@ mod tests {
         log.reset_to(0);
         assert_eq!(log.deltas_since(0), Some(vec![]));
         assert_eq!(log.head_epoch(), None);
+    }
+
+    #[test]
+    fn floor_tracks_resets() {
+        let mut log = DeltaLog::new(4);
+        assert_eq!(log.floor(), 0);
+        log.reset_to(17);
+        assert_eq!(log.floor(), 17);
+        assert_eq!(log.deltas_since(17), Some(vec![]));
+        assert!(log.deltas_since(16).is_none());
+    }
+
+    #[test]
+    fn split_delta_moves_routes_only_boundary_crossers() {
+        use crate::multi::VertexPartition;
+        // 8 vertices over 4 shards: shard = src / 2.
+        let plan = VertexPartition {
+            num_vertices: 8,
+            num_shards: 4,
+        };
+        // A delta that shard 0 produced while the cluster still routed by an
+        // older plan: some entries stay on shard 0, some now belong to 1/3.
+        let delta = SnapshotDelta::from_parts(
+            9,
+            vec![e(0, 5, 2), e(1, 1, 7), e(3, 0, 4), e(7, 7, 1)],
+            vec![Edge::new(1, 9).key(), Edge::new(2, 2).key()],
+        );
+        let mut out = vec![UpdateBatch::default(); 4];
+        let moved = split_delta_moves(&delta, 0, &plan, &mut out);
+        // (0,5) and (1,1) stay on shard 0; (3,0) → 1, (7,7) → 3,
+        // del(2,2) → 1, del(1,9) stays on 0.
+        assert_eq!(moved, 3);
+        assert!(out[0].is_empty());
+        assert_eq!(out[1].insertions, vec![e(3, 0, 4)]);
+        assert_eq!(out[1].deletions, vec![Edge::new(2, 2)]);
+        assert!(out[2].is_empty());
+        assert_eq!(out[3].insertions, vec![e(7, 7, 1)]);
+        // Reusing the same scratch accumulates (caller clears per round).
+        let moved_again = split_delta_moves(&delta, 0, &plan, &mut out);
+        assert_eq!(moved_again, 3);
+        assert_eq!(out[1].insertions.len(), 2);
+        // Destinations outside the scratch (a retiring shard never is one)
+        // are skipped, not counted.
+        let mut short = vec![UpdateBatch::default(); 2];
+        let moved_short = split_delta_moves(&delta, 0, &plan, &mut short);
+        assert_eq!(moved_short, 2);
     }
 }

@@ -30,6 +30,9 @@ pub enum Stage {
     Forward,
     /// Coordinated cut: the all-shards barrier round.
     CutBarrier,
+    /// Aligning a shard's latest published snapshot to its delta-ring head
+    /// (frozen cuts and degraded barriers — no flush forced).
+    CutAlign,
     /// Coordinated cut: assembling + publishing the `ClusterSnapshot`.
     CutPublish,
     /// Encoding + persisting one shard checkpoint.
@@ -38,6 +41,10 @@ pub enum Stage {
     ReshardQuiesce,
     /// Reshard: computing + shipping the migration plan.
     ReshardMigrate,
+    /// Reshard: one background round splitting the in-flight delta chains
+    /// across the new partition boundary and replaying the moved entries
+    /// onto their destinations (ingest keeps flowing throughout).
+    ReshardReplay,
     /// Reshard: settle barrier, epoch-marker publish, plan swap (ingest
     /// resumes after).
     ReshardResume,
@@ -73,7 +80,7 @@ pub enum Unit {
 
 impl Stage {
     /// Every stage, in table order.
-    pub const ALL: [Stage; 22] = [
+    pub const ALL: [Stage; 24] = [
         Stage::IngestEnqueue,
         Stage::IngestReshard,
         Stage::FlushDrain,
@@ -83,10 +90,12 @@ impl Stage {
         Stage::RouteBatch,
         Stage::Forward,
         Stage::CutBarrier,
+        Stage::CutAlign,
         Stage::CutPublish,
         Stage::CheckpointSave,
         Stage::ReshardQuiesce,
         Stage::ReshardMigrate,
+        Stage::ReshardReplay,
         Stage::ReshardResume,
         Stage::RecoveryDetect,
         Stage::RecoveryRestore,
@@ -119,10 +128,12 @@ impl Stage {
             Stage::RouteBatch => "router.route",
             Stage::Forward => "router.forward",
             Stage::CutBarrier => "cut.barrier",
+            Stage::CutAlign => "cut.align",
             Stage::CutPublish => "cut.publish",
             Stage::CheckpointSave => "checkpoint.save",
             Stage::ReshardQuiesce => "reshard.quiesce",
             Stage::ReshardMigrate => "reshard.migrate",
+            Stage::ReshardReplay => "reshard.replay",
             Stage::ReshardResume => "reshard.resume",
             Stage::RecoveryDetect => "recovery.detect",
             Stage::RecoveryRestore => "recovery.restore",

@@ -573,6 +573,41 @@ impl StreamingService {
         ack_rx.recv().map_err(|_| ServiceClosed)
     }
 
+    /// Start a [`Self::barrier`] round without waiting for it: the barrier
+    /// command is enqueued behind every update already accepted, and the
+    /// returned receiver yields the flushed snapshot when the worker gets
+    /// there. Callers poll several shards' receivers concurrently instead
+    /// of serialising full barriers — the non-blocking cut path.
+    pub fn barrier_async(&self) -> Result<Receiver<Arc<GraphSnapshot>>, ServiceClosed> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Command::Barrier(ack_tx))
+            .map_err(|_| ServiceClosed)?;
+        Ok(ack_rx)
+    }
+
+    /// An immutable cut of this shard *right now*, without flushing: the
+    /// latest published snapshot aligned forward to the delta-ring head.
+    /// Updates still queued ahead of the worker are not included — they
+    /// land in later deltas, which is exactly what lets copy-on-write
+    /// reshard migrate from this cut while ingest keeps flowing and replay
+    /// the remainder from `deltas_since(cut.epoch())`. Never blocks on the
+    /// worker beyond the log lock.
+    pub fn frozen_cut(&self) -> Arc<GraphSnapshot> {
+        let snap = self.shared.latest();
+        let chain = self.shared.delta_log.lock().deltas_since(snap.epoch());
+        match chain {
+            Some(chain) if !chain.is_empty() => {
+                let mut cur = gpma_core::delta::apply_delta(&snap, &chain[0]);
+                for d in &chain[1..] {
+                    cur = gpma_core::delta::apply_delta(&cur, d);
+                }
+                Arc::new(cur)
+            }
+            _ => snap,
+        }
+    }
+
     /// Run a closure against the *live* system, serialized with updates on
     /// the worker thread (Figure 1's dynamic query buffer). Blocks until the
     /// worker reaches the command; buffered-but-unflushed updates are not

@@ -62,10 +62,13 @@ fn main() {
         snap.num_shards()
     );
 
-    // What the policy did while we streamed.
+    // What the policy did while we streamed. Copy-on-write reshard splits
+    // the cost: `paused` is the only window producers can feel (final
+    // settle + plan swap), `background` is the frozen-cut copy and delta
+    // replay that ran while ingest kept flowing.
     for r in cluster.reshard_history() {
         println!(
-            "reshard v{} ({}): {} × {} → {} × {} | moved {} edges ({} KB vs {} KB rebuild) | paused {:.1} ms",
+            "reshard v{} ({}): {} × {} → {} × {} | moved {} edges ({} KB vs {} KB rebuild) | paused {:.2} ms + {:.2} ms background",
             r.version,
             if r.auto { "auto" } else { "manual" },
             r.from_policy,
@@ -76,6 +79,7 @@ fn main() {
             r.migration_bytes / 1024,
             r.full_rebuild_bytes / 1024,
             r.pause_secs * 1e3,
+            r.background_secs * 1e3,
         );
     }
     let metrics = cluster.metrics().expect("cluster alive");
@@ -85,11 +89,29 @@ fn main() {
         skew.updates, skew.max_mean_updates
     );
 
-    // Elastic scale-out on demand: the same degree observations, 8 shards.
+    // Elastic scale-out on demand: the same degree observations, 8 shards —
+    // with a live producer re-streaming updates *through* the reshard, the
+    // zero-pause case the copy-on-write protocol exists for.
+    let concurrent = {
+        let h = cluster.handle();
+        let replay: Vec<_> = tail.iter().take(8_192).copied().collect();
+        std::thread::spawn(move || {
+            for e in &replay {
+                h.insert(*e).expect("cluster alive");
+            }
+        })
+    };
     let grow = cluster.rebalance(Some(8)).expect("grow to 8");
+    concurrent.join().expect("producer");
     println!(
-        "scale-out v{}: {} shards → {} shards, moved {} edges, kept {} in place",
-        grow.version, grow.from_shards, grow.to_shards, grow.migrated_edges, grow.resident_edges
+        "scale-out v{}: {} shards → {} shards, moved {} edges, kept {} in place, paused {:.2} ms + {:.2} ms background",
+        grow.version,
+        grow.from_shards,
+        grow.to_shards,
+        grow.migrated_edges,
+        grow.resident_edges,
+        grow.pause_secs * 1e3,
+        grow.background_secs * 1e3
     );
     let final_snap = cluster.epoch_cut().expect("cluster alive");
     assert_eq!(final_snap.num_edges(), snap.num_edges(), "no edge lost");
@@ -108,11 +130,12 @@ fn main() {
     for stage in [
         Stage::ReshardQuiesce,
         Stage::ReshardMigrate,
+        Stage::ReshardReplay,
         Stage::ReshardResume,
     ] {
         let s = obs.hist(stage).snapshot();
         println!(
-            "{:<16} p50 {:>8} µs  p99 {:>8} µs  ({} reshards)",
+            "{:<16} p50 {:>8} µs  p99 {:>8} µs  ({} spans)",
             stage.name(),
             s.p50,
             s.p99,
@@ -130,11 +153,12 @@ fn main() {
     let report = cluster.shutdown();
     let stats = report.metrics.migration_stats();
     println!(
-        "\n{} reshards total: {} edges migrated, {} KB shipped, {:.1} ms cumulative pause",
+        "\n{} reshards total: {} edges migrated, {} KB shipped, {:.2} ms cumulative pause (+{:.2} ms background copy/replay)",
         stats.reshards,
         stats.migrated_edges,
         stats.migration_bytes / 1024,
         stats.pause_secs * 1e3,
+        stats.background_secs * 1e3,
     );
     println!("{}", report.metrics);
 }

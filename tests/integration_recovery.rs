@@ -13,8 +13,8 @@ use std::sync::Arc;
 use gpma_analytics::{bfs_host, cc_host, pagerank_host};
 use gpma_baselines::AdjLists;
 use gpma_cluster::{
-    ClusterConfig, ClusterHandle, GraphCluster, HashVertexPartition, MemoryCheckpointStore,
-    RecoveryPolicy, VertexPartition,
+    ClusterConfig, ClusterHandle, FaultPlan, GraphCluster, HashVertexPartition,
+    MemoryCheckpointStore, RecoveryPolicy, VertexPartition,
 };
 use gpma_core::multi::Partitioner;
 use gpma_graph::Edge;
@@ -205,6 +205,94 @@ fn kill_straddling_a_reshard_recovers_exactly() {
     let report = cluster.shutdown();
     assert!(report.metrics.recoveries >= 2, "both kills must be recovered");
     assert_eq!(report.metrics.reshard_count, 1);
+}
+
+/// A shard killed *inside* a copy-on-write reshard: the fault plan arms
+/// past its routed-update threshold but holds fire until the COW copy is
+/// actually in flight, so the victim dies somewhere between the frozen-cut
+/// copy and the final settle — taking whatever staged arrivals it had
+/// queued down with it. The router must recover the corpse mid-copy,
+/// rebuild its staged image from the respawned incarnation's settled
+/// state, and land the reshard oracle-exact with ingest flowing the whole
+/// time.
+#[test]
+fn kill_during_cow_reshard_recovers_exactly() {
+    let cluster = GraphCluster::spawn(
+        ClusterConfig {
+            flush_threshold: 4,
+            router_batch: 8,
+            recovery: Some(RecoveryPolicy {
+                store: Arc::new(MemoryCheckpointStore::new()),
+                checkpoint_every_cuts: 1,
+            }),
+            // Armed by phase A below (48 > 44 routed), fires at the first
+            // forwarded burst inside the reshard.
+            fault: Some(FaultPlan {
+                kill_shard: 1,
+                after_routed_updates: 44,
+                during_reshard: true,
+            }),
+            ..Default::default()
+        },
+        &DeviceConfig::deterministic(),
+        Arc::new(HashVertexPartition {
+            num_vertices: NUM_VERTICES,
+            num_shards: 4,
+        }),
+        &[],
+    );
+    let h = cluster.handle();
+    let mut oracle = BTreeMap::new();
+
+    // Phase A: cross the fault threshold while *outside* any reshard — the
+    // `during_reshard` plan must hold fire.
+    let phase_a: Vec<(u8, u32, u32, u64)> = (0..48u32)
+        .map(|i| {
+            let kind = if i % 7 == 6 { 3u8 } else { 0u8 };
+            (kind, i % NUM_VERTICES, (i * 7 + 1) % NUM_VERTICES, u64::from(i + 1))
+        })
+        .collect();
+    feed(&h, &phase_a);
+    apply_oracle(&mut oracle, &phase_a);
+    assert_cut_matches(&cluster, &oracle, "pre-reshard (fault armed)");
+
+    // Phase B: reshard 4 → 2 with a live concurrent stream. The armed kill
+    // fires inside the copy-on-write window and must be recovered there.
+    let phase_b: Vec<(u8, u32, u32, u64)> = (0..160u32)
+        .map(|i| {
+            let kind = if i % 6 == 5 { 3u8 } else { 0u8 };
+            (kind, (i * 3) % NUM_VERTICES, (i * 11 + 2) % NUM_VERTICES, u64::from(i + 100))
+        })
+        .collect();
+    let concurrent = {
+        let hb = h.clone();
+        let ops = phase_b.clone();
+        std::thread::spawn(move || feed(&hb, &ops))
+    };
+    let report = cluster
+        .reshard(Arc::new(VertexPartition {
+            num_vertices: NUM_VERTICES,
+            num_shards: 2,
+        }))
+        .expect("reshard through a mid-COW kill");
+    concurrent.join().expect("producer");
+    apply_oracle(&mut oracle, &phase_b);
+    assert_eq!(cluster.num_shards(), 2);
+    assert!(report.pause_secs >= 0.0 && report.background_secs >= 0.0);
+    assert_cut_matches(&cluster, &oracle, "post-kill-during-COW");
+
+    // Tail: the recovered incarnation keeps ingesting under the new plan.
+    feed(&h, &phase_a);
+    apply_oracle(&mut oracle, &phase_a);
+    assert_cut_matches(&cluster, &oracle, "tail cut");
+
+    let metrics = cluster.shutdown().metrics;
+    assert_eq!(metrics.reshard_count, 1);
+    assert!(
+        metrics.recoveries >= 1,
+        "the armed kill must fire inside the reshard and be recovered: {:?}",
+        metrics.recovery_stats()
+    );
 }
 
 /// A shard delta ring far too small to cover the flushes since the last

@@ -54,6 +54,23 @@ pub fn hot_cache_lookup(
     entries.get(&(tenant, query)).map(|hit| hit.clone())
 }
 
+/// Seeded replay-flavored `hot-path-alloc` violation: a delta-split loop
+/// that allocates a fresh per-destination scratch vector for every delta
+/// instead of reusing one across the chain — exactly the allocation the
+/// gpma-cluster `split_delta_moves` replay path must never make.
+// lint: hot-path
+pub fn hot_split_replay(deltas: &[Vec<u64>], shards: usize) -> u64 {
+    let mut moved = 0u64;
+    for chain in deltas {
+        let mut scratch: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        for &k in chain {
+            scratch[(k as usize) % shards].push(k);
+        }
+        moved += scratch.iter().map(|s| s.len() as u64).sum::<u64>();
+    }
+    moved
+}
+
 /// Seeded `worker-panic` violation: unwraps inside a spawned thread body.
 pub fn spawn_and_unwrap(tx: std::sync::mpsc::Sender<u64>) {
     std::thread::spawn(move || {

@@ -123,6 +123,29 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Receiver::recv_timeout`]: the deadline passed with
+/// nothing queued, or the channel is drained and every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed before a message arrived.
+    Timeout,
+    /// The channel is drained and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
 }
@@ -250,6 +273,40 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Blocks until a message arrives or `timeout` elapses; fails with
+    /// [`RecvTimeoutError::Disconnected`] once the channel is drained and
+    /// all senders are dropped.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("channel lock");
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.shared.send_cv.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, res) = self
+                .shared
+                .recv_cv
+                .wait_timeout(state, left)
+                .expect("channel lock");
+            state = guard;
+            if res.timed_out() && state.queue.is_empty() {
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
     /// Non-blocking receive: distinguishes "nothing queued yet"
     /// ([`TryRecvError::Empty`]) from "drained and all senders gone"
     /// ([`TryRecvError::Disconnected`]).
@@ -365,6 +422,17 @@ mod tests {
         assert!(rx.is_empty());
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        let d = std::time::Duration::from_millis(5);
+        assert_eq!(rx.recv_timeout(d), Err(RecvTimeoutError::Timeout));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(d), Ok(7));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(d), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]
